@@ -1,0 +1,324 @@
+package hetgrid
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation at a reduced scale (population, job count and horizon
+// shrink; dimensionalities, ratios and periods stay at paper values so
+// the shapes are preserved):
+//
+//	Figure 5 — BenchmarkFig5InterArrival: wait-time CDFs vs job
+//	  inter-arrival time, schemes can-het / can-hom / central.
+//	Figure 6 — BenchmarkFig6ConstraintRatio: wait-time CDFs vs job
+//	  constraint ratio.
+//	Figure 7 — BenchmarkFig7BrokenLinks: broken links under high churn,
+//	  schemes vanilla / compact / adaptive.
+//	Figure 8 — BenchmarkFig8Messages / BenchmarkFig8Volume: maintenance
+//	  message count and volume per node per minute vs dimensionality.
+//
+// The full-scale regeneration (1000–2000 nodes, 20000 jobs, 30000 s
+// horizons) is cmd/figures; these benchmarks exercise the identical
+// code paths and report the figure's headline numbers as custom
+// metrics. Note that Figure 8's per-dimension growth saturates at small
+// populations (a node's zone is only split along ~log₂(n) dimensions,
+// bounding its face count), so the bench-scale message counts flatten
+// past d≈8 while the full-scale run keeps growing.
+//
+// Micro-benchmarks below them cover the underlying substrates (CAN
+// join/leave/routing, heartbeat rounds, matchmaking, aggregation).
+
+import (
+	"fmt"
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/experiments"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/proto"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sched"
+	"hetgrid/internal/sim"
+	"hetgrid/internal/workload"
+)
+
+const benchScale = experiments.Scale(0.04)
+
+// BenchmarkFig5InterArrival regenerates Figure 5 (one sub-benchmark per
+// inter-arrival time, one LB run per scheme per iteration).
+func BenchmarkFig5InterArrival(b *testing.B) {
+	for _, ia := range []float64{2, 3, 4} {
+		b.Run(fmt.Sprintf("arrival=%.0fs", ia), func(b *testing.B) {
+			var meanHet, meanHom, meanCentral float64
+			for i := 0; i < b.N; i++ {
+				for _, scheme := range experiments.LBSchemes {
+					cfg := experiments.DefaultLBConfig(scheme)
+					cfg.Nodes = 150
+					cfg.Jobs = 1500
+					cfg.MeanInterArrival = sim.FromSeconds(ia / float64(benchScale) / 25)
+					cfg.Seed = int64(i + 1)
+					res, err := experiments.RunLoadBalance(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					switch scheme {
+					case experiments.CanHet:
+						meanHet = res.WaitTimes.Mean()
+					case experiments.CanHom:
+						meanHom = res.WaitTimes.Mean()
+					case experiments.Central:
+						meanCentral = res.WaitTimes.Mean()
+					}
+				}
+			}
+			b.ReportMetric(meanHet, "canhet-wait-s")
+			b.ReportMetric(meanHom, "canhom-wait-s")
+			b.ReportMetric(meanCentral, "central-wait-s")
+		})
+	}
+}
+
+// BenchmarkFig6ConstraintRatio regenerates Figure 6.
+func BenchmarkFig6ConstraintRatio(b *testing.B) {
+	for _, q := range []float64{0.8, 0.6, 0.4} {
+		b.Run(fmt.Sprintf("ratio=%.0f%%", q*100), func(b *testing.B) {
+			var meanHet, meanHom, meanCentral float64
+			for i := 0; i < b.N; i++ {
+				for _, scheme := range experiments.LBSchemes {
+					cfg := experiments.DefaultLBConfig(scheme)
+					cfg.Nodes = 150
+					cfg.Jobs = 1500
+					cfg.ConstraintRatio = q
+					cfg.MeanInterArrival = 20 * sim.Second
+					cfg.Seed = int64(i + 1)
+					res, err := experiments.RunLoadBalance(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					switch scheme {
+					case experiments.CanHet:
+						meanHet = res.WaitTimes.Mean()
+					case experiments.CanHom:
+						meanHom = res.WaitTimes.Mean()
+					case experiments.Central:
+						meanCentral = res.WaitTimes.Mean()
+					}
+				}
+			}
+			b.ReportMetric(meanHet, "canhet-wait-s")
+			b.ReportMetric(meanHom, "canhom-wait-s")
+			b.ReportMetric(meanCentral, "central-wait-s")
+		})
+	}
+}
+
+// BenchmarkFig7BrokenLinks regenerates Figure 7: broken links under
+// high churn per heartbeat scheme.
+func BenchmarkFig7BrokenLinks(b *testing.B) {
+	for _, scheme := range experiments.MaintSchemes {
+		b.Run(scheme.String(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultResilienceConfig(scheme)
+				cfg.Nodes = 120
+				cfg.HeartbeatPeriod = 20 * sim.Second
+				cfg.MeanEventGap = 5 * sim.Second
+				cfg.Horizon = 3000 * sim.Second
+				cfg.SampleEvery = 100 * sim.Second
+				cfg.Seed = int64(i + 1)
+				mean = experiments.RunResilience(cfg).MeanBroken()
+			}
+			b.ReportMetric(mean, "broken-links")
+		})
+	}
+}
+
+// BenchmarkFig8Messages regenerates Figure 8(a): messages per node per
+// minute vs dimensionality, per scheme.
+func BenchmarkFig8Messages(b *testing.B) {
+	benchFig8(b, func(r *experiments.ScalabilityResult) (float64, string) {
+		return r.MsgsPerNodeMin, "msgs/node/min"
+	})
+}
+
+// BenchmarkFig8Volume regenerates Figure 8(b): message volume per node
+// per minute vs dimensionality, per scheme.
+func BenchmarkFig8Volume(b *testing.B) {
+	benchFig8(b, func(r *experiments.ScalabilityResult) (float64, string) {
+		return r.KBytesPerNodeMin, "KB/node/min"
+	})
+}
+
+func benchFig8(b *testing.B, pick func(*experiments.ScalabilityResult) (float64, string)) {
+	for _, scheme := range experiments.MaintSchemes {
+		for _, dims := range experiments.Figure8Dims {
+			b.Run(fmt.Sprintf("%s/dims=%d", scheme, dims), func(b *testing.B) {
+				var metric float64
+				var unit string
+				for i := 0; i < b.N; i++ {
+					cfg := experiments.DefaultScalabilityConfig(scheme, dims, 120)
+					cfg.Warmup = 2 * sim.Minute
+					cfg.Measure = 6 * sim.Minute
+					cfg.Seed = int64(i + 1)
+					metric, unit = pick(experiments.RunScalability(cfg))
+				}
+				b.ReportMetric(metric, unit)
+			})
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkCANJoin measures overlay join cost as the population grows.
+func BenchmarkCANJoin(b *testing.B) {
+	for _, dims := range []int{5, 11} {
+		b.Run(fmt.Sprintf("dims=%d", dims), func(b *testing.B) {
+			s := rng.New(1)
+			ov := can.NewOverlay(dims)
+			pts := make([]geom.Point, b.N)
+			for i := range pts {
+				p := make(geom.Point, dims)
+				for d := range p {
+					p[d] = s.Float64() * 0.999
+				}
+				pts[i] = p
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ov.Join(pts[i], nil)
+			}
+		})
+	}
+}
+
+// BenchmarkCANRoute measures greedy routing in a 1000-node overlay.
+func BenchmarkCANRoute(b *testing.B) {
+	for _, dims := range []int{5, 11} {
+		b.Run(fmt.Sprintf("dims=%d", dims), func(b *testing.B) {
+			s := rng.New(2)
+			ov := can.NewOverlay(dims)
+			randomPt := func() geom.Point {
+				p := make(geom.Point, dims)
+				for d := range p {
+					p[d] = s.Float64() * 0.999
+				}
+				return p
+			}
+			for i := 0; i < 1000; i++ {
+				ov.Join(randomPt(), nil)
+			}
+			nodes := ov.Nodes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := nodes[i%len(nodes)]
+				if _, err := ov.Route(from.ID, randomPt()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCANChurn measures a leave+join pair in a 500-node overlay.
+func BenchmarkCANChurn(b *testing.B) {
+	s := rng.New(3)
+	dims := 11
+	ov := can.NewOverlay(dims)
+	randomPt := func() geom.Point {
+		p := make(geom.Point, dims)
+		for d := range p {
+			p[d] = s.Float64() * 0.999
+		}
+		return p
+	}
+	for i := 0; i < 500; i++ {
+		ov.Join(randomPt(), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes := ov.Nodes()
+		ov.Leave(nodes[s.Intn(len(nodes))].ID)
+		ov.Join(randomPt(), nil)
+	}
+}
+
+// BenchmarkHeartbeatRound measures one full heartbeat period for a
+// 200-node overlay under each scheme.
+func BenchmarkHeartbeatRound(b *testing.B) {
+	for _, scheme := range experiments.MaintSchemes {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := proto.DefaultConfig(scheme)
+			s := proto.NewSim(11, cfg)
+			d := proto.NewChurnDriver(s, proto.ChurnConfig{InitialNodes: 200, JoinGap: 100 * sim.Millisecond, Seed: 1})
+			d.Start()
+			s.Eng.RunUntil(d.ChurnStart + sim.Time(2*cfg.HeartbeatPeriod))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Eng.RunUntil(s.Eng.Now() + sim.Time(cfg.HeartbeatPeriod))
+			}
+		})
+	}
+}
+
+// BenchmarkPlacement measures single-job matchmaking in a 500-node grid
+// for each scheme.
+func BenchmarkPlacement(b *testing.B) {
+	for _, name := range []Scheme{SchemeCanHet, SchemeCanHom, SchemeCentral} {
+		b.Run(string(name), func(b *testing.B) {
+			g, err := New(Options{Scheme: name, Seed: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.AddRandomNodes(500); err != nil {
+				b.Fatal(err)
+			}
+			spec := JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Submit(spec); err != nil {
+					b.Fatal(err)
+				}
+				if i%100 == 99 {
+					b.StopTimer()
+					g.Run() // drain so queues do not grow unboundedly
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggRefresh measures the aggregated-load recomputation for
+// the evaluation's 1000-node, 11-dimensional configuration.
+func BenchmarkAggRefresh(b *testing.B) {
+	eng := sim.New()
+	space := resource.NewSpace(2)
+	ov := can.NewOverlay(space.Dims())
+	cl := exec.NewCluster(eng, exec.DefaultConfig())
+	gen := workload.NewNodeGen(space, 1)
+	redraw := rng.New(9)
+	for i := 0; i < 1000; i++ {
+		caps := gen.One()
+		n, err := ov.Join(space.NodePoint(caps), caps)
+		for err != nil {
+			caps.Virtual = redraw.Float64() * 0.999999
+			n, err = ov.Join(space.NodePoint(caps), caps)
+		}
+		cl.AddNode(n.ID, caps)
+	}
+	agg := sched.NewAggTable(space.Dims(), space.GPUSlots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Refresh(ov, cl)
+	}
+}
+
+// BenchmarkWorkloadGen measures job-stream generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	space := resource.NewSpace(2)
+	jg := workload.NewJobGen(space, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jg.Next()
+	}
+}

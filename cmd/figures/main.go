@@ -1,0 +1,76 @@
+// Command figures regenerates the paper's evaluation figures
+// (Section V) as plain-text tables: the same series the paper plots.
+//
+//	figures -fig all            # everything at the paper's scale
+//	figures -fig 5 -scale 0.1   # a quick 10%-scale Figure 5
+//	figures -fig 8a             # only the message-count sweep
+//
+// At -scale 1 the runs use the paper's populations (1000–2000 nodes,
+// 20000 jobs, 30000 s churn horizons) and take minutes; smaller scales
+// shrink populations and horizons while keeping dimensionalities,
+// ratios and periods fixed, so the qualitative shapes persist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hetgrid/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 8a, 8b or all")
+	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "root random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	s := experiments.Scale(*scale)
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "==== %s (scale %.2f, seed %d) ====\n", name, *scale, *seed)
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+
+	want := strings.ToLower(*fig)
+	matched := false
+	if want == "all" || want == "5" {
+		matched = true
+		run("Figure 5", func() error { _, err := experiments.Figure5(w, s, *seed); return err })
+	}
+	if want == "all" || want == "6" {
+		matched = true
+		run("Figure 6", func() error { _, err := experiments.Figure6(w, s, *seed); return err })
+	}
+	if want == "all" || want == "7" {
+		matched = true
+		run("Figure 7", func() error { _, err := experiments.Figure7(w, s, *seed); return err })
+	}
+	if want == "all" || want == "8" || want == "8a" || want == "8b" {
+		matched = true
+		run("Figure 8", func() error { _, err := experiments.Figure8(w, s, *seed); return err })
+	}
+	if !matched {
+		fatal(fmt.Errorf("unknown -fig %q (want 5, 6, 7, 8 or all)", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

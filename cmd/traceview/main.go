@@ -1,0 +1,117 @@
+// Command traceview summarizes a simulation trace exported with
+// hetgrid's TraceBuffer (JSONL, one event per line): event counts, the
+// job wait-time distribution, the busiest nodes, and the churn
+// timeline.
+//
+//	traceview run.jsonl
+//	some-simulation | traceview -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hetgrid/internal/stats"
+	"hetgrid/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceview <trace.jsonl | ->")
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.ReadJSONL(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+
+	// Event counts.
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	kinds := make([]trace.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	tab := stats.NewTable("event", "count")
+	for _, k := range kinds {
+		tab.AddRow(string(k), counts[k])
+	}
+	fmt.Printf("trace: %d events over %.0f virtual seconds\n\n", len(events), events[len(events)-1].T-events[0].T)
+	tab.Fprint(os.Stdout)
+
+	// Wait-time distribution from finish events.
+	var waits stats.Sample
+	perNode := map[int64]int{}
+	for _, e := range events {
+		if e.Kind == trace.JobFinish {
+			waits.Add(e.Value)
+			perNode[e.Node]++
+		}
+	}
+	if waits.N() > 0 {
+		fmt.Printf("\njob waits (n=%d): mean=%.0fs median=%.0fs p90=%.0fs p99=%.0fs max=%.0fs\n",
+			waits.N(), waits.Mean(), waits.Quantile(0.5), waits.Quantile(0.9),
+			waits.Quantile(0.99), waits.Max())
+
+		type nodeCount struct {
+			node int64
+			jobs int
+		}
+		var nodes []nodeCount
+		for n, c := range perNode {
+			nodes = append(nodes, nodeCount{n, c})
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].jobs != nodes[j].jobs {
+				return nodes[i].jobs > nodes[j].jobs
+			}
+			return nodes[i].node < nodes[j].node
+		})
+		fmt.Println("\nbusiest nodes:")
+		top := stats.NewTable("node", "jobs finished")
+		for i, nc := range nodes {
+			if i >= 10 {
+				break
+			}
+			top.AddRow(nc.node, nc.jobs)
+		}
+		top.Fprint(os.Stdout)
+
+		var work []float64
+		for _, nc := range nodes {
+			work = append(work, float64(nc.jobs))
+		}
+		fmt.Printf("\njob-count imbalance across active nodes: gini=%.3f max/mean=%.2f\n",
+			stats.Gini(work), stats.MaxOverMean(work))
+	}
+
+	// Churn timeline.
+	churn := counts[trace.NodeLeave] + counts[trace.NodeFail]
+	if churn > 0 {
+		fmt.Printf("\nchurn: %d joins, %d departures, %d jobs requeued, %d lost\n",
+			counts[trace.NodeJoin], churn, counts[trace.JobRequeue], counts[trace.JobLost])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceview:", err)
+	os.Exit(1)
+}

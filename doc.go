@@ -1,0 +1,27 @@
+// Package hetgrid is a peer-to-peer desktop grid with support for
+// heterogeneous computing elements, reproducing "Supporting Computing
+// Element Heterogeneity in P2P Grids" (Lee, Keleher, Sussman — IEEE
+// CLUSTER 2011).
+//
+// The library simulates a fully decentralized desktop grid built on a
+// CAN (Content-Addressable Network) DHT whose dimensions are resource
+// attributes: nodes advertise capabilities as coordinates, jobs route
+// to their requirement coordinates, and load balancing pushes jobs
+// toward under-used regions. Nodes may carry multiple computing
+// elements (CEs) — non-dedicated multi-core CPUs and dedicated GPUs of
+// several types — and the matchmaker places each job by its dominant
+// CE, preferring free nodes, then acceptable nodes (able to start the
+// job immediately on the CEs it needs), then minimum load score.
+//
+// Two entry points cover the paper's two planes:
+//
+//   - Grid simulates matchmaking and job execution (Figures 5–6):
+//     create one with New, add nodes, submit jobs, Run, inspect waits.
+//   - Maintenance simulates the DHT upkeep protocols under churn
+//     (Figures 7–8): vanilla, compact and adaptive heartbeats, broken
+//     links, and per-node message costs.
+//
+// Everything is deterministic given a seed, uses only the standard
+// library, and runs on a laptop: the "hardware" is a discrete-event
+// simulation, as in the paper's evaluation.
+package hetgrid

@@ -1,0 +1,59 @@
+package hetgrid_test
+
+import (
+	"fmt"
+
+	"hetgrid"
+)
+
+// The simplest possible grid: one node, one job.
+func Example() {
+	grid, _ := hetgrid.New(hetgrid.Options{Seed: 1})
+	grid.AddNode(hetgrid.NodeSpec{
+		CPU:    hetgrid.CPUSpec{Clock: 2.0, Cores: 4, MemoryGB: 8},
+		DiskGB: 100,
+	})
+	h, _ := grid.Submit(hetgrid.JobSpec{
+		CPU:           &hetgrid.CEReqSpec{Cores: 2},
+		DurationHours: 1,
+	})
+	grid.Run()
+	fmt.Printf("%s after waiting %.0fs\n", h.Status(), h.WaitSeconds())
+	// Output: finished after waiting 0s
+}
+
+// A CUDA-style job routes to a node with the matching accelerator.
+func ExampleGrid_Submit_gpuJob() {
+	grid, _ := hetgrid.New(hetgrid.Options{GPUSlots: 1, Seed: 1})
+	grid.AddNode(hetgrid.NodeSpec{ // CPU-only desktop
+		CPU:    hetgrid.CPUSpec{Clock: 3.0, Cores: 8, MemoryGB: 16},
+		DiskGB: 100,
+	})
+	grid.AddNode(hetgrid.NodeSpec{ // GPU workstation
+		CPU:    hetgrid.CPUSpec{Clock: 2.0, Cores: 4, MemoryGB: 8},
+		GPUs:   []hetgrid.GPUSpec{{Slot: 1, Clock: 1.2, Cores: 240, MemoryGB: 4}},
+		DiskGB: 100,
+	})
+	h, _ := grid.Submit(hetgrid.JobSpec{
+		CPU:           &hetgrid.CEReqSpec{Cores: 1},
+		GPU:           &hetgrid.CEReqSpec{Cores: 128},
+		GPUSlot:       1,
+		DurationHours: 1,
+	})
+	fmt.Println("dominant CE:", h.DominantCE())
+	// Output: dominant CE: gpu1
+}
+
+// Maintenance simulations expose the heartbeat schemes of Section IV.
+func ExampleNewMaintenance() {
+	m, _ := hetgrid.NewMaintenance(hetgrid.MaintenanceOptions{
+		Dims:             5,
+		Scheme:           hetgrid.HeartbeatCompact,
+		HeartbeatSeconds: 10,
+		Seed:             1,
+	}, 25, 0 /* no churn */)
+	m.RunForSeconds(300)
+	missing, _ := m.BrokenLinks()
+	fmt.Printf("nodes=%d broken=%d\n", m.AliveNodes(), missing)
+	// Output: nodes=25 broken=0
+}

@@ -1,0 +1,111 @@
+// Astronomy campaign: the paper's conclusion mentions a testbed built
+// with the Maryland Astronomy department. This example models that kind
+// of campaign: image-calibration jobs (CPU-bound, modest memory),
+// N-body simulation jobs (CUDA-style, GPU dominant) and spectral
+// fitting (multi-core, memory hungry), submitted to a shared
+// departmental desktop grid overnight.
+//
+//	go run ./examples/astronomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetgrid"
+)
+
+type jobKind struct {
+	name string
+	spec hetgrid.JobSpec
+	n    int
+
+	handles   []*hetgrid.JobHandle
+	unmatched int
+}
+
+func main() {
+	grid, err := hetgrid.New(hetgrid.Options{GPUSlots: 2, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The department's machines: many modest desktops, a few GPU
+	// workstations, one beefy reduction server.
+	if _, err := grid.AddRandomNodes(120); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := grid.AddNode(hetgrid.NodeSpec{
+			CPU:    hetgrid.CPUSpec{Clock: 2.6, Cores: 8, MemoryGB: 16},
+			GPUs:   []hetgrid.GPUSpec{{Slot: 1, Clock: 1.4, Cores: 448, MemoryGB: 6}},
+			DiskGB: 1000,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := grid.AddNode(hetgrid.NodeSpec{
+		CPU:    hetgrid.CPUSpec{Clock: 3.4, Cores: 8, MemoryGB: 16},
+		DiskGB: 1000,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	campaign := []*jobKind{
+		{name: "calibrate", n: 120, spec: hetgrid.JobSpec{
+			CPU:           &hetgrid.CEReqSpec{Clock: 1.0, Cores: 2, MemoryGB: 2},
+			DiskGB:        40,
+			DurationHours: 0.6,
+		}},
+		{name: "nbody-gpu", n: 40, spec: hetgrid.JobSpec{
+			CPU:           &hetgrid.CEReqSpec{Cores: 1},
+			GPU:           &hetgrid.CEReqSpec{Clock: 1.0, Cores: 240, MemoryGB: 2},
+			GPUSlot:       1,
+			DurationHours: 1.2,
+		}},
+		{name: "spectral-fit", n: 30, spec: hetgrid.JobSpec{
+			CPU:           &hetgrid.CEReqSpec{Clock: 1.8, Cores: 4, MemoryGB: 8},
+			DurationHours: 0.9,
+		}},
+	}
+
+	// Interleave submissions through the night, one every 45 s.
+	for remaining := true; remaining; {
+		remaining = false
+		for _, k := range campaign {
+			if len(k.handles)+k.unmatched >= k.n {
+				continue
+			}
+			remaining = true
+			if h, err := grid.Submit(k.spec); err != nil {
+				k.unmatched++
+			} else {
+				k.handles = append(k.handles, h)
+			}
+			grid.RunFor(45)
+		}
+	}
+	grid.Run() // finish the campaign
+
+	fmt.Printf("overnight campaign on a %d-node departmental grid (%s matchmaker):\n\n",
+		grid.Nodes(), grid.SchedulerName())
+	fmt.Printf("  %-12s %6s %12s %12s %12s\n", "kind", "jobs", "mean wait", "max wait", "unmatchable")
+	for _, k := range campaign {
+		var sum, max float64
+		for _, h := range k.handles {
+			w := h.WaitSeconds()
+			sum += w
+			if w > max {
+				max = w
+			}
+		}
+		mean := 0.0
+		if len(k.handles) > 0 {
+			mean = sum / float64(len(k.handles))
+		}
+		fmt.Printf("  %-12s %6d %11.0fs %11.0fs %12d\n", k.name, len(k.handles), mean, max, k.unmatched)
+	}
+
+	st := grid.Stats()
+	fmt.Printf("\ngrid-wide: %d jobs finished, %.0f%% started instantly, mean wait %.0fs, campaign took %.1f h\n",
+		st.Finished, 100*st.ZeroWaitShare, st.MeanWaitSec, grid.NowSeconds()/3600)
+}

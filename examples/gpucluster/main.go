@@ -1,0 +1,68 @@
+// GPU cluster: the scenario from the paper's introduction — a desktop
+// grid where some machines carry CUDA-capable GPUs and a stream of
+// mixed CPU/GPU jobs arrives. Compares the heterogeneity-aware
+// matchmaker (can-het) against the prior heterogeneity-oblivious one
+// (can-hom) and the centralized upper bound, on identical workloads.
+//
+//	go run ./examples/gpucluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetgrid"
+)
+
+const (
+	nodes   = 200
+	jobs    = 2000
+	gapSecs = 15.0 // mean inter-arrival
+)
+
+func runScheme(scheme hetgrid.Scheme) hetgrid.GridStats {
+	grid, err := hetgrid.New(hetgrid.Options{GPUSlots: 2, Scheme: scheme, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Identical population per scheme: same seed drives the generator.
+	if _, err := grid.AddRandomNodes(nodes); err != nil {
+		log.Fatal(err)
+	}
+
+	// Identical job stream per scheme. Roughly 40% CUDA-style GPU jobs
+	// (the GPU dominates), 60% CPU jobs, arrivals ~15 s apart.
+	unmatched := 0
+	for i := 0; i < jobs; i++ {
+		spec := hetgrid.JobSpec{
+			CPU:           &hetgrid.CEReqSpec{Clock: 0.8, Cores: 1 + i%2},
+			DurationHours: 0.5 + float64(i%5)*0.25,
+		}
+		if i%5 < 2 {
+			spec.CPU = &hetgrid.CEReqSpec{Cores: 1}
+			spec.GPU = &hetgrid.CEReqSpec{Clock: 0.6, Cores: 64 << (i % 2)}
+			spec.GPUSlot = 1 + i%2
+		}
+		if _, err := grid.Submit(spec); err != nil {
+			unmatched++
+		}
+		grid.RunFor(gapSecs)
+	}
+	grid.Run()
+	if unmatched > 0 {
+		fmt.Printf("  (%s: %d jobs unmatchable)\n", scheme, unmatched)
+	}
+	return grid.Stats()
+}
+
+func main() {
+	fmt.Printf("mixed CPU/GPU workload: %d nodes, %d jobs, one every %.0fs\n\n", nodes, jobs, gapSecs)
+	fmt.Printf("%-10s %12s %12s %12s %14s\n", "scheme", "mean wait", "p90 wait", "p99 wait", "zero-wait")
+	for _, scheme := range []hetgrid.Scheme{hetgrid.SchemeCanHet, hetgrid.SchemeCanHom, hetgrid.SchemeCentral} {
+		st := runScheme(scheme)
+		fmt.Printf("%-10s %11.0fs %11.0fs %11.0fs %13.1f%%\n",
+			scheme, st.MeanWaitSec, st.P90WaitSec, st.P99WaitSec, 100*st.ZeroWaitShare)
+	}
+	fmt.Println("\nThe heterogeneity-aware scheme tracks the centralized matchmaker;")
+	fmt.Println("the GPU-blind baseline parks GPU jobs behind busy accelerators.")
+}

@@ -1,0 +1,3 @@
+module hetgrid
+
+go 1.22

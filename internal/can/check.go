@@ -1,0 +1,113 @@
+package can
+
+import "fmt"
+
+// Validate exhaustively checks the overlay's invariants. It is O(n²) and
+// intended for tests and debugging, not for use inside simulations:
+//
+//  1. Every leaf zone contains its owner's coordinate, and the leaf
+//     zones exactly partition each internal zone (and hence the space).
+//  2. The nodes map and the tree agree on membership and zones.
+//  3. The incrementally maintained adjacency equals the brute-force
+//     face-sharing relation.
+func (o *Overlay) Validate() error {
+	if o.root == nil {
+		if len(o.nodes) != 0 {
+			return fmt.Errorf("empty tree but %d nodes registered", len(o.nodes))
+		}
+		return nil
+	}
+
+	seen := make(map[NodeID]*Node)
+	var walk func(t *treeNode) error
+	walk = func(t *treeNode) error {
+		if !t.zone.Valid() {
+			return fmt.Errorf("invalid zone %v", t.zone)
+		}
+		if t.isLeaf() {
+			n := t.owner
+			if !n.Moved && !t.zone.Contains(n.Point) {
+				return fmt.Errorf("node %d: zone %v does not contain point %v", n.ID, t.zone, n.Point)
+			}
+			if n.Moved && t.zone.Contains(n.Point) {
+				return fmt.Errorf("node %d: marked moved but zone contains its point", n.ID)
+			}
+			if !n.Zone.Equal(t.zone) {
+				return fmt.Errorf("node %d: cached zone %v differs from tree zone %v", n.ID, n.Zone, t.zone)
+			}
+			if n.leaf != t {
+				return fmt.Errorf("node %d: stale leaf pointer", n.ID)
+			}
+			if seen[n.ID] != nil {
+				return fmt.Errorf("node %d owns two leaves", n.ID)
+			}
+			seen[n.ID] = n
+			return nil
+		}
+		lo, hi := t.zone.Split(t.dim, t.plane)
+		if !t.low.zone.Equal(lo) || !t.high.zone.Equal(hi) {
+			return fmt.Errorf("children zones do not partition parent %v at dim %d plane %v", t.zone, t.dim, t.plane)
+		}
+		if t.low.parent != t || t.high.parent != t {
+			return fmt.Errorf("broken parent pointers under zone %v", t.zone)
+		}
+		if err := walk(t.low); err != nil {
+			return err
+		}
+		return walk(t.high)
+	}
+	if err := walk(o.root); err != nil {
+		return err
+	}
+
+	if len(seen) != len(o.nodes) {
+		return fmt.Errorf("tree has %d owners, nodes map has %d", len(seen), len(o.nodes))
+	}
+	for id := range o.nodes {
+		if seen[id] == nil {
+			return fmt.Errorf("node %d registered but owns no leaf", id)
+		}
+	}
+
+	// Brute-force adjacency.
+	nodes := o.Nodes()
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			_, _, abuts := a.Zone.Abuts(b.Zone)
+			linked := o.IsNeighbor(a.ID, b.ID)
+			if abuts != linked {
+				return fmt.Errorf("nodes %d and %d: abuts=%v but linked=%v (zones %v / %v)",
+					a.ID, b.ID, abuts, linked, a.Zone, b.Zone)
+			}
+			if linked != o.IsNeighbor(b.ID, a.ID) {
+				return fmt.Errorf("asymmetric adjacency between %d and %d", a.ID, b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes overlay shape for diagnostics.
+type Stats struct {
+	Nodes         int
+	AvgNeighbors  float64
+	MaxNeighbors  int
+	Joins, Leaves int
+	TakeoverMoves int
+}
+
+// Stats returns current overlay statistics.
+func (o *Overlay) Stats() Stats {
+	s := Stats{Nodes: len(o.nodes), Joins: o.joins, Leaves: o.leaves, TakeoverMoves: o.takeoverMoves}
+	total := 0
+	for _, set := range o.neighbors {
+		total += len(set)
+		if len(set) > s.MaxNeighbors {
+			s.MaxNeighbors = len(set)
+		}
+	}
+	if len(o.nodes) > 0 {
+		s.AvgNeighbors = float64(total) / float64(len(o.nodes))
+	}
+	return s
+}

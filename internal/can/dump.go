@@ -1,0 +1,58 @@
+package can
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpTree writes the split tree in indented form: internal nodes show
+// the split dimension and plane, leaves show owner, zone volume and
+// neighbor count. Intended for debugging and the canviz tool.
+func (o *Overlay) DumpTree(w io.Writer) {
+	if o.root == nil {
+		fmt.Fprintln(w, "(empty overlay)")
+		return
+	}
+	o.dump(w, o.root, 0)
+}
+
+func (o *Overlay) dump(w io.Writer, t *treeNode, depth int) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	if t.isLeaf() {
+		n := t.owner
+		moved := ""
+		if n.Moved {
+			moved = " (moved)"
+		}
+		fmt.Fprintf(w, "%s- node %d%s vol=%.3g neighbors=%d\n",
+			indent, n.ID, moved, t.zone.Volume(), len(o.neighbors[n.ID]))
+		return
+	}
+	fmt.Fprintf(w, "%s+ split dim %d @ %.4f\n", indent, t.dim, t.plane)
+	o.dump(w, t.low, depth+1)
+	o.dump(w, t.high, depth+1)
+}
+
+// Depths returns the depth of every leaf, keyed by owner. The depth
+// distribution is the split-history length distribution, which bounds
+// per-node state a real node keeps for take-over.
+func (o *Overlay) Depths() map[NodeID]int {
+	out := make(map[NodeID]int, len(o.nodes))
+	var walk func(t *treeNode, d int)
+	walk = func(t *treeNode, d int) {
+		if t == nil {
+			return
+		}
+		if t.isLeaf() {
+			out[t.owner.ID] = d
+			return
+		}
+		walk(t.low, d+1)
+		walk(t.high, d+1)
+	}
+	walk(o.root, 0)
+	return out
+}

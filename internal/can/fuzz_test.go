@@ -1,0 +1,63 @@
+package can
+
+import (
+	"testing"
+
+	"hetgrid/internal/geom"
+)
+
+// FuzzChurnSequence drives the overlay with an arbitrary byte-encoded
+// sequence of joins and leaves and asserts the full invariant set after
+// the run. Each byte encodes one operation: high bit selects join vs
+// leave, low bits perturb coordinates / the victim index.
+func FuzzChurnSequence(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0x10, 0x91, 0x55})
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		const dims = 3
+		o := NewOverlay(dims)
+		var live []NodeID
+		seed := uint64(1)
+		next := func() float64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return float64(seed>>11) / float64(1<<53)
+		}
+		for _, op := range ops {
+			if op&0x80 == 0 || len(live) == 0 {
+				p := make(geom.Point, dims)
+				for i := range p {
+					p[i] = next() * 0.999
+				}
+				// Mix in the op byte for fuzz-directed coordinates.
+				p[int(op)%dims] = float64(op&0x7f) / 128
+				if n, err := o.Join(p, nil); err == nil {
+					live = append(live, n.ID)
+				}
+			} else {
+				idx := int(op&0x7f) % len(live)
+				id := live[idx]
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if _, err := o.Leave(id); err != nil {
+					t.Fatalf("leave(%d): %v", id, err)
+				}
+			}
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("invariants violated after churn: %v", err)
+		}
+		// Zones must cover the space exactly.
+		if o.Len() > 0 {
+			total := 0.0
+			for _, n := range o.Nodes() {
+				total += n.Zone.Volume()
+			}
+			if total < 0.999999 || total > 1.000001 {
+				t.Fatalf("coverage %v after churn", total)
+			}
+		}
+	})
+}

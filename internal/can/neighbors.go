@@ -1,0 +1,133 @@
+package can
+
+import "sort"
+
+// Two nodes are CAN neighbors when their zones share a (d-1)-dimensional
+// face. The overlay maintains this adjacency incrementally: a join only
+// affects the split zone's former neighborhood, and a leave only the
+// neighborhoods of the departing, taking-over and merging nodes. The
+// brute-force recomputation in check.go cross-validates the incremental
+// maintenance in tests.
+
+// NeighborIDs returns the IDs of node id's neighbors, sorted ascending.
+func (o *Overlay) NeighborIDs(id NodeID) []NodeID {
+	set := o.neighbors[id]
+	ids := make([]NodeID, 0, len(set))
+	for nb := range set {
+		ids = append(ids, nb)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Neighbors returns node id's neighbors, sorted by ID.
+func (o *Overlay) Neighbors(id NodeID) []*Node {
+	ids := o.NeighborIDs(id)
+	ns := make([]*Node, len(ids))
+	for i, nb := range ids {
+		ns[i] = o.nodes[nb]
+	}
+	return ns
+}
+
+// IsNeighbor reports whether a and b are currently neighbors.
+func (o *Overlay) IsNeighbor(a, b NodeID) bool {
+	_, ok := o.neighbors[a][b]
+	return ok
+}
+
+// AvgNeighbors returns the mean neighbor count over all live nodes.
+func (o *Overlay) AvgNeighbors() float64 {
+	if len(o.nodes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, set := range o.neighbors {
+		total += len(set)
+	}
+	return float64(total) / float64(len(o.nodes))
+}
+
+func (o *Overlay) link(a, b NodeID) {
+	o.neighbors[a][b] = struct{}{}
+	o.neighbors[b][a] = struct{}{}
+}
+
+func (o *Overlay) unlink(a, b NodeID) {
+	delete(o.neighbors[a], b)
+	delete(o.neighbors[b], a)
+}
+
+// rewireAfterJoin updates adjacency after owner's zone was split to
+// admit n. Any neighbor of either half abutted the original zone, so
+// owner's former neighborhood is a complete candidate set.
+func (o *Overlay) rewireAfterJoin(owner, n *Node) {
+	oldNbrs := make([]NodeID, 0, len(o.neighbors[owner.ID]))
+	for nb := range o.neighbors[owner.ID] {
+		oldNbrs = append(oldNbrs, nb)
+	}
+	for _, nbID := range oldNbrs {
+		nb := o.nodes[nbID]
+		if _, _, ok := owner.Zone.Abuts(nb.Zone); !ok {
+			o.unlink(owner.ID, nbID)
+		}
+		if _, _, ok := n.Zone.Abuts(nb.Zone); ok {
+			o.link(n.ID, nbID)
+		}
+	}
+	// The two halves always share the split-plane face.
+	o.link(owner.ID, n.ID)
+}
+
+// adjacencyFrontier captures, before a leave mutates the tree, every
+// node that could gain or lose an edge: the union of the neighborhoods
+// of the departing node, the taker and the merging partner. The taker's
+// new zone is the departing node's old zone, and the merged zone is the
+// union of two former sibling zones, so all new edges land inside this
+// set.
+func (o *Overlay) adjacencyFrontier(leaving *Node, plan TakeoverPlan) map[NodeID]struct{} {
+	set := make(map[NodeID]struct{})
+	add := func(id NodeID) {
+		for nb := range o.neighbors[id] {
+			set[nb] = struct{}{}
+		}
+		set[id] = struct{}{}
+	}
+	add(leaving.ID)
+	add(plan.Taker.ID)
+	if plan.Merged != nil {
+		add(plan.Merged.ID)
+	}
+	delete(set, leaving.ID)
+	return set
+}
+
+// rewireAfterLeave rebuilds the neighborhoods of the nodes whose zones
+// changed (the taker, and the merging partner if any) against the
+// pre-captured candidate frontier.
+func (o *Overlay) rewireAfterLeave(frontier map[NodeID]struct{}, plan TakeoverPlan) {
+	changed := []*Node{plan.Taker}
+	if plan.Merged != nil {
+		changed = append(changed, plan.Merged)
+	}
+	for _, x := range changed {
+		// Drop all of x's old edges; they will be rebuilt.
+		for nb := range o.neighbors[x.ID] {
+			o.unlink(x.ID, nb)
+		}
+	}
+	for _, x := range changed {
+		for cid := range frontier {
+			if cid == x.ID {
+				continue
+			}
+			c := o.nodes[cid]
+			if c == nil {
+				continue // the departed node itself
+			}
+			if _, _, ok := x.Zone.Abuts(c.Zone); ok {
+				o.link(x.ID, cid)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package can
+
+import (
+	"fmt"
+	"math"
+
+	"hetgrid/internal/geom"
+)
+
+// boundaryEps charges a tiny distance for sitting exactly on a zone's
+// high boundary. Zones are half-open, so a point with p[i] == Hi[i] is
+// not contained; without the epsilon such a point would be at distance
+// zero from zones that merely touch it, stalling greedy routing on the
+// plateau (job coordinates frequently coincide with split planes since
+// both come from the same discrete resource catalogs). With it,
+// distance zero holds exactly when the zone contains the point, and
+// each touching dimension resolved strictly decreases the distance.
+const boundaryEps = 1e-9
+
+// zoneDistance is the Euclidean distance from point p to the zone as a
+// half-open set: the per-dimension gap between p and z's extent,
+// squared and summed. Zero exactly when z contains p.
+func zoneDistance(z geom.Zone, p geom.Point) float64 {
+	sum := 0.0
+	for i := range p {
+		var gap float64
+		switch {
+		case p[i] < z.Lo[i]:
+			gap = z.Lo[i] - p[i]
+		case p[i] >= z.Hi[i]:
+			gap = p[i] - z.Hi[i] + boundaryEps
+		}
+		sum += gap * gap
+	}
+	return math.Sqrt(sum)
+}
+
+// Route performs greedy CAN routing from the node from toward the node
+// owning target: at each hop it forwards to the neighbor whose zone is
+// closest to the target (ties broken by lowest ID for determinism). It
+// returns the full path including both endpoints. Because zones
+// partition the space, greedy forwarding makes strict progress and
+// always terminates at the owner.
+func (o *Overlay) Route(from NodeID, target geom.Point) ([]*Node, error) {
+	cur := o.nodes[from]
+	if cur == nil {
+		return nil, fmt.Errorf("can: route from unknown node %d", from)
+	}
+	if len(target) != o.dims {
+		return nil, fmt.Errorf("can: target has %d dims, overlay has %d", len(target), o.dims)
+	}
+	path := []*Node{cur}
+	maxHops := 10*len(o.nodes) + 10
+	for !cur.Zone.Contains(target) {
+		curDist := zoneDistance(cur.Zone, target)
+		var next *Node
+		bestDist := math.Inf(1)
+		for _, nb := range o.Neighbors(cur.ID) {
+			if nb.Zone.Contains(target) {
+				next, bestDist = nb, 0
+				break
+			}
+			d := zoneDistance(nb.Zone, target)
+			if d < bestDist {
+				bestDist, next = d, nb
+			}
+		}
+		if next == nil || bestDist >= curDist {
+			return path, fmt.Errorf("can: routing stuck at node %d (dist %g): adjacency violated", cur.ID, curDist)
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > maxHops {
+			return path, fmt.Errorf("can: routing exceeded %d hops", maxHops)
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"fmt"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/sim"
+)
+
+// Config holds execution-model parameters.
+type Config struct {
+	// Gamma is the contention coefficient for non-dedicated CEs: a
+	// running job's rate is clock / (1 + Gamma·otherBusyCores/cores).
+	// Zero disables contention.
+	Gamma float64
+}
+
+// DefaultConfig returns the execution parameters used in the evaluation.
+func DefaultConfig() Config { return Config{Gamma: 0.3} }
+
+// Cluster owns the runtime state of every grid node and drives job
+// execution through the event engine.
+type Cluster struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[can.NodeID]*Runtime
+
+	// OnStart, when non-nil, is called as each job begins executing.
+	OnStart func(*Job)
+	// OnFinish, when non-nil, is called as each job completes.
+	OnFinish func(*Job)
+
+	submitted int
+	finished  int
+}
+
+// NewCluster creates an empty cluster on the engine.
+func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
+	return &Cluster{eng: eng, cfg: cfg, nodes: make(map[can.NodeID]*Runtime)}
+}
+
+// AddNode registers a node's capabilities. It panics on duplicate ids —
+// that is a programming error in the driver.
+func (c *Cluster) AddNode(id can.NodeID, caps *resource.NodeCaps) *Runtime {
+	if c.nodes[id] != nil {
+		panic(fmt.Sprintf("exec: duplicate node %d", id))
+	}
+	r := newRuntime(id, caps)
+	c.nodes[id] = r
+	return r
+}
+
+// Runtime returns the runtime state of a node, or nil.
+func (c *Cluster) Runtime(id can.NodeID) *Runtime { return c.nodes[id] }
+
+// Submitted and Finished report cluster-wide job counts.
+func (c *Cluster) Submitted() int { return c.submitted }
+
+// Finished reports how many jobs have completed.
+func (c *Cluster) Finished() int { return c.finished }
+
+// Submit places a job in the FIFO queue of its run node (the output of
+// matchmaking). The job may start immediately if the queue is empty and
+// its CEs are available.
+func (c *Cluster) Submit(j *Job, node can.NodeID) error {
+	r := c.nodes[node]
+	if r == nil {
+		return fmt.Errorf("exec: submit to unknown node %d", node)
+	}
+	if !resource.Satisfies(r.Caps, j.Req) {
+		return fmt.Errorf("exec: node %d cannot satisfy job %d", node, j.ID)
+	}
+	now := c.eng.Now()
+	j.State = Queued
+	j.RunNode = node
+	j.Placed = now
+	r.queue = append(r.queue, j)
+	c.submitted++
+	c.advance(r, now)
+	return nil
+}
+
+// rate computes a running job's current service rate (nominal seconds
+// of work per second) from its dominant CE on its run node.
+func (c *Cluster) rate(r *Runtime, j *Job) float64 {
+	ce := r.ces[j.Dominant]
+	if ce == nil {
+		// Dominant CE unspecified (pure disk/none job): run at nominal
+		// speed on the CPU.
+		ce = r.ces[resource.TypeCPU]
+	}
+	if ce.ce.Dedicated {
+		return ce.ce.Clock
+	}
+	others := ce.usedCor - j.Req.CoresOn(j.Dominant)
+	if others < 0 {
+		others = 0
+	}
+	slow := 1 + c.cfg.Gamma*float64(others)/float64(ce.ce.Cores)
+	return ce.ce.Clock / slow
+}
+
+// advance starts every queue-head job that can run, then refreshes the
+// rates and completion times of all running jobs on the node (their
+// contention may have changed).
+func (c *Cluster) advance(r *Runtime, now sim.Time) {
+	for len(r.queue) > 0 && r.canStart(r.queue[0].Req) {
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		r.occupy(j)
+		j.State = Running
+		j.Started = now
+		j.remaining = j.BaseDuration.Seconds()
+		j.rateSince = now
+		if c.OnStart != nil {
+			c.OnStart(j)
+		}
+	}
+	c.refreshRates(r, now)
+}
+
+// refreshRates recomputes every running job's rate and reschedules its
+// completion event. Jobs on dedicated CEs never change rate but are
+// cheap to refresh; nodes run at most a handful of jobs. Jobs are
+// processed in id order so event scheduling stays deterministic.
+func (c *Cluster) refreshRates(r *Runtime, now sim.Time) {
+	for _, j := range r.running() {
+		j.syncWork(now)
+		j.rate = c.rate(r, j)
+		c.eng.Cancel(j.completion)
+		left := sim.FromSeconds(j.remaining / j.rate)
+		job := j
+		j.completion = c.eng.After(left, func(t sim.Time) { c.finish(r, job, t) })
+	}
+}
+
+// RemoveNode withdraws a node from the cluster (a departure or failure
+// in the execution plane) and returns the jobs that were queued or
+// running there, with their completion events cancelled and their
+// state reset to Queued so the caller can re-match them elsewhere.
+// Running jobs lose their progress — a desktop grid restarts preempted
+// work from scratch.
+func (c *Cluster) RemoveNode(id can.NodeID) []*Job {
+	r := c.nodes[id]
+	if r == nil {
+		return nil
+	}
+	delete(c.nodes, id)
+	var orphans []*Job
+	for _, j := range r.running() {
+		c.eng.Cancel(j.completion)
+		r.release(j)
+		j.State = Queued
+		j.remaining = 0
+		j.rate = 0
+		orphans = append(orphans, j)
+	}
+	for _, j := range r.queue {
+		orphans = append(orphans, j)
+	}
+	r.queue = nil
+	c.submitted -= len(orphans) // re-submission will recount them
+	return orphans
+}
+
+func (c *Cluster) finish(r *Runtime, j *Job, now sim.Time) {
+	j.syncWork(now)
+	r.release(j)
+	r.done++
+	r.busyCoreSeconds += now.Sub(j.Started).Seconds() * float64(totalCores(j))
+	j.State = Finished
+	j.Finished_ = now
+	c.finished++
+	c.advance(r, now)
+	if c.OnFinish != nil {
+		c.OnFinish(j)
+	}
+}

@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"sort"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/resource"
+)
+
+// ceState tracks the live occupancy of one CE.
+type ceState struct {
+	ce      resource.CE
+	usedCor int // sum of required cores of running jobs using this CE
+	runJobs int // running jobs using this CE
+	runners map[JobID]*Job
+}
+
+func (c *ceState) freeCores() int { return c.ce.Cores - c.usedCor }
+
+// canHost reports whether a job needing cores on this CE could start
+// right now: a dedicated CE must be completely idle; a non-dedicated CE
+// needs enough free cores (jobs never share a core).
+func (c *ceState) canHost(cores int) bool {
+	if c.ce.Dedicated {
+		return c.runJobs == 0 && cores <= c.ce.Cores
+	}
+	return cores <= c.freeCores()
+}
+
+// Runtime is the execution state of one grid node: its FIFO queue and
+// the occupancy of each CE.
+type Runtime struct {
+	ID   can.NodeID
+	Caps *resource.NodeCaps
+
+	queue []*Job // strictly FIFO: only the head may start
+	ces   map[resource.CEType]*ceState
+	done  int
+	// busyCoreSeconds accumulates, over completed jobs, execution
+	// wall-time × cores occupied — the per-node work metric used by
+	// the load-imbalance statistics.
+	busyCoreSeconds float64
+}
+
+func newRuntime(id can.NodeID, caps *resource.NodeCaps) *Runtime {
+	r := &Runtime{ID: id, Caps: caps, ces: make(map[resource.CEType]*ceState)}
+	for _, ce := range caps.CEs {
+		r.ces[ce.Type] = &ceState{ce: ce, runners: make(map[JobID]*Job)}
+	}
+	return r
+}
+
+// QueueLen returns the number of jobs waiting in the FIFO queue.
+func (r *Runtime) QueueLen() int { return len(r.queue) }
+
+// RunningJobs returns the number of jobs currently executing. A job
+// using several CEs counts once.
+func (r *Runtime) RunningJobs() int { return len(r.running()) }
+
+// running returns the node's running jobs sorted by id.
+func (r *Runtime) running() []*Job {
+	set := make(map[JobID]*Job)
+	for _, c := range r.ces {
+		for id, j := range c.runners {
+			set[id] = j
+		}
+	}
+	out := make([]*Job, 0, len(set))
+	for _, j := range set {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FinishedJobs returns the number of jobs this node has completed.
+func (r *Runtime) FinishedJobs() int { return r.done }
+
+// BusyCoreSeconds returns the accumulated work this node has completed:
+// per finished job, execution wall-time times the cores it occupied.
+func (r *Runtime) BusyCoreSeconds() float64 { return r.busyCoreSeconds }
+
+// totalCores sums a job's core occupancy across its required CEs.
+func totalCores(j *Job) int {
+	n := 0
+	for _, t := range j.Req.Types() {
+		n += j.Req.CoresOn(t)
+	}
+	return n
+}
+
+// IsFree reports whether the node is a free-node in the paper's sense:
+// no running or waiting jobs at all, so any matching job starts
+// immediately.
+func (r *Runtime) IsFree() bool {
+	if len(r.queue) > 0 {
+		return false
+	}
+	for _, c := range r.ces {
+		if c.runJobs > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAcceptable reports whether a job with requirements req would start
+// without waiting if placed here now (Section III-B's acceptable node):
+// the node statically satisfies the job, its FIFO queue is empty, and
+// every required CE can host the job immediately.
+func (r *Runtime) IsAcceptable(req resource.JobReq) bool {
+	if len(r.queue) > 0 {
+		return false
+	}
+	if !resource.Satisfies(r.Caps, req) {
+		return false
+	}
+	return r.canStart(req)
+}
+
+// canStart checks CE availability only (queue discipline is the
+// caller's concern).
+func (r *Runtime) canStart(req resource.JobReq) bool {
+	for _, t := range req.Types() {
+		c := r.ces[t]
+		if c == nil || !c.canHost(req.CoresOn(t)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Score is the job-assignment score of Section III-B for dominant CE
+// type t: Equation 1 for dedicated CEs (queue size over clock),
+// Equation 2 for non-dedicated CEs (core utilization over clock). Lower
+// is better. Nodes lacking the CE type score +Inf-like.
+func (r *Runtime) Score(t resource.CEType) float64 {
+	c := r.ces[t]
+	if c == nil {
+		return 1e18
+	}
+	if c.ce.Dedicated {
+		return resource.ScoreDedicated(c.runJobs+r.queuedOn(t), c.ce.Clock)
+	}
+	return resource.ScoreNonDedicated(c.usedCor+r.queuedCoresOn(t), c.ce.Cores, c.ce.Clock)
+}
+
+// queuedOn counts waiting jobs that require CE type t.
+func (r *Runtime) queuedOn(t resource.CEType) int {
+	n := 0
+	for _, j := range r.queue {
+		if _, ok := j.Req.CE[t]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// queuedCoresOn sums the cores waiting jobs will occupy on CE type t.
+func (r *Runtime) queuedCoresOn(t resource.CEType) int {
+	n := 0
+	for _, j := range r.queue {
+		n += j.Req.CoresOn(t)
+	}
+	return n
+}
+
+// DemandOn returns the load-aggregation inputs for CE type t: the cores
+// required by running and waiting jobs (Equation 3's
+// SumOfRequiredCores) and the CE's core count. ok is false when the
+// node has no CE of that type.
+func (r *Runtime) DemandOn(t resource.CEType) (requiredCores, cores int, ok bool) {
+	c := r.ces[t]
+	if c == nil {
+		return 0, 0, false
+	}
+	return c.usedCor + r.queuedCoresOn(t), c.ce.Cores, true
+}
+
+// CE returns the capability record of the node's CE of type t, or nil.
+func (r *Runtime) CE(t resource.CEType) *resource.CE { return r.Caps.CE(t) }
+
+// occupy reserves CEs for a starting job.
+func (r *Runtime) occupy(j *Job) {
+	for _, t := range j.Req.Types() {
+		c := r.ces[t]
+		c.usedCor += j.Req.CoresOn(t)
+		c.runJobs++
+		c.runners[j.ID] = j
+	}
+}
+
+// release frees a running job's CEs (on completion or preemption).
+func (r *Runtime) release(j *Job) {
+	for _, t := range j.Req.Types() {
+		c := r.ces[t]
+		c.usedCor -= j.Req.CoresOn(t)
+		c.runJobs--
+		delete(c.runners, j.ID)
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hetgrid/internal/proto"
+	"hetgrid/internal/sim"
+	"hetgrid/internal/stats"
+)
+
+// Scale shrinks an experiment proportionally so the same code path
+// serves the paper-sized regeneration (Scale = 1), quick CLI runs and
+// the benchmark suite. Node counts, job counts and horizons multiply by
+// Scale; all parameters that shape the result (dimensions, ratios,
+// periods) stay fixed.
+type Scale float64
+
+func (s Scale) nodes(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 20 {
+		v = 20
+	}
+	return v
+}
+
+func (s Scale) jobs(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 200 {
+		v = 200
+	}
+	return v
+}
+
+func (s Scale) dur(d sim.Duration) sim.Duration {
+	v := sim.Duration(float64(d) * float64(s))
+	if v < sim.Minute {
+		v = sim.Minute
+	}
+	return v
+}
+
+// waitGrid is the X axis of Figures 5 and 6: job wait time from 0 to
+// 50000 s.
+func waitGrid() []float64 { return stats.Grid(50000, 10) }
+
+// Figure5 regenerates Figure 5: CDFs of job wait time for can-het,
+// can-hom and central, varying the mean job inter-arrival time (2 s,
+// 3 s, 4 s at full scale). Returns the per-subfigure results keyed in
+// presentation order.
+func Figure5(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
+	arrivals := []sim.Duration{2 * sim.Second, 3 * sim.Second, 4 * sim.Second}
+	var all [][]*LBResult
+	for i, ia := range arrivals {
+		// Shrinking the population while holding arrival rate constant
+		// would overload the grid; scale the arrival gap inversely.
+		scaledIA := sim.Duration(float64(ia) / float64(scale))
+		fmt.Fprintf(w, "Figure 5(%c): CDF of job wait time, inter-arrival %v s (scaled %v ms)\n",
+			'a'+i, ia.Seconds(), int64(scaledIA))
+		results, err := runLBSet(w, scale, seed, func(cfg *LBConfig) {
+			cfg.MeanInterArrival = scaledIA
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, results)
+		fmt.Fprintln(w)
+	}
+	return all, nil
+}
+
+// Figure6 regenerates Figure 6: CDFs of job wait time varying the job
+// constraint ratio (80%, 60%, 40%) at the 3 s inter-arrival point.
+func Figure6(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
+	ratios := []float64{0.8, 0.6, 0.4}
+	var all [][]*LBResult
+	for i, q := range ratios {
+		fmt.Fprintf(w, "Figure 6(%c): CDF of job wait time, job constraint ratio %.0f%%\n", 'a'+i, q*100)
+		results, err := runLBSet(w, scale, seed, func(cfg *LBConfig) {
+			cfg.ConstraintRatio = q
+			cfg.MeanInterArrival = sim.Duration(float64(3*sim.Second) / float64(scale))
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, results)
+		fmt.Fprintln(w)
+	}
+	return all, nil
+}
+
+// runLBSet runs the three schemes on one configuration and prints the
+// wait-time CDF table (percent of jobs with wait ≤ x, the paper's Y
+// axis starting at 80%).
+func runLBSet(w io.Writer, scale Scale, seed int64, tweak func(*LBConfig)) ([]*LBResult, error) {
+	grid := waitGrid()
+	tab := stats.NewTable(append([]string{"wait<=s"}, schemeNames()...)...)
+	var results []*LBResult
+	series := make([][]float64, 0, len(LBSchemes))
+	for _, scheme := range LBSchemes {
+		cfg := DefaultLBConfig(scheme)
+		cfg.Nodes = scale.nodes(cfg.Nodes)
+		cfg.Jobs = scale.jobs(cfg.Jobs)
+		cfg.Seed = seed
+		tweak(&cfg)
+		res, err := RunLoadBalance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		series = append(series, res.WaitTimes.CDFSeries(grid))
+	}
+	for gi, x := range grid {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.0f", x))
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.2f%%", s[gi]))
+		}
+		tab.AddRow(row...)
+	}
+	tab.Fprint(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "# %-8s mean=%.0fs p90=%.0fs p99=%.0fs max=%.0fs placed=%d failed=%d gini=%.3f\n",
+			r.Config.Scheme, r.WaitTimes.Mean(), r.WaitTimes.Quantile(0.9),
+			r.WaitTimes.Quantile(0.99), r.WaitTimes.Max(), r.Placed, r.Failed,
+			r.Imbalance.Gini)
+	}
+	return results, nil
+}
+
+func schemeNames() []string {
+	out := make([]string, len(LBSchemes))
+	for i, s := range LBSchemes {
+		out[i] = string(s)
+	}
+	return out
+}
+
+// Figure7 regenerates Figure 7: broken links over time under high churn
+// in the 11-dimensional CAN, for the three heartbeat schemes.
+func Figure7(w io.Writer, scale Scale, seed int64) ([]*ResilienceResult, error) {
+	fmt.Fprintln(w, "Figure 7: broken links over time under high churn (11-dim CAN)")
+	var results []*ResilienceResult
+	for _, scheme := range MaintSchemes {
+		cfg := DefaultResilienceConfig(scheme)
+		cfg.Nodes = scale.nodes(cfg.Nodes)
+		cfg.Horizon = scale.dur(cfg.Horizon)
+		cfg.SampleEvery = scale.dur(cfg.SampleEvery)
+		cfg.Seed = seed
+		results = append(results, RunResilience(cfg))
+	}
+	tab := stats.NewTable("time(s)", "vanilla", "compact", "adaptive")
+	n := len(results[0].Samples)
+	for i := 0; i < n; i++ {
+		row := []any{fmt.Sprintf("%.0f", results[0].Samples[i].At.Seconds())}
+		for _, r := range results {
+			if i < len(r.Samples) {
+				row = append(row, r.Samples[i].Missing)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tab.AddRow(row...)
+	}
+	tab.Fprint(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "# %-8s mean broken=%.1f (joins=%d leaves=%d fails=%d)\n",
+			r.Config.Scheme, r.MeanBroken(), r.Joins, r.Leaves, r.Fails)
+	}
+	return results, nil
+}
+
+// Figure8Dims and Figure8Nodes are the paper's sweep axes.
+var (
+	Figure8Dims  = []int{5, 8, 11, 14}
+	Figure8Nodes = []int{500, 1000, 2000}
+)
+
+// Figure8 regenerates Figure 8: average heartbeat cost per node per
+// minute versus CAN dimensionality, for each scheme and population
+// size. Sub-figure (a) is message count, (b) is message volume in KB.
+func Figure8(w io.Writer, scale Scale, seed int64) (map[string]*ScalabilityResult, error) {
+	type cell struct {
+		scheme proto.Scheme
+		nodes  int
+		dims   int
+	}
+	var cells []cell
+	for _, scheme := range MaintSchemes {
+		for _, nodes := range Figure8Nodes {
+			for _, dims := range Figure8Dims {
+				cells = append(cells, cell{scheme, nodes, dims})
+			}
+		}
+	}
+	// The 36 cells are independent simulations: fan out over all cores.
+	runs := ParallelMap(len(cells), 0, func(i int) *ScalabilityResult {
+		c := cells[i]
+		cfg := DefaultScalabilityConfig(c.scheme, c.dims, scale.nodes(c.nodes))
+		cfg.Warmup = scale.dur(cfg.Warmup)
+		cfg.Measure = scale.dur(cfg.Measure)
+		cfg.Seed = seed
+		return RunScalability(cfg)
+	})
+	results := make(map[string]*ScalabilityResult, len(cells))
+	for i, c := range cells {
+		results[fig8Key(c.scheme, c.nodes, c.dims)] = runs[i]
+	}
+	for _, sub := range []struct {
+		title string
+		pick  func(*ScalabilityResult) float64
+	}{
+		{"Figure 8(a): messages per node per minute", func(r *ScalabilityResult) float64 { return r.MsgsPerNodeMin }},
+		{"Figure 8(b): message volume per node per minute (KB)", func(r *ScalabilityResult) float64 { return r.KBytesPerNodeMin }},
+	} {
+		fmt.Fprintln(w, sub.title)
+		headers := []string{"dims"}
+		for _, scheme := range MaintSchemes {
+			for _, nodes := range Figure8Nodes {
+				headers = append(headers, fmt.Sprintf("%s-%d", scheme, nodes))
+			}
+		}
+		tab := stats.NewTable(headers...)
+		for _, dims := range Figure8Dims {
+			row := []any{dims}
+			for _, scheme := range MaintSchemes {
+				for _, nodes := range Figure8Nodes {
+					row = append(row, fmt.Sprintf("%.1f", sub.pick(results[fig8Key(scheme, nodes, dims)])))
+				}
+			}
+			tab.AddRow(row...)
+		}
+		tab.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	return results, nil
+}
+
+func fig8Key(scheme proto.Scheme, nodes, dims int) string {
+	return fmt.Sprintf("%s-%d-%d", scheme, nodes, dims)
+}

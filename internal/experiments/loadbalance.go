@@ -1,0 +1,199 @@
+// Package experiments contains one driver per figure in the paper's
+// evaluation (Section V): the load-balancing comparisons of Figures 5
+// and 6, the failure-resilience run of Figure 7, and the scalability
+// sweep of Figure 8. Each driver returns structured results plus a
+// plain-text rendering of the same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sched"
+	"hetgrid/internal/sim"
+	"hetgrid/internal/stats"
+	"hetgrid/internal/workload"
+)
+
+// SchemeName selects a matchmaking scheme for load-balancing runs.
+type SchemeName string
+
+// The three matchmakers compared in Figures 5 and 6.
+const (
+	CanHet  SchemeName = "can-het"
+	CanHom  SchemeName = "can-hom"
+	Central SchemeName = "central"
+)
+
+// LBSchemes lists the schemes in the order the figures present them.
+var LBSchemes = []SchemeName{CanHet, CanHom, Central}
+
+// LBConfig parameterizes one load-balancing simulation.
+type LBConfig struct {
+	Scheme           SchemeName
+	Nodes            int
+	Jobs             int
+	GPUSlots         int // 2 → the 11-dimensional CAN of the evaluation
+	MeanInterArrival sim.Duration
+	ConstraintRatio  float64
+	GPUJobFraction   float64
+	StoppingFactor   float64
+	Gamma            float64
+	RefreshPeriod    sim.Duration
+	Seed             int64
+	// DisableVirtualSpread disables the virtual dimension's random job
+	// coordinate (ablation): jobs then route with virtual coordinate 0.
+	DisableVirtualSpread bool
+	// ConcurrentGPUs generates accelerators that run multiple
+	// simultaneous jobs — the paper's anticipated future GPUs — instead
+	// of dedicated ones (extension experiment).
+	ConcurrentGPUs bool
+}
+
+// DefaultLBConfig returns the evaluation's setup: 1000 nodes, 20000
+// jobs, 11-dimensional CAN, constraint ratio 0.8, 3 s inter-arrival.
+func DefaultLBConfig(scheme SchemeName) LBConfig {
+	return LBConfig{
+		Scheme:           scheme,
+		Nodes:            1000,
+		Jobs:             20000,
+		GPUSlots:         2,
+		MeanInterArrival: 3 * sim.Second,
+		ConstraintRatio:  0.8,
+		GPUJobFraction:   0.4,
+		StoppingFactor:   2,
+		Gamma:            0.3,
+		RefreshPeriod:    60 * sim.Second,
+		Seed:             1,
+	}
+}
+
+// LBResult holds the outcome of one load-balancing run.
+type LBResult struct {
+	Config    LBConfig
+	WaitTimes *stats.Sample // seconds, one per completed job
+	Placed    int
+	Failed    int // jobs no node could satisfy
+	Makespan  sim.Duration
+	Sched     sched.Stats
+	// Imbalance summarizes how evenly completed work (busy
+	// core-seconds) spread across nodes.
+	Imbalance Imbalance
+}
+
+// Imbalance captures load-distribution quality across nodes.
+type Imbalance struct {
+	Gini        float64 // 0 = even, →1 = concentrated
+	CV          float64 // coefficient of variation
+	MaxOverMean float64 // classic imbalance factor (1 = even)
+}
+
+// RunLoadBalance executes one configuration to completion: it builds
+// the grid, streams the job arrivals through the chosen matchmaker, and
+// runs until every placed job has finished.
+func RunLoadBalance(cfg LBConfig) (*LBResult, error) {
+	eng := sim.New()
+	space := resource.NewSpace(cfg.GPUSlots)
+	ov := can.NewOverlay(space.Dims())
+	cluster := exec.NewCluster(eng, exec.Config{Gamma: cfg.Gamma})
+
+	// Population.
+	ngen := workload.NewNodeGen(space, rng.Split(cfg.Seed, "nodes"))
+	ngen.ConcurrentGPUs = cfg.ConcurrentGPUs
+	redraw := rng.NewSplit(cfg.Seed, "virtual-redraw")
+	for i := 0; i < cfg.Nodes; i++ {
+		caps := ngen.One()
+		var node *can.Node
+		var err error
+		for try := 0; ; try++ {
+			node, err = ov.Join(space.NodePoint(caps), caps)
+			if err == nil {
+				break
+			}
+			if try >= 8 {
+				return nil, fmt.Errorf("experiments: join node %d: %w", i, err)
+			}
+			caps.Virtual = redraw.Float64() * 0.999999
+		}
+		cluster.AddNode(node.ID, caps)
+	}
+
+	// Scheduler.
+	ctx := sched.NewContext(eng, ov, cluster, space, cfg.Seed)
+	ctx.StoppingFactor = cfg.StoppingFactor
+	ctx.RefreshPeriod = cfg.RefreshPeriod
+	ctx.DisableVirtualSpread = cfg.DisableVirtualSpread
+	var scheduler sched.Scheduler
+	switch cfg.Scheme {
+	case CanHet:
+		scheduler = sched.NewCanHet(ctx)
+	case CanHom:
+		scheduler = sched.NewCanHom(ctx)
+	case Central:
+		scheduler = sched.NewCentral(ctx)
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", cfg.Scheme)
+	}
+
+	// Job stream.
+	jgen := workload.NewJobGen(space, rng.Split(cfg.Seed, "jobs"))
+	jgen.ConstraintRatio = cfg.ConstraintRatio
+	jgen.MeanInterArrival = cfg.MeanInterArrival
+	jgen.GPUJobFraction = cfg.GPUJobFraction
+
+	res := &LBResult{Config: cfg, WaitTimes: &stats.Sample{}}
+	remaining := cfg.Jobs
+	var arrive func(now sim.Time)
+	arrive = func(now sim.Time) {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		j, gap := jgen.Next()
+		j.Submitted = now
+		node, err := scheduler.Place(j)
+		if err != nil {
+			res.Failed++
+		} else if err := cluster.Submit(j, node); err != nil {
+			res.Failed++
+		} else {
+			res.Placed++
+		}
+		if remaining > 0 {
+			eng.After(gap, arrive)
+		}
+	}
+	cluster.OnFinish = func(j *exec.Job) {
+		res.WaitTimes.Add(j.WaitTime().Seconds())
+	}
+	eng.At(0, arrive)
+	eng.Run()
+
+	res.Makespan = sim.Duration(eng.Now())
+	var work []float64
+	for _, n := range ov.Nodes() {
+		if rt := cluster.Runtime(n.ID); rt != nil {
+			work = append(work, rt.BusyCoreSeconds())
+		}
+	}
+	res.Imbalance = Imbalance{
+		Gini:        stats.Gini(work),
+		CV:          stats.CoefficientOfVariation(work),
+		MaxOverMean: stats.MaxOverMean(work),
+	}
+	switch s := scheduler.(type) {
+	case *sched.CanHet:
+		res.Sched = s.Stats
+	case *sched.CanHom:
+		res.Sched = s.Stats
+	case *sched.Central:
+		res.Sched = s.Stats
+	}
+	if res.WaitTimes.N() != res.Placed {
+		return nil, fmt.Errorf("experiments: %d jobs placed but %d finished", res.Placed, res.WaitTimes.N())
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetgrid/internal/proto"
+	"hetgrid/internal/sim"
+)
+
+// MaintSchemes lists the heartbeat schemes in figure order.
+var MaintSchemes = []proto.Scheme{proto.Vanilla, proto.Compact, proto.Adaptive}
+
+// ResilienceConfig parameterizes the Figure 7 run: broken links over
+// time under high churn (events faster than the heartbeat period).
+type ResilienceConfig struct {
+	Scheme          proto.Scheme
+	Nodes           int
+	Dims            int
+	HeartbeatPeriod sim.Duration
+	// MeanEventGap controls churn intensity; the high-churn regime uses
+	// a gap well under the heartbeat period.
+	MeanEventGap sim.Duration
+	FailFraction float64
+	// Horizon is how long to run after the initial joins.
+	Horizon sim.Duration
+	// SampleEvery sets the broken-link sampling cadence.
+	SampleEvery sim.Duration
+	Seed        int64
+}
+
+// DefaultResilienceConfig mirrors the paper's Figure 7 setup: the
+// 11-dimensional CAN with 1000 nodes under high churn, run past 30000
+// simulated seconds.
+func DefaultResilienceConfig(scheme proto.Scheme) ResilienceConfig {
+	return ResilienceConfig{
+		Scheme:          scheme,
+		Nodes:           1000,
+		Dims:            11,
+		HeartbeatPeriod: 60 * sim.Second,
+		MeanEventGap:    15 * sim.Second,
+		FailFraction:    0.5,
+		Horizon:         30000 * sim.Second,
+		SampleEvery:     500 * sim.Second,
+		Seed:            1,
+	}
+}
+
+// ResilienceResult is one Figure 7 series.
+type ResilienceResult struct {
+	Config  ResilienceConfig
+	Samples []proto.SamplePoint
+	Joins   int
+	Leaves  int
+	Fails   int
+}
+
+// MeanBroken returns the time-averaged missing-link count over the
+// sampled run.
+func (r *ResilienceResult) MeanBroken() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range r.Samples {
+		sum += float64(s.Missing)
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// RunResilience executes one Figure 7 configuration.
+func RunResilience(cfg ResilienceConfig) *ResilienceResult {
+	pcfg := proto.DefaultConfig(cfg.Scheme)
+	pcfg.HeartbeatPeriod = cfg.HeartbeatPeriod
+	pcfg.Seed = cfg.Seed
+	s := proto.NewSim(cfg.Dims, pcfg)
+
+	cc := proto.DefaultChurnConfig(cfg.Nodes, cfg.MeanEventGap)
+	cc.FailFraction = cfg.FailFraction
+	cc.Seed = cfg.Seed
+	d := proto.NewChurnDriver(s, cc)
+	d.Start()
+
+	res := &ResilienceResult{Config: cfg}
+	proto.SampleBrokenLinks(s, d.ChurnStart, cfg.SampleEvery, &res.Samples)
+	s.Eng.RunUntil(d.ChurnStart.Add(cfg.Horizon))
+	res.Joins, res.Leaves, res.Fails = d.Joins, d.Leaves, d.Fails
+	return res
+}
+
+// ScalabilityConfig parameterizes one cell of the Figure 8 sweep:
+// steady-state maintenance cost for a scheme × dimension × population.
+type ScalabilityConfig struct {
+	Scheme          proto.Scheme
+	Nodes           int
+	Dims            int
+	HeartbeatPeriod sim.Duration
+	// MeanEventGap drives the equilibrium join/leave process during the
+	// measurement (the paper's second stage).
+	MeanEventGap sim.Duration
+	FailFraction float64
+	// Warmup runs after the initial joins before measuring; Measure is
+	// the measurement window length.
+	Warmup  sim.Duration
+	Measure sim.Duration
+	// MaxPerFace overrides the protocol's tracked-neighbor bound when
+	// positive; negative disables the bound (full adjacency tracking);
+	// zero keeps the default.
+	MaxPerFace int
+	Seed       int64
+}
+
+// DefaultScalabilityConfig returns one Figure 8 cell.
+func DefaultScalabilityConfig(scheme proto.Scheme, dims, nodes int) ScalabilityConfig {
+	return ScalabilityConfig{
+		Scheme:          scheme,
+		Nodes:           nodes,
+		Dims:            dims,
+		HeartbeatPeriod: 60 * sim.Second,
+		MeanEventGap:    90 * sim.Second,
+		FailFraction:    0.5,
+		Warmup:          5 * 60 * sim.Second,
+		Measure:         20 * 60 * sim.Second,
+		Seed:            1,
+	}
+}
+
+// ScalabilityResult is one Figure 8 cell: average messages and volume
+// per node per minute.
+type ScalabilityResult struct {
+	Config           ScalabilityConfig
+	MsgsPerNodeMin   float64
+	KBytesPerNodeMin float64
+	AvgNeighbors     float64
+}
+
+// RunScalability executes one Figure 8 cell.
+func RunScalability(cfg ScalabilityConfig) *ScalabilityResult {
+	pcfg := proto.DefaultConfig(cfg.Scheme)
+	pcfg.HeartbeatPeriod = cfg.HeartbeatPeriod
+	if cfg.MaxPerFace > 0 {
+		pcfg.MaxPerFace = cfg.MaxPerFace
+	} else if cfg.MaxPerFace < 0 {
+		pcfg.MaxPerFace = 0
+	}
+	pcfg.Seed = cfg.Seed
+	s := proto.NewSim(cfg.Dims, pcfg)
+
+	cc := proto.DefaultChurnConfig(cfg.Nodes, cfg.MeanEventGap)
+	cc.FailFraction = cfg.FailFraction
+	cc.Seed = cfg.Seed
+	d := proto.NewChurnDriver(s, cc)
+	d.Start()
+
+	s.Eng.RunUntil(d.ChurnStart.Add(cfg.Warmup))
+	s.Net.ResetWindow()
+	start := s.Eng.Now()
+	s.Eng.RunUntil(start.Add(cfg.Measure))
+
+	w := s.Net.Window()
+	minutes := cfg.Measure.Minutes()
+	nodes := float64(s.AliveHosts())
+	res := &ScalabilityResult{Config: cfg, AvgNeighbors: s.Ov.AvgNeighbors()}
+	if nodes > 0 && minutes > 0 {
+		res.MsgsPerNodeMin = float64(w.MsgsSent) / nodes / minutes
+		res.KBytesPerNodeMin = float64(w.BytesSent) / 1024 / nodes / minutes
+	}
+	return res
+}
+
+func (r *ScalabilityResult) String() string {
+	return fmt.Sprintf("%s d=%d n=%d: %.1f msgs/node/min, %.1f KB/node/min",
+		r.Config.Scheme, r.Config.Dims, r.Config.Nodes, r.MsgsPerNodeMin, r.KBytesPerNodeMin)
+}

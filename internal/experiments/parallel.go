@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"hetgrid/internal/stats"
+)
+
+// Each simulation is single-threaded for determinism, but independent
+// runs parallelize perfectly. ParallelMap fans a set of configurations
+// out over a worker pool and collects results in input order, so sweeps
+// (Figure 8's 36 cells, the ablation grids, seed replications) use all
+// cores while producing byte-identical output.
+
+// ParallelMap runs f over every index in [0, n) using up to workers
+// goroutines (NumCPU when workers ≤ 0) and returns the results in input
+// order.
+func ParallelMap[T any](n, workers int, f func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Replication summarizes one metric across seed replicas.
+type Replication struct {
+	Seeds  []int64
+	Means  []float64 // per-seed metric values
+	Mean   float64   // grand mean
+	StdDev float64   // sample standard deviation across seeds
+}
+
+// ReplicateLB runs the same load-balancing configuration under n
+// consecutive seeds in parallel and summarizes the metric extracted by
+// pick (for example, mean wait time).
+func ReplicateLB(cfg LBConfig, n int, pick func(*LBResult) float64) (Replication, error) {
+	type outcome struct {
+		v   float64
+		err error
+	}
+	results := ParallelMap(n, 0, func(i int) outcome {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := RunLoadBalance(c)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{v: pick(res)}
+	})
+	rep := Replication{}
+	var sample stats.Sample
+	for i, r := range results {
+		if r.err != nil {
+			return Replication{}, r.err
+		}
+		rep.Seeds = append(rep.Seeds, cfg.Seed+int64(i))
+		rep.Means = append(rep.Means, r.v)
+		sample.Add(r.v)
+	}
+	rep.Mean = sample.Mean()
+	rep.StdDev = stddev(rep.Means, rep.Mean)
+	return rep, nil
+}
+
+func stddev(vs []float64, mean float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(vs)-1))
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+func TestParallelMapPreservesOrder(t *testing.T) {
+	got := ParallelMap(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapRunsAll(t *testing.T) {
+	var count int64
+	ParallelMap(250, 0, func(i int) struct{} {
+		atomic.AddInt64(&count, 1)
+		return struct{}{}
+	})
+	if count != 250 {
+		t.Fatalf("ran %d of 250", count)
+	}
+}
+
+func TestParallelMapEmptyAndSingle(t *testing.T) {
+	if out := ParallelMap(0, 4, func(int) int { return 1 }); len(out) != 0 {
+		t.Fatal("empty map produced output")
+	}
+	if out := ParallelMap(1, 4, func(int) int { return 7 }); out[0] != 7 {
+		t.Fatal("single-element map wrong")
+	}
+}
+
+func TestParallelMapMatchesSerial(t *testing.T) {
+	serial := ParallelMap(20, 1, func(i int) int { return 3*i + 1 })
+	parallel := ParallelMap(20, 6, func(i int) int { return 3*i + 1 })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatal("parallel result differs from serial")
+		}
+	}
+}
+
+func TestReplicateLB(t *testing.T) {
+	cfg := DefaultLBConfig(CanHet)
+	cfg.Nodes = 60
+	cfg.Jobs = 300
+	cfg.MeanInterArrival = 30 * sim.Second
+	cfg.Seed = 10
+	rep, err := ReplicateLB(cfg, 4, func(r *LBResult) float64 { return r.WaitTimes.Mean() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Means) != 4 || len(rep.Seeds) != 4 {
+		t.Fatalf("replication shape: %+v", rep)
+	}
+	if rep.Seeds[0] != 10 || rep.Seeds[3] != 13 {
+		t.Fatalf("seeds: %v", rep.Seeds)
+	}
+	if rep.StdDev < 0 {
+		t.Fatal("negative stddev")
+	}
+	// Different seeds should give (slightly) different means.
+	same := true
+	for _, m := range rep.Means[1:] {
+		if m != rep.Means[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("all replicas identical across seeds; seeding broken")
+	}
+	// The grand mean is the mean of the per-seed means.
+	sum := 0.0
+	for _, m := range rep.Means {
+		sum += m
+	}
+	if diff := rep.Mean - sum/4; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("grand mean mismatch: %v vs %v", rep.Mean, sum/4)
+	}
+}
+
+func TestReplicateLBPropagatesErrors(t *testing.T) {
+	cfg := DefaultLBConfig("bogus")
+	cfg.Nodes = 30
+	cfg.Jobs = 200
+	if _, err := ReplicateLB(cfg, 2, func(r *LBResult) float64 { return 0 }); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if stddev([]float64{5}, 5) != 0 {
+		t.Fatal("single-value stddev should be 0")
+	}
+	got := stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}, 5)
+	// Sample stddev of this classic set is ≈2.138.
+	if got < 2.13 || got > 2.15 {
+		t.Fatalf("stddev = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import "testing"
+
+// FuzzSplitMerge checks that splitting any zone at any interior plane
+// and merging the halves reproduces the original zone, and that the
+// halves abut exactly once.
+func FuzzSplitMerge(f *testing.F) {
+	f.Add(0.3, 0.7, uint8(0), 0.5)
+	f.Add(0.0, 1.0, uint8(1), 0.25)
+	f.Add(0.1, 0.9, uint8(2), 0.8)
+	f.Fuzz(func(t *testing.T, lo, hi float64, dimRaw uint8, frac float64) {
+		if !(lo >= 0 && lo < hi && hi <= 1) || frac <= 0 || frac >= 1 {
+			t.Skip()
+		}
+		const d = 3
+		z := UnitZone(d)
+		dim := int(dimRaw) % d
+		z.Lo[dim], z.Hi[dim] = lo, hi
+		plane := lo + frac*(hi-lo)
+		if !(lo < plane && plane < hi) {
+			t.Skip() // rounding degeneracy
+		}
+		low, high := z.Split(dim, plane)
+		if !low.Valid() || !high.Valid() {
+			t.Fatalf("invalid halves: %v / %v", low, high)
+		}
+		gotDim, dir, ok := low.Abuts(high)
+		if !ok || gotDim != dim || dir != +1 {
+			t.Fatalf("halves do not abut along the split dim: %d %d %v", gotDim, dir, ok)
+		}
+		m, ok := low.Merge(high)
+		if !ok || !m.Equal(z) {
+			t.Fatalf("merge did not reproduce the zone: %v vs %v", m, z)
+		}
+		// Containment is exclusive between the halves.
+		p := z.Center()
+		if low.Contains(p) == high.Contains(p) {
+			t.Fatalf("center contained by both or neither half")
+		}
+	})
+}
+
+// FuzzAbutsSymmetry checks that abutment detection is symmetric with
+// mirrored direction and never reports self-abutment.
+func FuzzAbutsSymmetry(f *testing.F) {
+	f.Add(0.0, 0.5, 0.5, 1.0, 0.0, 1.0, 0.0, 1.0)
+	f.Add(0.2, 0.4, 0.4, 0.9, 0.1, 0.5, 0.3, 0.8)
+	f.Fuzz(func(t *testing.T, alo0, ahi0, blo0, bhi0, alo1, ahi1, blo1, bhi1 float64) {
+		ok := func(lo, hi float64) bool { return lo >= 0 && lo < hi && hi <= 1 }
+		if !ok(alo0, ahi0) || !ok(blo0, bhi0) || !ok(alo1, ahi1) || !ok(blo1, bhi1) {
+			t.Skip()
+		}
+		a := Zone{Lo: Point{alo0, alo1}, Hi: Point{ahi0, ahi1}}
+		b := Zone{Lo: Point{blo0, blo1}, Hi: Point{bhi0, bhi1}}
+		dimAB, dirAB, okAB := a.Abuts(b)
+		dimBA, dirBA, okBA := b.Abuts(a)
+		if okAB != okBA {
+			t.Fatalf("asymmetric abutment: %v vs %v", okAB, okBA)
+		}
+		if okAB && (dimAB != dimBA || dirAB != -dirBA) {
+			t.Fatalf("mirrored result wrong: (%d,%d) vs (%d,%d)", dimAB, dirAB, dimBA, dirBA)
+		}
+		if _, _, self := a.Abuts(a); self {
+			t.Fatal("zone abuts itself")
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package geom provides points and axis-aligned hyper-rectangular zones
+// in the d-dimensional CAN coordinate space.
+//
+// The CAN space is the half-open unit hypercube [0,1)^d. A zone is a
+// half-open box [Lo, Hi) per dimension; half-open intervals make zone
+// unions exact: splitting a zone at a plane yields two zones whose union
+// is the original and whose intersection is empty.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a location in the d-dimensional CAN space. Coordinates lie in
+// [0, 1).
+type Point []float64
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point { return append(Point(nil), p...) }
+
+// Dims returns the dimensionality of p.
+func (p Point) Dims() int { return len(p) }
+
+// Equal reports whether p and q are identical.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether p ≥ q component-wise. In the CAN a node at p
+// satisfies a job at q exactly when p dominates q (the node offers at
+// least the required amount of every resource).
+func (p Point) Dominates(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] < q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Point) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("%.4f", v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Zone is a half-open axis-aligned box: dimension i spans [Lo[i], Hi[i]).
+type Zone struct {
+	Lo, Hi Point
+}
+
+// UnitZone returns the whole space [0,1)^d.
+func UnitZone(d int) Zone {
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return Zone{Lo: lo, Hi: hi}
+}
+
+// Clone returns a deep copy of z.
+func (z Zone) Clone() Zone { return Zone{Lo: z.Lo.Clone(), Hi: z.Hi.Clone()} }
+
+// Dims returns the dimensionality of z.
+func (z Zone) Dims() int { return len(z.Lo) }
+
+// Valid reports whether z has matching dimensions and positive extent in
+// every dimension.
+func (z Zone) Valid() bool {
+	if len(z.Lo) == 0 || len(z.Lo) != len(z.Hi) {
+		return false
+	}
+	for i := range z.Lo {
+		if !(z.Lo[i] < z.Hi[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether p lies inside z (half-open test).
+func (z Zone) Contains(p Point) bool {
+	if len(p) != len(z.Lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether z and w cover exactly the same box.
+func (z Zone) Equal(w Zone) bool { return z.Lo.Equal(w.Lo) && z.Hi.Equal(w.Hi) }
+
+// Width returns the extent of z along dimension dim.
+func (z Zone) Width(dim int) float64 { return z.Hi[dim] - z.Lo[dim] }
+
+// Volume returns the product of widths over all dimensions.
+func (z Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.Lo {
+		v *= z.Width(i)
+	}
+	return v
+}
+
+// Center returns the midpoint of z.
+func (z Zone) Center() Point {
+	c := make(Point, len(z.Lo))
+	for i := range c {
+		c[i] = (z.Lo[i] + z.Hi[i]) / 2
+	}
+	return c
+}
+
+// Split cuts z at plane along dimension dim and returns the low and high
+// halves. It panics if the plane does not lie strictly inside the zone's
+// extent in that dimension, which would produce an empty zone.
+func (z Zone) Split(dim int, plane float64) (low, high Zone) {
+	if dim < 0 || dim >= len(z.Lo) {
+		panic(fmt.Sprintf("geom: split dimension %d out of range for %d dims", dim, len(z.Lo)))
+	}
+	if !(z.Lo[dim] < plane && plane < z.Hi[dim]) {
+		panic(fmt.Sprintf("geom: split plane %v outside zone extent [%v,%v)", plane, z.Lo[dim], z.Hi[dim]))
+	}
+	low = z.Clone()
+	high = z.Clone()
+	low.Hi[dim] = plane
+	high.Lo[dim] = plane
+	return low, high
+}
+
+// Merge returns the union of z and w when they are siblings: identical
+// in every dimension except one, where they share a face. ok is false
+// when the union is not a box.
+func (z Zone) Merge(w Zone) (Zone, bool) {
+	if len(z.Lo) != len(w.Lo) {
+		return Zone{}, false
+	}
+	diff := -1
+	for i := range z.Lo {
+		if z.Lo[i] == w.Lo[i] && z.Hi[i] == w.Hi[i] {
+			continue
+		}
+		if diff >= 0 {
+			return Zone{}, false
+		}
+		diff = i
+	}
+	if diff < 0 {
+		return Zone{}, false // identical zones: nothing to merge
+	}
+	m := z.Clone()
+	switch {
+	case z.Hi[diff] == w.Lo[diff]:
+		m.Hi[diff] = w.Hi[diff]
+	case w.Hi[diff] == z.Lo[diff]:
+		m.Lo[diff] = w.Lo[diff]
+	default:
+		return Zone{}, false
+	}
+	return m, true
+}
+
+// Overlaps reports whether z and w share interior volume.
+func (z Zone) Overlaps(w Zone) bool {
+	if len(z.Lo) != len(w.Lo) {
+		return false
+	}
+	for i := range z.Lo {
+		if z.Hi[i] <= w.Lo[i] || w.Hi[i] <= z.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Abuts reports whether z and w are CAN neighbors: they share a
+// (d-1)-dimensional face, i.e. they touch along exactly one dimension
+// and overlap with positive extent in every other dimension. If so, dim
+// is the touching dimension and dir is +1 when w lies on z's high side,
+// -1 when on the low side.
+func (z Zone) Abuts(w Zone) (dim, dir int, ok bool) {
+	if len(z.Lo) != len(w.Lo) {
+		return 0, 0, false
+	}
+	dim, dir = -1, 0
+	for i := range z.Lo {
+		switch {
+		case z.Hi[i] == w.Lo[i]:
+			if dim >= 0 {
+				return 0, 0, false // touches along two dimensions: corner contact
+			}
+			dim, dir = i, +1
+		case w.Hi[i] == z.Lo[i]:
+			if dim >= 0 {
+				return 0, 0, false
+			}
+			dim, dir = i, -1
+		case z.Hi[i] <= w.Lo[i] || w.Hi[i] <= z.Lo[i]:
+			return 0, 0, false // disjoint with a gap in dimension i
+		}
+	}
+	if dim < 0 {
+		return 0, 0, false // overlapping zones are not neighbors
+	}
+	// Every non-touching dimension reached neither equality nor the gap
+	// case, so z.Hi > w.Lo and w.Hi > z.Lo there: the shared face has
+	// positive (d-1)-dimensional extent by construction.
+	return dim, dir, true
+}
+
+// FaceOverlap returns the (d-1)-dimensional measure of the shared face
+// between z and w along dimension dim, assuming they abut along dim. It
+// is 0 when they do not overlap in some other dimension.
+func (z Zone) FaceOverlap(w Zone, dim int) float64 {
+	area := 1.0
+	for i := range z.Lo {
+		if i == dim {
+			continue
+		}
+		ext := math.Min(z.Hi[i], w.Hi[i]) - math.Max(z.Lo[i], w.Lo[i])
+		if ext <= 0 {
+			return 0
+		}
+		area *= ext
+	}
+	return area
+}
+
+// FaceArea returns the (d-1)-dimensional measure of z's face orthogonal
+// to dim.
+func (z Zone) FaceArea(dim int) float64 {
+	area := 1.0
+	for i := range z.Lo {
+		if i == dim {
+			continue
+		}
+		area *= z.Width(i)
+	}
+	return area
+}
+
+func (z Zone) String() string {
+	return fmt.Sprintf("[%v .. %v)", z.Lo, z.Hi)
+}

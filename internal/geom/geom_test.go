@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pt(vs ...float64) Point { return Point(vs) }
+
+func TestPointDominates(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{pt(0.5, 0.5), pt(0.5, 0.5), true},
+		{pt(0.6, 0.5), pt(0.5, 0.5), true},
+		{pt(0.4, 0.9), pt(0.5, 0.5), false},
+		{pt(0.5), pt(0.5, 0.5), false}, // dimension mismatch
+	}
+	for i, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("case %d: Dominates = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPointCloneIndependent(t *testing.T) {
+	p := pt(0.1, 0.2)
+	q := p.Clone()
+	q[0] = 0.9
+	if p[0] != 0.1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestUnitZone(t *testing.T) {
+	z := UnitZone(3)
+	if !z.Valid() || z.Dims() != 3 || z.Volume() != 1 {
+		t.Fatalf("UnitZone(3) = %v", z)
+	}
+	if !z.Contains(pt(0, 0, 0)) {
+		t.Fatal("unit zone must contain the origin")
+	}
+	if z.Contains(pt(1, 0, 0)) {
+		t.Fatal("unit zone is half-open: must not contain coordinate 1")
+	}
+	if !z.Contains(pt(0.999999, 0.5, 0)) {
+		t.Fatal("unit zone must contain points just under 1")
+	}
+}
+
+func TestSplitPartitionsZone(t *testing.T) {
+	z := UnitZone(2)
+	lo, hi := z.Split(0, 0.3)
+	if lo.Hi[0] != 0.3 || hi.Lo[0] != 0.3 {
+		t.Fatalf("split halves wrong: %v / %v", lo, hi)
+	}
+	if v := lo.Volume() + hi.Volume(); v != 1 {
+		t.Fatalf("split volumes sum to %v, want 1", v)
+	}
+	if !lo.Contains(pt(0.29, 0.5)) || lo.Contains(pt(0.3, 0.5)) {
+		t.Fatal("half-open boundary wrong on low half")
+	}
+	if !hi.Contains(pt(0.3, 0.5)) {
+		t.Fatal("high half must contain the plane")
+	}
+}
+
+func TestSplitPanicsOutsideExtent(t *testing.T) {
+	z := UnitZone(2)
+	for _, plane := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split at %v did not panic", plane)
+				}
+			}()
+			z.Split(0, plane)
+		}()
+	}
+}
+
+func TestSplitPanicsBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split with bad dim did not panic")
+		}
+	}()
+	UnitZone(2).Split(2, 0.5)
+}
+
+func TestMergeRoundTrip(t *testing.T) {
+	z := UnitZone(3)
+	lo, hi := z.Split(1, 0.4)
+	m, ok := lo.Merge(hi)
+	if !ok || !m.Equal(z) {
+		t.Fatalf("Merge(lo,hi) = %v, %v; want original zone", m, ok)
+	}
+	m2, ok2 := hi.Merge(lo)
+	if !ok2 || !m2.Equal(z) {
+		t.Fatalf("Merge is not symmetric: %v, %v", m2, ok2)
+	}
+}
+
+func TestMergeRejectsNonSiblings(t *testing.T) {
+	z := UnitZone(2)
+	lo, hi := z.Split(0, 0.5)
+	loA, _ := lo.Split(1, 0.5)
+	if _, ok := loA.Merge(hi); ok {
+		t.Fatal("merged zones that do not form a box")
+	}
+	// Disjoint, non-touching zones.
+	a := Zone{Lo: pt(0, 0), Hi: pt(0.2, 0.2)}
+	b := Zone{Lo: pt(0.5, 0.5), Hi: pt(0.7, 0.7)}
+	if _, ok := a.Merge(b); ok {
+		t.Fatal("merged disjoint zones")
+	}
+	// Identical zones.
+	if _, ok := a.Merge(a); ok {
+		t.Fatal("merged identical zones")
+	}
+}
+
+func TestAbuts(t *testing.T) {
+	//  A | B   over [0,1)²: A=[0,.5)x[0,1), B=[.5,1)x[0,1)
+	a := Zone{Lo: pt(0, 0), Hi: pt(0.5, 1)}
+	b := Zone{Lo: pt(0.5, 0), Hi: pt(1, 1)}
+	dim, dir, ok := a.Abuts(b)
+	if !ok || dim != 0 || dir != +1 {
+		t.Fatalf("Abuts(a,b) = %d,%d,%v; want 0,+1,true", dim, dir, ok)
+	}
+	dim, dir, ok = b.Abuts(a)
+	if !ok || dim != 0 || dir != -1 {
+		t.Fatalf("Abuts(b,a) = %d,%d,%v; want 0,-1,true", dim, dir, ok)
+	}
+}
+
+func TestAbutsRejectsCornerContact(t *testing.T) {
+	a := Zone{Lo: pt(0, 0), Hi: pt(0.5, 0.5)}
+	b := Zone{Lo: pt(0.5, 0.5), Hi: pt(1, 1)}
+	if _, _, ok := a.Abuts(b); ok {
+		t.Fatal("corner contact must not count as abutment")
+	}
+}
+
+func TestAbutsRejectsEdgeOnlyContactIn3D(t *testing.T) {
+	// Two boxes in 3D sharing only a 1-dimensional edge.
+	a := Zone{Lo: pt(0, 0, 0), Hi: pt(0.5, 0.5, 1)}
+	b := Zone{Lo: pt(0.5, 0.5, 0), Hi: pt(1, 1, 1)}
+	if _, _, ok := a.Abuts(b); ok {
+		t.Fatal("edge contact must not count as abutment")
+	}
+}
+
+func TestAbutsRejectsOverlapsAndGaps(t *testing.T) {
+	a := Zone{Lo: pt(0, 0), Hi: pt(0.6, 1)}
+	b := Zone{Lo: pt(0.5, 0), Hi: pt(1, 1)} // overlaps a
+	if _, _, ok := a.Abuts(b); ok {
+		t.Fatal("overlapping zones must not abut")
+	}
+	c := Zone{Lo: pt(0.7, 0), Hi: pt(1, 1)} // gap from a
+	if _, _, ok := a.Abuts(c); ok {
+		t.Fatal("separated zones must not abut")
+	}
+}
+
+func TestAbutsPartialFace(t *testing.T) {
+	a := Zone{Lo: pt(0, 0), Hi: pt(0.5, 1)}
+	b := Zone{Lo: pt(0.5, 0.25), Hi: pt(1, 0.75)}
+	dim, dir, ok := a.Abuts(b)
+	if !ok || dim != 0 || dir != +1 {
+		t.Fatalf("partial-face abutment not detected: %d,%d,%v", dim, dir, ok)
+	}
+	if got := a.FaceOverlap(b, 0); got != 0.5 {
+		t.Fatalf("FaceOverlap = %v, want 0.5", got)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Zone{Lo: pt(0, 0), Hi: pt(0.5, 0.5)}
+	b := Zone{Lo: pt(0.4, 0.4), Hi: pt(1, 1)}
+	c := Zone{Lo: pt(0.5, 0), Hi: pt(1, 0.5)}
+	if !a.Overlaps(b) {
+		t.Fatal("overlapping zones not detected")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("face-touching zones must not overlap (half-open)")
+	}
+}
+
+func TestFaceArea(t *testing.T) {
+	z := Zone{Lo: pt(0, 0, 0), Hi: pt(0.5, 0.25, 1)}
+	if got := z.FaceArea(0); got != 0.25 {
+		t.Fatalf("FaceArea(0) = %v, want 0.25", got)
+	}
+	if got := z.FaceArea(2); got != 0.125 {
+		t.Fatalf("FaceArea(2) = %v, want 0.125", got)
+	}
+}
+
+func TestCenterInsideZone(t *testing.T) {
+	z := Zone{Lo: pt(0.2, 0.4), Hi: pt(0.6, 0.5)}
+	c := z.Center()
+	if !z.Contains(c) {
+		t.Fatalf("center %v outside zone %v", c, z)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if (Zone{}).Valid() {
+		t.Fatal("zero zone must be invalid")
+	}
+	if (Zone{Lo: pt(0, 0), Hi: pt(0, 1)}).Valid() {
+		t.Fatal("zero-extent zone must be invalid")
+	}
+	if (Zone{Lo: pt(0), Hi: pt(1, 1)}).Valid() {
+		t.Fatal("mismatched dims must be invalid")
+	}
+}
+
+// Property: splitting any zone at any interior plane yields two valid
+// zones that abut along the split dimension, merge back to the original,
+// and partition its volume.
+func TestSplitMergeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(rawDim uint8, rawPlane uint16) bool {
+		d := 2 + int(rawDim)%5
+		z := UnitZone(d)
+		// Shrink to a random sub-zone to test non-unit extents.
+		for i := 0; i < d; i++ {
+			lo := r.Float64() * 0.4
+			hi := 0.6 + r.Float64()*0.4
+			z.Lo[i], z.Hi[i] = lo, hi
+		}
+		dim := int(rawDim) % d
+		frac := 0.001 + (float64(rawPlane)/65535.0)*0.998
+		plane := z.Lo[dim] + frac*z.Width(dim)
+		if !(z.Lo[dim] < plane && plane < z.Hi[dim]) {
+			return true // degenerate rounding; skip
+		}
+		lo, hi := z.Split(dim, plane)
+		if !lo.Valid() || !hi.Valid() {
+			return false
+		}
+		gotDim, dir, ok := lo.Abuts(hi)
+		if !ok || gotDim != dim || dir != +1 {
+			return false
+		}
+		m, ok := lo.Merge(hi)
+		if !ok || !m.Equal(z) {
+			return false
+		}
+		return abs(lo.Volume()+hi.Volume()-z.Volume()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

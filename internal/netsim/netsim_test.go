@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/sim"
+)
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 100*sim.Millisecond)
+	var deliveredAt sim.Time = -1
+	eng.At(1000, func(sim.Time) {
+		n.Send(1, 2, 64, func(now sim.Time) { deliveredAt = now })
+	})
+	eng.Run()
+	if deliveredAt != 1100 {
+		t.Fatalf("delivered at %d, want 1100", deliveredAt)
+	}
+	if n.Latency() != 100*sim.Millisecond {
+		t.Fatal("latency accessor wrong")
+	}
+}
+
+func TestCountersSplitSendReceive(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 10)
+	n.Send(1, 2, 100, func(sim.Time) {})
+	// Before delivery: sent counted, received not.
+	tot := n.Total()
+	if tot.MsgsSent != 1 || tot.BytesSent != 100 {
+		t.Fatalf("sent counters: %+v", tot)
+	}
+	if tot.MsgsRecv != 0 {
+		t.Fatal("receive counted before delivery")
+	}
+	eng.Run()
+	tot = n.Total()
+	if tot.MsgsRecv != 1 || tot.BytesRecv != 100 {
+		t.Fatalf("recv counters after delivery: %+v", tot)
+	}
+}
+
+func TestPerNodeCounters(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 1)
+	n.Send(1, 2, 10, func(sim.Time) {})
+	n.Send(1, 3, 20, func(sim.Time) {})
+	n.Send(2, 1, 5, func(sim.Time) {})
+	eng.Run()
+	if c := n.Node(1); c.MsgsSent != 2 || c.BytesSent != 30 || c.MsgsRecv != 1 || c.BytesRecv != 5 {
+		t.Fatalf("node 1 counters: %+v", c)
+	}
+	if c := n.Node(99); c != (Counters{}) {
+		t.Fatal("unknown node should have zero counters")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 1)
+	n.Send(1, 2, 10, func(sim.Time) {})
+	eng.Run()
+	if n.Window().MsgsSent != 1 {
+		t.Fatal("window missing traffic")
+	}
+	n.ResetWindow()
+	if n.Window() != (Counters{}) {
+		t.Fatal("window not zeroed")
+	}
+	n.Send(1, 2, 10, func(sim.Time) {})
+	eng.Run()
+	if n.Window().MsgsSent != 1 || n.Total().MsgsSent != 2 {
+		t.Fatal("window/total divergence after reset")
+	}
+}
+
+func TestUndeliverableDropped(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 1)
+	alive := map[can.NodeID]bool{2: true}
+	n.SetDeliverable(func(dst can.NodeID) bool { return alive[dst] })
+	delivered := 0
+	n.Send(1, 2, 10, func(sim.Time) { delivered++ })
+	n.Send(1, 3, 10, func(sim.Time) { delivered++ }) // 3 is dead
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	// Sends are counted even when the destination is gone (the sender
+	// paid the cost); receives only on delivery.
+	tot := n.Total()
+	if tot.MsgsSent != 2 || tot.MsgsRecv != 1 {
+		t.Fatalf("counters: %+v", tot)
+	}
+}
+
+func TestDeathInFlight(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 100)
+	alive := true
+	n.SetDeliverable(func(can.NodeID) bool { return alive })
+	delivered := false
+	n.Send(1, 2, 10, func(sim.Time) { delivered = true })
+	eng.At(50, func(sim.Time) { alive = false }) // dies mid-flight
+	eng.Run()
+	if delivered {
+		t.Fatal("message delivered to a node that died in flight")
+	}
+}

@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"hetgrid/internal/geom"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sim"
+)
+
+// ChurnConfig drives the membership scenario of Section V-B: n nodes
+// join sequentially, then join and leave events occur with equal
+// probability so the population hovers around n. The gap between events
+// relative to the heartbeat period selects the regime: gaps longer than
+// a period mean no simultaneous events (no lasting broken links); gaps
+// shorter than a period are the high-churn regime of Figure 7.
+type ChurnConfig struct {
+	InitialNodes int
+	// JoinGap spaces the initial sequential joins.
+	JoinGap sim.Duration
+	// MeanEventGap is the mean of the exponential gap between churn
+	// events after the initial stage. Zero disables churn.
+	MeanEventGap sim.Duration
+	// MinEventGap floors the gap between events. The paper's
+	// no-simultaneous-events regime needs gaps longer than the full
+	// repair transient (heartbeat timeout plus announcement
+	// propagation), not merely a long mean: an exponential gap puts
+	// substantial mass near zero.
+	MinEventGap sim.Duration
+	// FailFraction is the fraction of departures that are silent
+	// failures rather than graceful leaves.
+	FailFraction float64
+	// MinNodes guards the population floor: below it every event is a
+	// join.
+	MinNodes int
+	Seed     int64
+}
+
+// DefaultChurnConfig returns a scenario with n initial nodes and the
+// given mean event gap.
+func DefaultChurnConfig(n int, gap sim.Duration) ChurnConfig {
+	return ChurnConfig{
+		InitialNodes: n,
+		JoinGap:      500 * sim.Millisecond,
+		MeanEventGap: gap,
+		FailFraction: 0.5,
+		MinNodes:     8,
+		Seed:         1,
+	}
+}
+
+// ChurnDriver injects joins, voluntary leaves and failures into a
+// protocol simulation.
+type ChurnDriver struct {
+	s       *Sim
+	cfg     ChurnConfig
+	points  *rng.Stream
+	events  *rng.Stream
+	stopped bool
+
+	// ChurnStart is the time the initial joins complete and random
+	// churn begins.
+	ChurnStart sim.Time
+	Joins      int
+	Leaves     int
+	Fails      int
+}
+
+// NewChurnDriver prepares a driver; Start schedules its events.
+func NewChurnDriver(s *Sim, cfg ChurnConfig) *ChurnDriver {
+	return &ChurnDriver{
+		s:      s,
+		cfg:    cfg,
+		points: rng.NewSplit(cfg.Seed, "churn.points"),
+		events: rng.NewSplit(cfg.Seed, "churn.events"),
+	}
+}
+
+// Start schedules the initial sequential joins and, if MeanEventGap is
+// positive, the subsequent churn process.
+func (d *ChurnDriver) Start() {
+	for i := 0; i < d.cfg.InitialNodes; i++ {
+		at := sim.Time(int64(i) * int64(d.cfg.JoinGap))
+		d.s.Eng.At(at, func(sim.Time) { d.join() })
+	}
+	d.ChurnStart = sim.Time(int64(d.cfg.InitialNodes) * int64(d.cfg.JoinGap))
+	if d.cfg.MeanEventGap > 0 {
+		d.s.Eng.At(d.ChurnStart, d.churnEvent)
+	}
+}
+
+// Stop halts further churn events (already scheduled protocol activity
+// continues).
+func (d *ChurnDriver) Stop() { d.stopped = true }
+
+func (d *ChurnDriver) randomPoint() geom.Point {
+	p := make(geom.Point, d.s.Ov.Dims())
+	for i := range p {
+		p[i] = d.points.Float64() * 0.999999
+	}
+	return p
+}
+
+func (d *ChurnDriver) join() {
+	for try := 0; try < 4; try++ {
+		if _, err := d.s.Join(d.randomPoint()); err == nil {
+			d.Joins++
+			return
+		}
+	}
+}
+
+func (d *ChurnDriver) depart() {
+	ids := d.s.hostIDs()
+	if len(ids) == 0 {
+		return
+	}
+	id := ids[d.events.Intn(len(ids))]
+	if d.events.Bool(d.cfg.FailFraction) {
+		if d.s.Fail(id) == nil {
+			d.Fails++
+		}
+	} else {
+		if d.s.LeaveVoluntary(id) == nil {
+			d.Leaves++
+		}
+	}
+}
+
+func (d *ChurnDriver) churnEvent(sim.Time) {
+	if d.stopped {
+		return
+	}
+	if d.s.AliveHosts() <= d.cfg.MinNodes || d.events.Bool(0.5) {
+		d.join()
+	} else {
+		d.depart()
+	}
+	gap := sim.FromSeconds(d.events.Exp(d.cfg.MeanEventGap.Seconds()))
+	if gap < d.cfg.MinEventGap {
+		gap = d.cfg.MinEventGap
+	}
+	if gap < sim.Millisecond {
+		gap = sim.Millisecond
+	}
+	d.s.Eng.After(gap, d.churnEvent)
+}
+
+// SamplePoint is one broken-link measurement.
+type SamplePoint struct {
+	At      sim.Time
+	Missing int
+	Stale   int
+	Nodes   int
+}
+
+// SampleBrokenLinks installs a periodic oracle measurement from start
+// until the engine stops, appending to the returned slice.
+func SampleBrokenLinks(s *Sim, start sim.Time, every sim.Duration, out *[]SamplePoint) {
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		missing, stale := s.BrokenLinks()
+		*out = append(*out, SamplePoint{At: now, Missing: missing, Stale: stale, Nodes: s.AliveHosts()})
+		s.Eng.After(every, tick)
+	}
+	s.Eng.At(start, tick)
+}

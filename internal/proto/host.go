@@ -1,0 +1,275 @@
+package proto
+
+import (
+	"hetgrid/internal/can"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/sim"
+)
+
+// Host is the protocol state machine of one live node. It owns the
+// node's believed zone, its neighbor view, and the retained copies of
+// neighbors' tables used for take-over notification.
+type Host struct {
+	id   can.NodeID
+	zone geom.Zone // the zone this node believes it owns
+	view *view
+	s    *Sim
+
+	// lastTables holds the most recent full neighbor table received
+	// from each node. Under Vanilla every heartbeat refreshes these;
+	// under Compact/Adaptive only full messages addressed to this node
+	// as a take-over target (or full-update replies) do.
+	lastTables map[can.NodeID]*savedTable
+
+	lastRequest sim.Time // last adaptive full-update request
+	tick        sim.EventID
+	alive       bool
+}
+
+func newHost(s *Sim, id can.NodeID, zone geom.Zone) *Host {
+	return &Host{
+		id:          id,
+		zone:        zone.Clone(),
+		view:        newView(),
+		s:           s,
+		lastTables:  make(map[can.NodeID]*savedTable),
+		lastRequest: -1 << 60,
+		alive:       true,
+	}
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() can.NodeID { return h.id }
+
+// Zone returns the zone the host believes it owns.
+func (h *Host) Zone() geom.Zone { return h.zone }
+
+// Knows reports whether the host's view contains the given node.
+func (h *Host) Knows(id can.NodeID) bool { return h.view.has(id) }
+
+// ViewSize returns the number of believed neighbors.
+func (h *Host) ViewSize() int { return len(h.view.entries) }
+
+// selfRecord is the record the host advertises about itself.
+func (h *Host) selfRecord() Record { return Record{ID: h.id, Zone: h.zone.Clone()} }
+
+// scheduleFirstTick starts the heartbeat loop with a random phase in
+// [0, period) so the population's heartbeats interleave.
+func (h *Host) scheduleFirstTick(phase sim.Duration) {
+	h.tick = h.s.Eng.After(phase, h.onTick)
+}
+
+func (h *Host) onTick(now sim.Time) {
+	if !h.alive {
+		return
+	}
+	cfg := &h.s.Cfg
+
+	// 1. Expire neighbors that have gone silent. A silent disappearance
+	// (no take-over announcement explained it) is itself a broken-link
+	// signal for the adaptive scheme.
+	passiveDeadline := now - sim.Time(cfg.passiveTTL())
+	if cfg.PassiveTTLPeriods <= 0 {
+		passiveDeadline = -1 << 60 // no passive expiry
+	}
+	expired := h.view.expire(now-sim.Time(cfg.timeout()), passiveDeadline, now.Add(cfg.tombstoneTTL()))
+	// Retained third-party tables from senders we no longer hear are
+	// equally stale; prune them on the same horizon.
+	for id, st := range h.lastTables {
+		if st.at < passiveDeadline {
+			delete(h.lastTables, id)
+		}
+	}
+
+	// 2. Send heartbeats to the tracked neighbor set: the per-face
+	// top-overlap abutters plus reciprocal links (anyone who recently
+	// heartbeated us). Under bounded tracking this is what keeps both
+	// the send list and the advertised table O(d).
+	takerID := can.NodeID(-1)
+	if plan, ok := h.s.Ov.Takeover(h.id); ok {
+		takerID = plan.Taker.ID
+	}
+	d := h.s.Ov.Dims()
+	self := h.selfRecord()
+	ranked := h.view.ranked(h.zone, cfg.MaxPerFace)
+	h.view.markRanked(ranked)
+	rankedSet := make(map[can.NodeID]bool, len(ranked))
+	for _, id := range ranked {
+		rankedSet[id] = true
+	}
+	reciprocalSince := now - sim.Time(float64(cfg.HeartbeatPeriod)*1.5)
+	targets := unionIDs(ranked, h.view.reciprocals(reciprocalSince))
+	table := h.view.recordsOf(targets)
+
+	switch cfg.Scheme {
+	case Vanilla:
+		for _, nb := range targets {
+			h.s.sendFull(h.id, nb, self, table, rankedSet[nb])
+		}
+	case Compact, Adaptive:
+		sentToTaker := false
+		for _, nb := range targets {
+			if nb == takerID {
+				h.s.sendFull(h.id, nb, self, table, rankedSet[nb])
+				sentToTaker = true
+			} else {
+				h.s.sendCompact(h.id, nb, self, d, rankedSet[nb])
+			}
+		}
+		// The take-over node is determined by split history and is
+		// normally a neighbor; when take-over duty has migrated deeper
+		// into the sibling subtree it may not be, and the full update
+		// is sent as an extra message.
+		if !sentToTaker && takerID >= 0 {
+			h.s.sendFull(h.id, takerID, self, table, rankedSet[takerID])
+		}
+	}
+
+	// 3. Adaptive broken-link detection: if a face of our zone has lost
+	// its known abutters (or, under unbounded tracking, is not fully
+	// covered), ask everyone (including the take-over target, our one
+	// guaranteed contact) for their tables.
+	if cfg.Scheme == Adaptive &&
+		now.Sub(h.lastRequest) >= cfg.requestMinGap() &&
+		(len(expired) > 0 || h.detectBrokenLink()) {
+		h.lastRequest = now
+		asked := false
+		for _, nb := range targets {
+			h.s.sendRequest(h.id, nb, self)
+			if nb == takerID {
+				asked = true
+			}
+		}
+		if !asked && takerID >= 0 {
+			h.s.sendRequest(h.id, takerID, self)
+		}
+	}
+
+	// 4. Next round.
+	h.tick = h.s.Eng.After(cfg.HeartbeatPeriod, h.onTick)
+}
+
+// detectBrokenLink is the adaptive scheme's local test: under bounded
+// tracking, some inner face with no known abutter; under unbounded
+// tracking, some inner face not fully covered by known zones.
+func (h *Host) detectBrokenLink() bool {
+	if h.s.Cfg.MaxPerFace > 0 {
+		return h.view.emptyFace(h.zone)
+	}
+	return h.view.uncoveredFace(h.zone)
+}
+
+// graceTime is the liveness credit granted to indirectly learned
+// entries: half a timeout from now, so they expire soon unless the node
+// confirms itself directly.
+func (h *Host) graceTime(now sim.Time) sim.Time {
+	return now - sim.Time(h.s.Cfg.timeout()/2)
+}
+
+// receiveFull handles a heartbeat (or full-update reply) carrying the
+// sender's complete table. ranked reports whether the sender declared
+// that it ranks this node in its bounded tracked set.
+func (h *Host) receiveFull(now sim.Time, from Record, table []Record, ranked bool) {
+	if !h.alive {
+		return
+	}
+	// Direct evidence about the sender.
+	h.integrateSender(now, from)
+	if ranked {
+		h.view.rankedBy(from.ID, now)
+	}
+	// Retain the table for take-over duty.
+	h.lastTables[from.ID] = &savedTable{zone: from.Zone.Clone(), recs: table, at: now}
+	// Redundant neighbor information repairs broken links (Figure 2):
+	// any record whose zone abuts ours is a neighbor we may be missing.
+	// Records already in the view with an unchanged zone need no
+	// geometry test — this is the steady-state fast path.
+	for _, rec := range table {
+		if rec.ID == h.id {
+			continue
+		}
+		if e := h.view.entries[rec.ID]; e != nil && e.rec.Zone.Equal(rec.Zone) {
+			continue
+		}
+		if _, _, ok := h.zone.Abuts(rec.Zone); ok {
+			h.view.indirect(rec, now, h.graceTime(now))
+		}
+	}
+}
+
+// receiveCompact handles a compact heartbeat: sender record plus
+// aggregated load only.
+func (h *Host) receiveCompact(now sim.Time, from Record, ranked bool) {
+	if !h.alive {
+		return
+	}
+	h.integrateSender(now, from)
+	if ranked {
+		h.view.rankedBy(from.ID, now)
+	}
+}
+
+// integrateSender applies first-hand evidence about a message's sender.
+func (h *Host) integrateSender(now sim.Time, from Record) {
+	if _, _, ok := h.zone.Abuts(from.Zone); ok {
+		h.view.direct(from, now)
+	} else if h.view.has(from.ID) {
+		// The sender's zone no longer touches ours: drop it.
+		h.view.remove(from.ID)
+	}
+}
+
+// receiveAnnounce handles a take-over or join announcement: gone (if
+// ≥ 0) has departed and owner now covers the affected region.
+func (h *Host) receiveAnnounce(now sim.Time, gone can.NodeID, owner Record) {
+	if !h.alive {
+		return
+	}
+	if gone >= 0 {
+		h.view.bury(gone, now.Add(h.s.Cfg.tombstoneTTL()))
+		delete(h.lastTables, gone)
+	}
+	if owner.ID == h.id {
+		return
+	}
+	if _, _, ok := h.zone.Abuts(owner.Zone); ok {
+		h.view.direct(owner, now)
+	} else if h.view.has(owner.ID) {
+		h.view.remove(owner.ID)
+	}
+}
+
+// receiveRequest answers an adaptive full-update request with this
+// host's complete table.
+func (h *Host) receiveRequest(now sim.Time, from Record) {
+	if !h.alive {
+		return
+	}
+	h.integrateSender(now, from)
+	h.s.sendFull(h.id, from.ID, h.selfRecord(), h.view.records(), false)
+}
+
+// adoptZone switches the host to a new zone (join split, take-over or
+// merge) and filters the view down to records that still abut it.
+func (h *Host) adoptZone(z geom.Zone) {
+	h.zone = z.Clone()
+	for _, id := range h.view.ids() {
+		e := h.view.entries[id]
+		if _, _, ok := h.zone.Abuts(e.rec.Zone); !ok {
+			h.view.remove(id)
+		}
+	}
+}
+
+// absorb merges foreign records (for example a departed neighbor's
+// table) into the view, keeping those that abut the current zone.
+func (h *Host) absorb(now sim.Time, recs []Record) {
+	for _, rec := range recs {
+		if rec.ID == h.id {
+			continue
+		}
+		if _, _, ok := h.zone.Abuts(rec.Zone); ok {
+			h.view.indirect(rec, now, h.graceTime(now))
+		}
+	}
+}

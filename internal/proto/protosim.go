@@ -1,0 +1,365 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/netsim"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sim"
+)
+
+// Sim couples the ground-truth overlay with per-node protocol hosts and
+// a simulated network. Drivers call Join, LeaveVoluntary and Fail to
+// generate churn; the protocol machinery (heartbeats, take-over
+// announcements, repairs) runs through the event engine.
+type Sim struct {
+	Eng *sim.Engine
+	Net *netsim.Net
+	Ov  *can.Overlay
+	Cfg Config
+
+	hosts map[can.NodeID]*Host
+	phase *rng.Stream
+}
+
+// NewSim creates a protocol simulation over a d-dimensional CAN.
+func NewSim(dims int, cfg Config) *Sim {
+	eng := sim.New()
+	s := &Sim{
+		Eng:   eng,
+		Net:   netsim.New(eng, cfg.Latency),
+		Ov:    can.NewOverlay(dims),
+		Cfg:   cfg,
+		hosts: make(map[can.NodeID]*Host),
+		phase: rng.NewSplit(cfg.Seed, "proto.phase"),
+	}
+	s.Net.SetDeliverable(func(dst can.NodeID) bool {
+		h := s.hosts[dst]
+		return h != nil && h.alive
+	})
+	return s
+}
+
+// Host returns the protocol host for a live node, or nil.
+func (s *Sim) Host(id can.NodeID) *Host { return s.hosts[id] }
+
+// AliveHosts returns the number of live protocol hosts.
+func (s *Sim) AliveHosts() int { return len(s.hosts) }
+
+// hostIDs returns live host ids in ascending order.
+func (s *Sim) hostIDs() []can.NodeID {
+	ids := make([]can.NodeID, 0, len(s.hosts))
+	for id := range s.hosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Join admits a node at point p: the ground-truth overlay splits the
+// zone, the splitting owner hands the newcomer the relevant slice of its
+// neighbor table, and the owner announces the change to its former
+// neighborhood (so that a join with no concurrent events leaves no
+// broken links).
+func (s *Sim) Join(p geom.Point) (*can.Node, error) {
+	now := s.Eng.Now()
+	owner := s.Ov.Owner(p)
+	node, err := s.Ov.Join(p, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	h := newHost(s, node.ID, node.Zone)
+	s.hosts[node.ID] = h
+
+	if owner == nil {
+		// First node: owns everything, knows no one.
+		h.scheduleFirstTick(sim.Duration(s.phase.Float64() * float64(s.Cfg.HeartbeatPeriod)))
+		return node, nil
+	}
+
+	oh := s.hosts[owner.ID]
+	preRecs := oh.view.records()
+	preIDs := oh.view.ids()
+
+	// The splitter knows its own new zone and its new neighbor.
+	oh.adoptZone(owner.Zone)
+	oh.view.direct(h.selfRecord(), now)
+
+	// Hand the newcomer the owner's record plus the slice of the
+	// owner's table abutting the new zone (one full-style message).
+	initial := []Record{oh.selfRecord()}
+	for _, rec := range preRecs {
+		if _, _, ok := node.Zone.Abuts(rec.Zone); ok {
+			initial = append(initial, rec)
+		}
+	}
+	for _, rec := range initial {
+		h.view.direct(rec, now)
+	}
+	s.Net.Send(owner.ID, node.ID, FullMessageBytes(s.Ov.Dims(), len(initial)), func(sim.Time) {})
+
+	// Per-face neighbor discovery: a joining CAN node contacts the
+	// owner of each face of its new zone (routing a short query along
+	// that face), so it starts life knowing its tracked set — the
+	// invariant the bounded-neighbor protocol maintains thereafter. The
+	// splitter's bounded table alone cannot provide this. We account
+	// one query and one reply per discovered neighbor and materialize
+	// the result from ground truth (the routed lookup is exact at join
+	// time).
+	for _, nbID := range s.Ov.BoundedNeighborIDs(node.ID, s.Cfg.MaxPerFace) {
+		nb := s.Ov.Node(nbID)
+		if nb == nil || h.view.has(nbID) {
+			continue
+		}
+		s.Net.Send(node.ID, nbID, RequestBytes(s.Ov.Dims()), func(sim.Time) {})
+		s.Net.Send(nbID, node.ID, AnnounceBytes(s.Ov.Dims()), func(sim.Time) {})
+		h.view.direct(Record{ID: nbID, Zone: nb.Zone.Clone()}, now)
+		// The discovered neighbor learns the newcomer symmetrically.
+		if nh := s.hosts[nbID]; nh != nil && nh.alive {
+			nh.view.direct(h.selfRecord(), now)
+		}
+	}
+
+	// Announce the split to the owner's former neighborhood.
+	newbie := h.selfRecord()
+	splitter := oh.selfRecord()
+	for _, nb := range preIDs {
+		s.sendJoinIntro(owner.ID, nb, splitter, newbie)
+	}
+
+	h.scheduleFirstTick(sim.Duration(s.phase.Float64() * float64(s.Cfg.HeartbeatPeriod)))
+	return node, nil
+}
+
+// LeaveVoluntary removes a node gracefully: it hands its zone and full
+// neighbor table to its predetermined take-over node before departing.
+func (s *Sim) LeaveVoluntary(id can.NodeID) error {
+	h := s.hosts[id]
+	if h == nil {
+		return fmt.Errorf("proto: leave of unknown node %d", id)
+	}
+	plan, hasPlan := s.Ov.Takeover(id)
+	table := h.view.records()
+
+	h.alive = false
+	s.Eng.Cancel(h.tick)
+	delete(s.hosts, id)
+	goneZone := h.zone.Clone()
+
+	if _, err := s.Ov.Leave(id); err != nil {
+		return err
+	}
+	if !hasPlan {
+		return nil // last node
+	}
+	takerID := plan.Taker.ID
+	mergedID := can.NodeID(-1)
+	if plan.Merged != nil {
+		mergedID = plan.Merged.ID
+	}
+	// Handoff message: the departing node's record plus its table.
+	s.Net.Send(id, takerID, FullMessageBytes(s.Ov.Dims(), len(table)), func(now sim.Time) {
+		taker := s.hosts[takerID]
+		if taker == nil || !taker.alive {
+			return
+		}
+		s.executeTakeover(now, taker, id, goneZone, table, mergedID)
+	})
+	return nil
+}
+
+// Fail removes a node silently. The ground truth reassigns its zone
+// immediately (take-over duty is predetermined), but protocol-side the
+// take-over node only acts after the liveness timeout, using whatever
+// copy of the failed node's table it retained from past heartbeats —
+// under Compact that copy exists because take-over targets receive full
+// tables; under Vanilla everyone has one; a missing or stale copy is
+// precisely what produces lasting broken links.
+func (s *Sim) Fail(id can.NodeID) error {
+	h := s.hosts[id]
+	if h == nil {
+		return fmt.Errorf("proto: fail of unknown node %d", id)
+	}
+	plan, hasPlan := s.Ov.Takeover(id)
+	h.alive = false
+	s.Eng.Cancel(h.tick)
+	delete(s.hosts, id)
+	goneZone := h.zone.Clone()
+
+	if _, err := s.Ov.Leave(id); err != nil {
+		return err
+	}
+	if !hasPlan {
+		return nil
+	}
+	takerID := plan.Taker.ID
+	mergedID := can.NodeID(-1)
+	if plan.Merged != nil {
+		mergedID = plan.Merged.ID
+	}
+	s.Eng.After(s.Cfg.timeout(), func(now sim.Time) {
+		taker := s.hosts[takerID]
+		if taker == nil || !taker.alive {
+			return
+		}
+		var recs []Record
+		if st := taker.lastTables[id]; st != nil {
+			recs = st.recs
+		}
+		s.executeTakeover(now, taker, id, goneZone, recs, mergedID)
+	})
+	return nil
+}
+
+// executeTakeover is the take-over node's local procedure: reorganize
+// zones per the predetermined plan and announce the new ownership to
+// every node believed affected — the union of the taker's own view and
+// the departed node's (possibly stale) table. Nodes missing from that
+// union are exactly the broken links the heartbeat schemes then do or
+// do not repair.
+func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZone geom.Zone, goneTable []Record, mergedID can.NodeID) {
+	delete(taker.lastTables, gone)
+	taker.view.bury(gone, now.Add(s.Cfg.tombstoneTTL()))
+
+	// When the taker comes from deeper in the sibling subtree, it first
+	// hands its current zone to its pair partner, which merges.
+	if mergedID >= 0 {
+		if mh := s.hosts[mergedID]; mh != nil && mh.alive {
+			recs := taker.view.records()
+			s.Net.Send(taker.id, mergedID, FullMessageBytes(s.Ov.Dims(), len(recs)), func(now2 sim.Time) {
+				m := s.hosts[mergedID]
+				gm := s.Ov.Node(mergedID)
+				if m == nil || !m.alive || gm == nil {
+					return
+				}
+				targets := unionIDs(m.view.ids(), recordIDs(recs))
+				m.adoptZone(gm.Zone)
+				m.absorb(now2, recs)
+				self := m.selfRecord()
+				for _, t := range targets {
+					if t != m.id {
+						s.sendAnnounce(m.id, t, -1, self)
+					}
+				}
+			})
+		}
+	}
+
+	gt := s.Ov.Node(taker.id)
+	if gt == nil {
+		return
+	}
+	oldIDs := taker.view.ids()
+	taker.adoptZone(gt.Zone)
+	taker.absorb(now, goneTable)
+
+	targets := unionIDs(oldIDs, recordIDs(goneTable))
+	self := taker.selfRecord()
+	for _, t := range targets {
+		if t == taker.id || t == gone {
+			continue
+		}
+		s.sendAnnounce(taker.id, t, gone, self)
+	}
+}
+
+func recordIDs(recs []Record) []can.NodeID {
+	ids := make([]can.NodeID, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// unionIDs merges two id lists into a sorted, deduplicated slice.
+func unionIDs(a, b []can.NodeID) []can.NodeID {
+	set := make(map[can.NodeID]struct{}, len(a)+len(b))
+	for _, id := range a {
+		set[id] = struct{}{}
+	}
+	for _, id := range b {
+		set[id] = struct{}{}
+	}
+	out := make([]can.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Message send helpers. Payloads are captured by value at send time.
+
+func (s *Sim) sendFull(src, dst can.NodeID, self Record, table []Record, ranked bool) {
+	s.Net.Send(src, dst, FullMessageBytes(s.Ov.Dims(), len(table)), func(now sim.Time) {
+		if h := s.hosts[dst]; h != nil {
+			h.receiveFull(now, self, table, ranked)
+		}
+	})
+}
+
+func (s *Sim) sendCompact(src, dst can.NodeID, self Record, dims int, ranked bool) {
+	s.Net.Send(src, dst, CompactMessageBytes(dims), func(now sim.Time) {
+		if h := s.hosts[dst]; h != nil {
+			h.receiveCompact(now, self, ranked)
+		}
+	})
+}
+
+func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
+	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), func(now sim.Time) {
+		if h := s.hosts[dst]; h != nil {
+			h.receiveAnnounce(now, gone, owner)
+		}
+	})
+}
+
+func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
+	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), func(now sim.Time) {
+		if h := s.hosts[dst]; h != nil {
+			h.receiveAnnounce(now, -1, splitter)
+			h.receiveAnnounce(now, -1, newbie)
+		}
+	})
+}
+
+func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {
+	s.Net.Send(src, dst, RequestBytes(s.Ov.Dims()), func(now sim.Time) {
+		if h := s.hosts[dst]; h != nil {
+			h.receiveRequest(now, self)
+		}
+	})
+}
+
+// BrokenLinks counts, across all live nodes, ground-truth neighbor
+// relationships missing from the owner's view (the quantity plotted in
+// Figure 7) and, separately, relationships present but with an
+// out-of-date zone. Under bounded tracking (MaxPerFace > 0) the ground
+// truth is the bounded per-face set a correct node would maintain;
+// otherwise it is full face-sharing adjacency.
+func (s *Sim) BrokenLinks() (missing, stale int) {
+	perFace := s.Cfg.MaxPerFace
+	for _, n := range s.Ov.Nodes() {
+		h := s.hosts[n.ID]
+		nbrs := s.Ov.BoundedNeighborIDs(n.ID, perFace)
+		if h == nil {
+			missing += len(nbrs)
+			continue
+		}
+		for _, nbID := range nbrs {
+			nb := s.Ov.Node(nbID)
+			z, ok := h.view.zoneOf(nbID)
+			switch {
+			case !ok:
+				missing++
+			case !z.Equal(nb.Zone):
+				stale++
+			}
+		}
+	}
+	return missing, stale
+}

@@ -1,0 +1,311 @@
+package proto
+
+import (
+	"sort"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/sim"
+)
+
+// Record is what one node knows about another: identity and zone. It is
+// the unit of heartbeat payloads.
+type Record struct {
+	ID   can.NodeID
+	Zone geom.Zone
+}
+
+// entry is a view slot for one believed neighbor.
+//
+// Entries are either active — we rank the node in our bounded tracked
+// set, or it ranks us (reciprocal), so heartbeats flow and liveness is
+// monitored — or passive: cached records learned from tables,
+// announcements and joins. Passive entries cost no messages and are not
+// liveness-checked; they serve as ranking candidates so that a face
+// whose active neighbor disappears can promote a replacement, and they
+// are dropped when contradicted (announce, zone change) or when a
+// promotion goes unanswered.
+type entry struct {
+	rec        Record
+	lastHeard  sim.Time
+	lastDirect sim.Time // last first-hand message from the node itself
+	// lastRankedBy is the last time the node itself told us it ranks us
+	// in its bounded tracked set. Reciprocal heartbeats flow only to
+	// peers that actively rank us; otherwise unranked pairs would keep
+	// each other alive forever and the per-face bound would be void.
+	lastRankedBy sim.Time
+	// rankedByUs marks entries we ranked at the last heartbeat round.
+	rankedByUs bool
+}
+
+// view is a node's local neighbor table plus the tombstones that stop
+// stale third-party records from resurrecting known-dead nodes.
+type view struct {
+	entries    map[can.NodeID]*entry
+	tombstones map[can.NodeID]sim.Time // expiry time
+}
+
+func newView() *view {
+	return &view{
+		entries:    make(map[can.NodeID]*entry),
+		tombstones: make(map[can.NodeID]sim.Time),
+	}
+}
+
+// ids returns the believed-neighbor ids in ascending order, for
+// deterministic iteration.
+func (v *view) ids() []can.NodeID {
+	out := make([]can.NodeID, 0, len(v.entries))
+	for id := range v.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// records returns the view contents sorted by id.
+func (v *view) records() []Record {
+	return v.recordsOf(v.ids())
+}
+
+// recordsOf returns the records for the given ids (skipping any that
+// are no longer present).
+func (v *view) recordsOf(ids []can.NodeID) []Record {
+	recs := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		if e := v.entries[id]; e != nil {
+			recs = append(recs, e.rec)
+		}
+	}
+	return recs
+}
+
+func (v *view) has(id can.NodeID) bool { return v.entries[id] != nil }
+
+func (v *view) zoneOf(id can.NodeID) (geom.Zone, bool) {
+	if e := v.entries[id]; e != nil {
+		return e.rec.Zone, true
+	}
+	return geom.Zone{}, false
+}
+
+func (v *view) tombstoned(id can.NodeID, now sim.Time) bool {
+	exp, ok := v.tombstones[id]
+	if !ok {
+		return false
+	}
+	if now >= exp {
+		delete(v.tombstones, id)
+		return false
+	}
+	return true
+}
+
+func (v *view) bury(id can.NodeID, until sim.Time) {
+	delete(v.entries, id)
+	v.tombstones[id] = until
+}
+
+func (v *view) remove(id can.NodeID) { delete(v.entries, id) }
+
+// direct records first-hand evidence (a message from the node itself):
+// it refreshes lastHeard, lastDirect and the zone.
+func (v *view) direct(rec Record, now sim.Time) {
+	delete(v.tombstones, rec.ID)
+	if e := v.entries[rec.ID]; e != nil {
+		e.rec = rec
+		e.lastHeard = now
+		e.lastDirect = now
+		return
+	}
+	v.entries[rec.ID] = &entry{rec: rec, lastHeard: now, lastDirect: now}
+}
+
+// indirect records third-party evidence (a record inside somebody
+// else's table). It may add a missing entry or correct a zone, but does
+// not refresh liveness: an indirectly learned node must confirm itself
+// with a direct message before the timeout or it expires again. This
+// prevents two stale tables from keeping a dead node alive forever.
+// graceTime is the lastHeard assigned to newly added entries.
+func (v *view) indirect(rec Record, now, graceTime sim.Time) {
+	if v.tombstoned(rec.ID, now) {
+		return
+	}
+	if e := v.entries[rec.ID]; e != nil {
+		e.rec.Zone = rec.Zone
+		return
+	}
+	v.entries[rec.ID] = &entry{rec: rec, lastHeard: graceTime}
+}
+
+// expire removes active entries (ranked by us at the previous round, or
+// recently ranking us) that have gone silent past the deadline, and
+// buries them. Passive entries are cached hints, not monitored links;
+// they persist until contradicted, promoted, or older than the (much
+// longer) passive deadline — without that TTL, views grow monotonically
+// under churn as dead hints accumulate. Passive removals are silent (no
+// tombstone, no broken-link signal). Returns the removed active ids in
+// ascending order.
+func (v *view) expire(deadline, passiveDeadline, buryUntil sim.Time) []can.NodeID {
+	var gone, stale []can.NodeID
+	for id, e := range v.entries {
+		active := e.rankedByUs || e.lastRankedBy >= deadline
+		switch {
+		case active && e.lastHeard < deadline:
+			gone = append(gone, id)
+		case !active && e.lastHeard < passiveDeadline:
+			stale = append(stale, id)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	for _, id := range gone {
+		v.bury(id, buryUntil)
+	}
+	for _, id := range stale {
+		delete(v.entries, id)
+	}
+	return gone
+}
+
+// markRanked records which entries we ranked this round (the liveness
+// expectation used by the next round's expiry).
+func (v *view) markRanked(ids []can.NodeID) {
+	for _, e := range v.entries {
+		e.rankedByUs = false
+	}
+	for _, id := range ids {
+		if e := v.entries[id]; e != nil {
+			e.rankedByUs = true
+		}
+	}
+}
+
+// uncoveredFace reports whether some face of selfZone that lies strictly
+// inside the unit space is not fully covered by the believed neighbors'
+// zones — the locally detectable signature of a broken link
+// (Section IV-C). Coverage is tested by comparing the face area against
+// the summed overlap areas of abutting view zones; current (disjoint)
+// zones make this exact, while overlapping stale records can mask a hole
+// until they expire.
+func (v *view) uncoveredFace(selfZone geom.Zone) bool {
+	d := selfZone.Dims()
+	for dim := 0; dim < d; dim++ {
+		for _, side := range []int{-1, +1} {
+			// Outer faces of the unit cube have no neighbors.
+			if side < 0 && selfZone.Lo[dim] <= 0 {
+				continue
+			}
+			if side > 0 && selfZone.Hi[dim] >= 1 {
+				continue
+			}
+			need := selfZone.FaceArea(dim)
+			got := 0.0
+			for _, e := range v.entries {
+				adim, adir, ok := selfZone.Abuts(e.rec.Zone)
+				if ok && adim == dim && adir == side {
+					got += selfZone.FaceOverlap(e.rec.Zone, dim)
+				}
+			}
+			if got < need*(1-1e-9) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ranked returns the bounded neighbor set the node actively ranks: for
+// each face of selfZone, the up-to-perFace view entries with the
+// largest shared-face measure (ties toward lower id). perFace ≤ 0
+// returns every entry. The result is sorted by id.
+func (v *view) ranked(selfZone geom.Zone, perFace int) []can.NodeID {
+	if perFace <= 0 {
+		return v.ids()
+	}
+	type scored struct {
+		id      can.NodeID
+		overlap float64
+	}
+	buckets := make(map[[2]int][]scored)
+	for id, e := range v.entries {
+		dim, dir, ok := selfZone.Abuts(e.rec.Zone)
+		if !ok {
+			continue
+		}
+		key := [2]int{dim, dir}
+		buckets[key] = append(buckets[key], scored{id, selfZone.FaceOverlap(e.rec.Zone, dim)})
+	}
+	keep := make(map[can.NodeID]struct{})
+	for _, bucket := range buckets {
+		sort.Slice(bucket, func(i, j int) bool {
+			if bucket[i].overlap != bucket[j].overlap {
+				return bucket[i].overlap > bucket[j].overlap
+			}
+			return bucket[i].id < bucket[j].id
+		})
+		if len(bucket) > perFace {
+			bucket = bucket[:perFace]
+		}
+		for _, s := range bucket {
+			keep[s.id] = struct{}{}
+		}
+	}
+	out := make([]can.NodeID, 0, len(keep))
+	for id := range keep {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reciprocals returns the entries whose owners told us — since the
+// given time — that they rank us in their tracked set. We keep
+// heartbeating them so asymmetric rankings stay alive in both
+// directions, without unranked pairs sustaining each other forever.
+func (v *view) reciprocals(since sim.Time) []can.NodeID {
+	var out []can.NodeID
+	for id, e := range v.entries {
+		if e.lastRankedBy >= since {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rankedBy records that the node itself declared it ranks us.
+func (v *view) rankedBy(id can.NodeID, now sim.Time) {
+	if e := v.entries[id]; e != nil {
+		e.lastRankedBy = now
+	}
+}
+
+// emptyFace reports whether some inner face of selfZone has no abutting
+// view entry at all — the broken-link signature under bounded tracking,
+// where full face coverage is not expected.
+func (v *view) emptyFace(selfZone geom.Zone) bool {
+	d := selfZone.Dims()
+	covered := make(map[[2]int]bool)
+	for _, e := range v.entries {
+		if dim, dir, ok := selfZone.Abuts(e.rec.Zone); ok {
+			covered[[2]int{dim, dir}] = true
+		}
+	}
+	for dim := 0; dim < d; dim++ {
+		if selfZone.Lo[dim] > 0 && !covered[[2]int{dim, -1}] {
+			return true
+		}
+		if selfZone.Hi[dim] < 1 && !covered[[2]int{dim, +1}] {
+			return true
+		}
+	}
+	return false
+}
+
+// savedTable is a retained copy of another node's full neighbor table,
+// kept so a take-over node can notify the departed node's neighborhood.
+type savedTable struct {
+	zone geom.Zone
+	recs []Record
+	at   sim.Time
+}

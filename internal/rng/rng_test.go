@@ -1,0 +1,250 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitIsDeterministic(t *testing.T) {
+	a := Split(42, "workload")
+	b := Split(42, "workload")
+	if a != b {
+		t.Fatalf("Split not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSplitSeparatesLabels(t *testing.T) {
+	if Split(42, "workload") == Split(42, "churn") {
+		t.Fatal("different labels produced the same seed")
+	}
+}
+
+func TestSplitSeparatesSeeds(t *testing.T) {
+	if Split(1, "x") == Split(2, "x") {
+		t.Fatal("different seeds produced the same child seed")
+	}
+}
+
+func TestStreamsWithSameSeedCoincide(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ≈3.0", mean)
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(3)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	s := New(5)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Weighted(weights)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("weight %d: frequency %v, want ≈%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedSkipsNonPositive(t *testing.T) {
+	s := New(6)
+	weights := []float64{0, -1, 5, 0}
+	for i := 0; i < 1000; i++ {
+		if got := s.Weighted(weights); got != 2 {
+			t.Fatalf("Weighted selected index %d with zero weight", got)
+		}
+	}
+}
+
+func TestWeightedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weighted(nil) did not panic")
+		}
+	}()
+	New(1).Weighted(nil)
+}
+
+func TestWeightedPanicsOnAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weighted(all zero) did not panic")
+		}
+	}()
+	New(1).Weighted([]float64{0, 0})
+}
+
+func TestSkewedLowRangeProperty(t *testing.T) {
+	s := New(7)
+	f := func(shapeRaw uint8) bool {
+		shape := 1 + float64(shapeRaw)/16
+		v := s.SkewedLow(shape)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedLowBiasesTowardZero(t *testing.T) {
+	s := New(8)
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		if s.SkewedLow(3) < 0.125 {
+			below++
+		}
+	}
+	// CDF(x) = x^(1/3): P(v < 0.125) = 0.5.
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("P(SkewedLow(3) < 0.125) = %v, want ≈0.5", frac)
+	}
+}
+
+func TestSkewedLowShapeOneIsUniform(t *testing.T) {
+	s := New(9)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.SkewedLow(1)
+	}
+	if math.Abs(sum/n-0.5) > 0.01 {
+		t.Fatalf("SkewedLow(1) mean = %v, want ≈0.5", sum/n)
+	}
+}
+
+func TestSkewedLowClampsShapeBelowOne(t *testing.T) {
+	a := New(10)
+	b := New(10)
+	for i := 0; i < 100; i++ {
+		if a.SkewedLow(0.2) != b.SkewedLow(1) {
+			t.Fatal("shape < 1 not clamped to 1")
+		}
+	}
+}
+
+func TestDiscreteSampleOnlyFromSupport(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2, 4}, []float64{1, 1, 1})
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(s)
+		if v != 1 && v != 2 && v != 4 {
+			t.Fatalf("sample %v outside support", v)
+		}
+	}
+}
+
+func TestDiscreteMax(t *testing.T) {
+	d := NewDiscrete([]float64{3, 9, 1}, []float64{1, 1, 1})
+	if d.Max() != 9 {
+		t.Fatalf("Max = %v, want 9", d.Max())
+	}
+}
+
+func TestDiscreteValuesSortedCopy(t *testing.T) {
+	d := NewDiscrete([]float64{3, 1, 2}, []float64{1, 1, 1})
+	v := d.Values()
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("Values = %v, want sorted", v)
+	}
+	v[0] = 99
+	if d.Values()[0] != 1 {
+		t.Fatal("Values does not return a copy")
+	}
+}
+
+func TestNewDiscretePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	NewDiscrete([]float64{1}, []float64{1, 2})
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(12)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNewSplitMatchesManualSplit(t *testing.T) {
+	a := NewSplit(99, "foo")
+	b := New(Split(99, "foo"))
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("NewSplit differs from New(Split(...))")
+		}
+	}
+}

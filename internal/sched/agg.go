@@ -1,0 +1,130 @@
+// Package sched implements the matchmaking and load-balancing
+// algorithms of Sections II-B and III-B: the heterogeneity-aware
+// decentralized scheme (can-het, Algorithm 1), the prior
+// heterogeneity-oblivious scheme (can-hom), and the greedy online
+// centralized comparator (central).
+package sched
+
+import (
+	"sort"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/resource"
+)
+
+// CELoad is the aggregated load information for one CE type in a region
+// of the CAN: the inputs to Equation 3.
+type CELoad struct {
+	SumRequiredCores float64 // cores demanded by running + queued jobs
+	SumCores         float64 // cores installed
+}
+
+func (a CELoad) add(b CELoad) CELoad {
+	return CELoad{a.SumRequiredCores + b.SumRequiredCores, a.SumCores + b.SumCores}
+}
+
+// DimAgg is the aggregate over the region beyond a node along one
+// dimension (toward higher resource values). ByType is indexed by
+// resource.CEType (0 = CPU, then accelerator slots).
+type DimAgg struct {
+	Nodes  int // all nodes in the region (Equation 4's NumberOfNodes)
+	ByType []CELoad
+}
+
+// Load returns the aggregate for CE type t (zero when out of range).
+func (d DimAgg) Load(t resource.CEType) CELoad {
+	if int(t) < len(d.ByType) {
+		return d.ByType[t]
+	}
+	return CELoad{}
+}
+
+// AggTable holds, for every node and dimension, the aggregated load
+// information over the outer region. In the real system this data rides
+// on heartbeats, one hop per period; the simulator recomputes it exactly
+// on the heartbeat cadence, which preserves the staleness the paper's
+// scheme lives with (decisions between refreshes use old data).
+type AggTable struct {
+	dims   int
+	ntypes int
+	agg    map[can.NodeID][]DimAgg
+}
+
+// NewAggTable creates an empty table for a d-dimensional CAN with CE
+// types 0..gpuSlots.
+func NewAggTable(dims int, gpuSlots int) *AggTable {
+	return &AggTable{dims: dims, ntypes: gpuSlots + 1, agg: make(map[can.NodeID][]DimAgg)}
+}
+
+// At returns the aggregate beyond node id along dim. Missing entries
+// (before the first refresh) return an empty aggregate.
+func (a *AggTable) At(id can.NodeID, dim int) DimAgg {
+	if rows := a.agg[id]; rows != nil && dim < len(rows) {
+		return rows[dim]
+	}
+	return DimAgg{}
+}
+
+// Refresh recomputes the table: for each dimension D, the region beyond
+// node N is the set of nodes whose zone starts at or past N's zone end
+// (zone.Lo[D] ≥ N.zone.Hi[D]) — the nodes reachable by pushing further
+// out along D. Computed with sorted suffix sums in O(d·n log n).
+func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
+	nodes := ov.Nodes()
+	n := len(nodes)
+	a.agg = make(map[can.NodeID][]DimAgg, n)
+	for _, nd := range nodes {
+		a.agg[nd.ID] = make([]DimAgg, a.dims)
+	}
+
+	// Per-node loads, gathered once. loads[i] is indexed by CE type.
+	loads := make([][]CELoad, n)
+	for i, nd := range nodes {
+		row := make([]CELoad, a.ntypes)
+		if rt := cl.Runtime(nd.ID); rt != nil {
+			for t := 0; t < a.ntypes; t++ {
+				if req, cores, ok := rt.DemandOn(resource.CEType(t)); ok {
+					row[t] = CELoad{SumRequiredCores: float64(req), SumCores: float64(cores)}
+				}
+			}
+		}
+		loads[i] = row
+	}
+
+	idx := make([]int, n)
+	for d := 0; d < a.dims; d++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool {
+			return nodes[idx[x]].Zone.Lo[d] < nodes[idx[y]].Zone.Lo[d]
+		})
+		// Suffix sums over the sorted order: suf[i] aggregates sorted
+		// positions i..n-1.
+		suf := make([][]CELoad, n+1)
+		suf[n] = make([]CELoad, a.ntypes)
+		for i := n - 1; i >= 0; i-- {
+			row := make([]CELoad, a.ntypes)
+			for t := 0; t < a.ntypes; t++ {
+				row[t] = suf[i+1][t].add(loads[idx[i]][t])
+			}
+			suf[i] = row
+		}
+		los := make([]float64, n)
+		for i := range los {
+			los[i] = nodes[idx[i]].Zone.Lo[d]
+		}
+		for _, nd := range nodes {
+			pos := sort.SearchFloat64s(los, nd.Zone.Hi[d])
+			a.agg[nd.ID][d] = DimAgg{Nodes: n - pos, ByType: suf[pos]}
+		}
+	}
+}
+
+// Objective evaluates Equation 3 for the region beyond node id along
+// dim, for CE type c.
+func (a *AggTable) Objective(id can.NodeID, dim int, c resource.CEType) float64 {
+	l := a.At(id, dim).Load(c)
+	return resource.PushObjective(l.SumRequiredCores, l.SumCores)
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/resource"
+)
+
+// Central is the greedy online centralized comparator of Section V-A:
+// it sees the complete, instantaneous load state of every node. It
+// greedily assigns each job to the most capable node — the fastest free
+// node for the job's dominant CE, else the fastest acceptable node,
+// else the node minimizing the score function — possibly
+// over-provisioning, as the paper notes, to stay comparable to the
+// online decentralized schemes.
+type Central struct {
+	ctx   *Context
+	Stats Stats
+}
+
+// NewCentral builds the centralized comparator.
+func NewCentral(ctx *Context) *Central { return &Central{ctx: ctx} }
+
+// Name returns the label used in the paper's figures.
+func (s *Central) Name() string { return "central" }
+
+// Place scans all nodes with perfect information.
+func (s *Central) Place(j *exec.Job) (can.NodeID, error) {
+	c := s.ctx
+	var sat, acceptable, free []*can.Node
+	for _, n := range c.Ov.Nodes() {
+		if n.Caps == nil || !resource.Satisfies(n.Caps, j.Req) {
+			continue
+		}
+		rt := c.Cluster.Runtime(n.ID)
+		if rt == nil {
+			continue
+		}
+		sat = append(sat, n)
+		if rt.IsAcceptable(j.Req) {
+			acceptable = append(acceptable, n)
+			if rt.IsFree() {
+				free = append(free, n)
+			}
+		}
+	}
+	switch {
+	case len(free) > 0:
+		s.Stats.FreePicks++
+		s.Stats.Placed++
+		return pickFastest(free, j.Dominant).ID, nil
+	case len(acceptable) > 0:
+		s.Stats.AcceptPicks++
+		s.Stats.Placed++
+		return pickFastest(acceptable, j.Dominant).ID, nil
+	case len(sat) > 0:
+		s.Stats.ScorePicks++
+		s.Stats.Placed++
+		return c.pickMinScore(sat, j.Dominant).ID, nil
+	default:
+		s.Stats.Unmatchable++
+		return 0, ErrUnmatchable
+	}
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sim"
+)
+
+// Scheduler assigns a run node to each job. Place returns the chosen
+// node; the caller then submits the job to the cluster.
+type Scheduler interface {
+	Name() string
+	Place(j *exec.Job) (can.NodeID, error)
+}
+
+// ErrUnmatchable is returned when no reachable node satisfies a job's
+// requirements.
+var ErrUnmatchable = errors.New("sched: no node satisfies the job")
+
+// maxPushHops caps the pushing walk; in a healthy CAN the stop
+// probability terminates walks long before this.
+const maxPushHops = 128
+
+// Stats accumulates matchmaking telemetry.
+type Stats struct {
+	Placed       int
+	RouteHops    int // CAN routing hops to the job's coordinate
+	PushHops     int // job-pushing hops after routing
+	FreePicks    int // run node chosen because it was a free node
+	AcceptPicks  int // run node chosen as an acceptable (non-free) node
+	ScorePicks   int // run node chosen by the score function
+	Unmatchable  int
+	BoostedWalks int // hops spent escaping a non-satisfying region
+	Fallbacks    int // placements that needed the expanding-search fallback
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("placed=%d route=%d push=%d free=%d accept=%d score=%d fallback=%d unmatchable=%d",
+		s.Placed, s.RouteHops, s.PushHops, s.FreePicks, s.AcceptPicks, s.ScorePicks, s.Fallbacks, s.Unmatchable)
+}
+
+// Context bundles what every decentralized scheduler needs.
+type Context struct {
+	Eng     *sim.Engine
+	Ov      *can.Overlay
+	Cluster *exec.Cluster
+	Space   *resource.Space
+	Agg     *AggTable
+
+	// StoppingFactor is Equation 4's SF.
+	StoppingFactor float64
+	// RefreshPeriod is the aggregation cadence (the heartbeat period).
+	RefreshPeriod sim.Duration
+	// DisableVirtualSpread routes every job with virtual coordinate 0
+	// instead of a random draw — the ablation for the virtual
+	// dimension's load-spreading role (Section II-B).
+	DisableVirtualSpread bool
+
+	rnd         *rng.Stream
+	lastRefresh sim.Time
+	refreshed   bool
+}
+
+// NewContext wires a scheduling context. Aggregated load information is
+// refreshed lazily on the heartbeat cadence: a placement uses the table
+// as of the last period boundary, exactly the staleness a real node
+// sees between heartbeats.
+func NewContext(eng *sim.Engine, ov *can.Overlay, cl *exec.Cluster, space *resource.Space, seed int64) *Context {
+	return &Context{
+		Eng:            eng,
+		Ov:             ov,
+		Cluster:        cl,
+		Space:          space,
+		Agg:            NewAggTable(space.Dims(), space.GPUSlots),
+		StoppingFactor: 2,
+		RefreshPeriod:  60 * sim.Second,
+		rnd:            rng.NewSplit(seed, "sched"),
+	}
+}
+
+// maybeRefresh recomputes the aggregate table when a full refresh
+// period has elapsed since the last recomputation.
+func (c *Context) maybeRefresh() {
+	now := c.Eng.Now()
+	if !c.refreshed || now.Sub(c.lastRefresh) >= c.RefreshPeriod {
+		c.Agg.Refresh(c.Ov, c.Cluster)
+		// Align to period boundaries so the refresh instant does not
+		// drift with arrival times.
+		period := sim.Time(c.RefreshPeriod)
+		if period > 0 {
+			c.lastRefresh = now - now%period
+		} else {
+			c.lastRefresh = now
+		}
+		c.refreshed = true
+	}
+}
+
+// jobVirtual draws the virtual-dimension coordinate assigned to a job
+// for routing (random, to spread placements across equivalent nodes),
+// or 0 under the virtual-spread ablation.
+func (c *Context) jobVirtual() float64 {
+	v := c.rnd.Float64()
+	if c.DisableVirtualSpread {
+		return 0
+	}
+	return v
+}
+
+// randomEntry picks the node a client submits through (uniformly random,
+// as in the evaluation).
+func (c *Context) randomEntry() *can.Node {
+	nodes := c.Ov.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	return nodes[c.rnd.Intn(len(nodes))]
+}
+
+// satisfying filters cur and its neighbors down to nodes that statically
+// satisfy the job, returned in deterministic (ID) order with cur first
+// when it qualifies.
+func (c *Context) satisfying(cur *can.Node, req resource.JobReq) []*can.Node {
+	var out []*can.Node
+	if cur.Caps != nil && resource.Satisfies(cur.Caps, req) {
+		out = append(out, cur)
+	}
+	for _, nb := range c.Ov.Neighbors(cur.ID) {
+		if nb.Caps != nil && resource.Satisfies(nb.Caps, req) {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// pickFastest returns the node whose CE of type t has the highest clock
+// speed (ties to the lowest ID). Nodes lacking the type rank last.
+func pickFastest(nodes []*can.Node, t resource.CEType) *can.Node {
+	var best *can.Node
+	bestClock := -1.0
+	for _, n := range nodes {
+		clock := 0.0
+		if ce := n.Caps.CE(t); ce != nil {
+			clock = ce.Clock
+		}
+		if clock > bestClock || (clock == bestClock && best != nil && n.ID < best.ID) {
+			best, bestClock = n, clock
+		}
+	}
+	return best
+}
+
+// pickMinScore returns the node minimizing the Section III-B score
+// function for dominant CE type t (ties to the lowest ID).
+func (c *Context) pickMinScore(nodes []*can.Node, t resource.CEType) *can.Node {
+	var best *can.Node
+	bestScore := 0.0
+	for _, n := range nodes {
+		rt := c.Cluster.Runtime(n.ID)
+		if rt == nil {
+			continue
+		}
+		s := rt.Score(t)
+		if best == nil || s < bestScore || (s == bestScore && n.ID < best.ID) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// outwardNeighbors lists (neighbor, dimension) pairs where the neighbor
+// sits on cur's high side — the directions a job can be pushed toward
+// more capable regions.
+func (c *Context) outwardNeighbors(cur *can.Node) []outward {
+	var out []outward
+	for _, nb := range c.Ov.Neighbors(cur.ID) {
+		if dim, dir, ok := cur.Zone.Abuts(nb.Zone); ok && dir > 0 {
+			out = append(out, outward{node: nb, dim: dim})
+		}
+	}
+	return out
+}
+
+type outward struct {
+	node *can.Node
+	dim  int
+}
+
+// boost walks the job out of a region whose nodes cannot satisfy it:
+// it follows the dimension with the largest requirement deficit toward
+// higher capability. Used when routing lands the job among
+// under-provisioned nodes. Returns the first node reached that has a
+// satisfying node in its neighborhood (possibly itself).
+func (c *Context) boost(cur *can.Node, req resource.JobReq, jobPt []float64, st *Stats) (*can.Node, error) {
+	for hop := 0; hop < maxPushHops; hop++ {
+		if len(c.satisfying(cur, req)) > 0 {
+			return cur, nil
+		}
+		// Move outward along the dimension where cur's zone is farthest
+		// below the job's coordinate.
+		var best *outward
+		bestDeficit := 0.0
+		outs := c.outwardNeighbors(cur)
+		for i := range outs {
+			o := &outs[i]
+			deficit := jobPt[o.dim] - cur.Zone.Hi[o.dim]
+			if deficit < 0 {
+				// Already past the requirement in this dimension; an
+				// outward hop may still help reach capable nodes, but
+				// prefer true deficits.
+				deficit = 1e-9
+			}
+			if best == nil || deficit > bestDeficit ||
+				(deficit == bestDeficit && o.node.ID < best.node.ID) {
+				best, bestDeficit = o, deficit
+			}
+		}
+		if best == nil {
+			return nil, ErrUnmatchable
+		}
+		cur = best.node
+		st.BoostedWalks++
+	}
+	return nil, ErrUnmatchable
+}
+
+// fallback is the expanding-search last resort a real CAN deploys when
+// greedy walks dead-end: scan for any satisfying node and take the one
+// with the minimum score for CE type t. Its use is counted in
+// Stats.Fallbacks so experiments can report how often the greedy
+// machinery needed rescuing; a nil return means the job is genuinely
+// unmatchable anywhere in the grid.
+func (c *Context) fallback(req resource.JobReq, t resource.CEType, st *Stats) *can.Node {
+	var sat []*can.Node
+	for _, n := range c.Ov.Nodes() {
+		if n.Caps != nil && resource.Satisfies(n.Caps, req) {
+			sat = append(sat, n)
+		}
+	}
+	if len(sat) == 0 {
+		return nil
+	}
+	st.Fallbacks++
+	return c.pickMinScore(sat, t)
+}

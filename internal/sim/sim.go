@@ -1,0 +1,199 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, so a run is fully deterministic given deterministic event
+// handlers. Time is kept in integer Ticks (milliseconds) to avoid
+// floating-point ordering hazards.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in Ticks since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of virtual time in Ticks.
+type Duration int64
+
+// Common durations, mirroring the time package at millisecond resolution.
+const (
+	Millisecond Duration = 1
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Minutes reports d as a floating-point number of minutes.
+func (d Duration) Minutes() float64 { return float64(d) / float64(Minute) }
+
+// FromSeconds converts a floating-point number of seconds to a Duration,
+// rounding to the nearest tick.
+func FromSeconds(s float64) Duration {
+	if s < 0 {
+		return 0
+	}
+	return Duration(s*float64(Second) + 0.5)
+}
+
+// Seconds reports t as a floating-point number of seconds since the
+// start of the simulation.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Handler is the callback invoked when an event fires. It runs with the
+// engine clock set to the event's time and may schedule further events.
+type Handler func(now Time)
+
+type event struct {
+	at      Time
+	seq     uint64 // insertion order; breaks time ties deterministically
+	handler Handler
+	index   int // heap index, -1 when cancelled or popped
+}
+
+// EventID identifies a scheduled event so that it can be cancelled.
+// The zero EventID is invalid.
+type EventID struct{ ev *event }
+
+// Valid reports whether the id refers to an event that was scheduled and
+// has not yet fired or been cancelled.
+func (id EventID) Valid() bool { return id.ev != nil && id.ev.index >= 0 }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready
+// to use. Engine is not safe for concurrent use; the simulation model is
+// single-threaded by design so that runs are reproducible.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// New returns a new engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules h to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(at Time, h Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: at, seq: e.nextSeq, handler: h}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules h to run d ticks from now. Negative d is treated as 0.
+func (e *Engine) After(d Duration, h Handler) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), h)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was
+// still pending. Cancelling an already-fired or already-cancelled event
+// is a no-op.
+func (e *Engine) Cancel(id EventID) bool {
+	if !id.Valid() {
+		return false
+	}
+	heap.Remove(&e.queue, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Stop makes the current Run call return after the in-flight handler
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.handler(e.now)
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// the deadline (if it is later than the last event). Events scheduled
+// beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", e.Now())
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (ties must fire in schedule order)", i, v, i)
+		}
+	}
+}
+
+func TestHandlerSeesEventTime(t *testing.T) {
+	e := New()
+	e.At(42, func(now Time) {
+		if now != 42 {
+			t.Errorf("handler now = %d, want 42", now)
+		}
+		if e.Now() != 42 {
+			t.Errorf("engine Now() = %d, want 42", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(100, func(Time) {
+		e.After(50, func(now Time) { at = now })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(10, func(Time) {
+		e.After(-5, func(now Time) {
+			fired = true
+			if now != 10 {
+				t.Errorf("fired at %d, want 10", now)
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before Now did not panic")
+		}
+	}()
+	e.At(5, func(Time) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.At(10, func(Time) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(1, func(Time) { order = append(order, 1) })
+	id := e.At(2, func(Time) { order = append(order, 2) })
+	e.At(3, func(Time) { order = append(order, 3) })
+	e.Cancel(id)
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := New()
+	id := e.At(1, func(Time) {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %d, want 25 (clock advances to deadline)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(25, func(Time) { fired = true })
+	e.RunUntil(25)
+	if !fired {
+		t.Fatal("event exactly at deadline did not fire")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", e.Pending())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", e.Fired())
+	}
+}
+
+func TestHandlerSchedulingSameTimeRunsAfter(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(10, func(Time) {
+		order = append(order, "a")
+		e.At(10, func(Time) { order = append(order, "c") })
+	})
+	e.At(10, func(Time) { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Second != 1000 {
+		t.Fatalf("Second = %d ticks, want 1000", Second)
+	}
+	if (90 * Second).Minutes() != 1.5 {
+		t.Fatalf("90s = %v minutes, want 1.5", (90 * Second).Minutes())
+	}
+	if FromSeconds(2.5) != 2500 {
+		t.Fatalf("FromSeconds(2.5) = %d, want 2500", FromSeconds(2.5))
+	}
+	if FromSeconds(-1) != 0 {
+		t.Fatalf("FromSeconds(-1) = %d, want 0", FromSeconds(-1))
+	}
+	if Time(4500).Seconds() != 4.5 {
+		t.Fatalf("Time(4500).Seconds() = %v, want 4.5", Time(4500).Seconds())
+	}
+	if Time(100).Add(50) != 150 {
+		t.Fatalf("Add broken")
+	}
+	if Time(150).Sub(100) != 50 {
+		t.Fatalf("Sub broken")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestManyEventsStressOrdering(t *testing.T) {
+	e := New()
+	// Schedule events at pseudo-random times and verify they fire in
+	// nondecreasing time order.
+	seed := uint64(12345)
+	next := func() uint64 { seed = seed*6364136223846793005 + 1442695040888963407; return seed >> 33 }
+	var last Time = -1
+	for i := 0; i < 5000; i++ {
+		at := Time(next() % 100000)
+		e.At(at, func(now Time) {
+			if now < last {
+				t.Fatalf("event at %d fired after %d", now, last)
+			}
+			last = now
+		})
+	}
+	e.Run()
+	if e.Fired() != 5000 {
+		t.Fatalf("Fired() = %d, want 5000", e.Fired())
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Load-balance quality metrics beyond wait time: how evenly work spread
+// across nodes. The paper argues balance through wait-time CDFs; these
+// give the complementary per-node view used in the load-balancing
+// literature.
+
+// Gini returns the Gini coefficient of the values (0 = perfectly even,
+// →1 = concentrated on one node). Negative values are clamped to 0;
+// an empty or all-zero input returns 0.
+func Gini(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	vs := make([]float64, len(values))
+	for i, v := range values {
+		if v > 0 {
+			vs[i] = v
+		}
+	}
+	sort.Float64s(vs)
+	n := float64(len(vs))
+	var cum, total float64
+	for i, v := range vs {
+		cum += float64(i+1) * v
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(n*total) - (n+1)/n
+}
+
+// CoefficientOfVariation returns stddev/mean of the values (0 when the
+// mean is 0).
+func CoefficientOfVariation(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(values))) / mean
+}
+
+// MaxOverMean returns max/mean of the values — the classic imbalance
+// factor (1 = perfectly even). Returns 0 when the mean is 0.
+func MaxOverMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, v := range values {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 0
+	}
+	return max / mean
+}

@@ -1,0 +1,224 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harnesses: samples with quantiles and CDF evaluation, time
+// series, and plain-text table rendering for the figure regenerators.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	vs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	s.vs = append(s.vs, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vs {
+		sum += v
+	}
+	return sum / float64(len(s.vs))
+}
+
+// Min and Max return the extremes (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	s.sort()
+	if len(s.vs) == 0 {
+		return 0
+	}
+	return s.vs[0]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	s.sort()
+	if len(s.vs) == 0 {
+		return 0
+	}
+	return s.vs[len(s.vs)-1]
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by linear interpolation.
+func (s *Sample) Quantile(p float64) float64 {
+	s.sort()
+	n := len(s.vs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.vs[0]
+	}
+	if p >= 1 {
+		return s.vs[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s.vs[n-1]
+	}
+	return s.vs[lo]*(1-frac) + s.vs[lo+1]*frac
+}
+
+// CDF returns the fraction of observations ≤ x.
+func (s *Sample) CDF(x float64) float64 {
+	s.sort()
+	if len(s.vs) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(s.vs), func(i int) bool { return s.vs[i] > x })
+	return float64(i) / float64(len(s.vs))
+}
+
+// CDFSeries evaluates the CDF on a grid of x values (as percentages,
+// matching the paper's plots).
+func (s *Sample) CDFSeries(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = 100 * s.CDF(x)
+	}
+	return out
+}
+
+// Values returns a sorted copy of the observations.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return append([]float64(nil), s.vs...)
+}
+
+// Grid builds n+1 evenly spaced values from 0 to max inclusive.
+func Grid(max float64, n int) []float64 {
+	out := make([]float64, n+1)
+	for i := range out {
+		out[i] = max * float64(i) / float64(n)
+	}
+	return out
+}
+
+// Point is one (time, value) pair of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Mean returns the mean of the values (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Table renders aligned plain-text tables for the figure regenerators.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{headers: headers} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Fprint writes the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	io.WriteString(w, b.String())
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(vs ...float64) *Sample {
+	s := &Sample{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func TestSampleBasics(t *testing.T) {
+	s := sample(3, 1, 2)
+	if s.N() != 3 || s.Mean() != 2 || s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("basics wrong: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := &Sample{}
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 || s.CDF(10) != 0 {
+		t.Fatal("empty sample should return zeros")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := sample(0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	if got := s.Quantile(0.5); got != 50 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.25); got != 25 {
+		t.Fatalf("q.25 = %v (linear interpolation)", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	s := &Sample{}
+	for i := 0; i < 100; i++ {
+		s.Add(float64((i * 7919) % 1000))
+	}
+	f := func(a, b uint8) bool {
+		p, q := float64(a)/255, float64(b)/255
+		if p > q {
+			p, q = q, p
+		}
+		return s.Quantile(p) <= s.Quantile(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := sample(1, 2, 2, 3)
+	cases := map[float64]float64{0: 0, 1: 0.25, 2: 0.75, 2.5: 0.75, 3: 1, 99: 1}
+	for x, want := range cases {
+		if got := s.CDF(x); got != want {
+			t.Fatalf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	s := &Sample{}
+	for i := 0; i < 200; i++ {
+		s.Add(math.Mod(float64(i)*37.7, 500))
+	}
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s.CDF(x) <= s.CDF(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFSeriesPercent(t *testing.T) {
+	s := sample(0, 0, 0, 100)
+	got := s.CDFSeries([]float64{0, 100})
+	if got[0] != 75 || got[1] != 100 {
+		t.Fatalf("CDFSeries = %v", got)
+	}
+}
+
+func TestAddAfterSortIsSeen(t *testing.T) {
+	s := sample(5)
+	_ = s.Max() // forces sort
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Fatal("Add after sort not reflected")
+	}
+}
+
+func TestValuesCopy(t *testing.T) {
+	s := sample(2, 1)
+	v := s.Values()
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatalf("Values = %v", v)
+	}
+	v[0] = 99
+	if s.Values()[0] != 1 {
+		t.Fatal("Values does not copy")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(100, 4)
+	want := []float64{0, 25, 50, 75, 100}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("Grid = %v", g)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(1, 20)
+	if s.Mean() != 15 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if (&Series{}).Mean() != 0 {
+		t.Fatal("empty series mean should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", 1.0)
+	tab.AddRow("b", 2.5)
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1") {
+		t.Fatalf("row wrong: %q", lines[2])
+	}
+	// Integral floats print without decimals; fractional with two.
+	if !strings.Contains(lines[3], "2.50") {
+		t.Fatalf("float formatting wrong: %q", lines[3])
+	}
+	// Columns align: 'value' column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.Contains(lines[2][idx:], "1") {
+		t.Fatal("columns misaligned")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); g > 1e-9 {
+		t.Fatalf("even distribution gini = %v, want 0", g)
+	}
+	// All mass on one of four nodes: gini = (n-1)/n = 0.75.
+	if g := Gini([]float64{0, 0, 0, 8}); math.Abs(g-0.75) > 1e-9 {
+		t.Fatalf("concentrated gini = %v, want 0.75", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+	// More even is lower.
+	if Gini([]float64{1, 2, 3, 4}) >= Gini([]float64{0, 0, 1, 9}) {
+		t.Fatal("gini ordering wrong")
+	}
+	// Negative values clamp rather than corrupt the statistic.
+	if g := Gini([]float64{-5, 5, 5, 5}); g < 0 || g > 1 {
+		t.Fatalf("gini with negatives out of range: %v", g)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{3, 3, 3}); cv != 0 {
+		t.Fatalf("cv of constant = %v", cv)
+	}
+	// Values 2 and 4: mean 3, stddev 1 (population), cv = 1/3.
+	if cv := CoefficientOfVariation([]float64{2, 4}); math.Abs(cv-1.0/3) > 1e-9 {
+		t.Fatalf("cv = %v, want 1/3", cv)
+	}
+	if CoefficientOfVariation(nil) != 0 || CoefficientOfVariation([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate cv should be 0")
+	}
+}
+
+func TestMaxOverMean(t *testing.T) {
+	if m := MaxOverMean([]float64{2, 2, 2}); m != 1 {
+		t.Fatalf("even max/mean = %v", m)
+	}
+	if m := MaxOverMean([]float64{1, 1, 4}); m != 2 {
+		t.Fatalf("max/mean = %v, want 2", m)
+	}
+	if MaxOverMean(nil) != 0 || MaxOverMean([]float64{0}) != 0 {
+		t.Fatal("degenerate max/mean should be 0")
+	}
+}

@@ -1,0 +1,193 @@
+// Package trace records structured simulation events for offline
+// analysis. Simulations stay deterministic and fast by default — no
+// recorder installed means zero work — and a study that needs job
+// lifecycle timelines or churn logs attaches a Recorder and gets JSONL
+// or CSV with the standard library only.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Kind labels an event class.
+type Kind string
+
+// The event kinds emitted by the simulators.
+const (
+	JobSubmit  Kind = "job.submit"
+	JobPlace   Kind = "job.place"
+	JobStart   Kind = "job.start"
+	JobFinish  Kind = "job.finish"
+	JobRequeue Kind = "job.requeue"
+	JobLost    Kind = "job.lost"
+	NodeJoin   Kind = "node.join"
+	NodeLeave  Kind = "node.leave"
+	NodeFail   Kind = "node.fail"
+	Sample     Kind = "sample"
+)
+
+// Event is one recorded occurrence. Node and Job are -1 when not
+// applicable; Value carries a kind-specific number (wait seconds,
+// broken-link count, ...).
+type Event struct {
+	T     float64 `json:"t"` // virtual seconds
+	Kind  Kind    `json:"kind"`
+	Node  int64   `json:"node,omitempty"`
+	Job   int64   `json:"job,omitempty"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// Recorder consumes events.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is an in-memory recorder with query helpers. It is safe for
+// concurrent use (parallel experiment runners may share one).
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event.
+func (b *Buffer) Record(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Events returns a copy of the recorded events in record order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// ByKind returns the recorded events of one kind, in record order.
+func (b *Buffer) ByKind(k Kind) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Event
+	for _, e := range b.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Kinds returns the distinct kinds recorded, sorted.
+func (b *Buffer) Kinds() []Kind {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := map[Kind]struct{}{}
+	for _, e := range b.events {
+		set[e.Kind] = struct{}{}
+	}
+	out := make([]Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteJSONL streams the buffer as one JSON object per line.
+func (b *Buffer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range b.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV streams the buffer as CSV with a header row.
+func (b *Buffer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "kind", "node", "job", "value"}); err != nil {
+		return err
+	}
+	for _, e := range b.Events() {
+		rec := []string{
+			strconv.FormatFloat(e.T, 'f', 3, 64),
+			string(e.Kind),
+			strconv.FormatInt(e.Node, 10),
+			strconv.FormatInt(e.Job, 10),
+			strconv.FormatFloat(e.Value, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSONLRecorder writes each event immediately as a JSON line.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLRecorder wraps a writer.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	return &JSONLRecorder{enc: json.NewEncoder(w)}
+}
+
+// Record encodes the event; the first encoding error sticks.
+func (r *JSONLRecorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = r.enc.Encode(e)
+	}
+}
+
+// Err returns the first encoding error, if any.
+func (r *JSONLRecorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Multi fans events out to several recorders.
+func Multi(rs ...Recorder) Recorder { return multi(rs) }
+
+type multi []Recorder
+
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// ReadJSONL parses a JSONL stream back into events (for tools that
+// post-process recorded traces).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return out, fmt.Errorf("trace: decode event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{T: 0, Kind: NodeJoin, Node: 1, Job: -1},
+		{T: 1.5, Kind: JobSubmit, Node: 1, Job: 10},
+		{T: 1.5, Kind: JobStart, Node: 1, Job: 10, Value: 0},
+		{T: 61.25, Kind: JobFinish, Node: 1, Job: 10, Value: 0},
+	}
+}
+
+func TestBufferRecordsInOrder(t *testing.T) {
+	var b Buffer
+	for _, e := range sampleEvents() {
+		b.Record(e)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	evs := b.Events()
+	if evs[0].Kind != NodeJoin || evs[3].Kind != JobFinish {
+		t.Fatal("order not preserved")
+	}
+	// Events returns a copy.
+	evs[0].Kind = "tampered"
+	if b.Events()[0].Kind != NodeJoin {
+		t.Fatal("Events does not copy")
+	}
+}
+
+func TestBufferByKindAndKinds(t *testing.T) {
+	var b Buffer
+	for _, e := range sampleEvents() {
+		b.Record(e)
+	}
+	if got := b.ByKind(JobStart); len(got) != 1 || got[0].Job != 10 {
+		t.Fatalf("ByKind = %v", got)
+	}
+	kinds := b.Kinds()
+	if len(kinds) != 4 {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatal("Kinds not sorted")
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var b Buffer
+	for _, e := range sampleEvents() {
+		b.Record(e)
+	}
+	var out bytes.Buffer
+	if err := b.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 4 {
+		t.Fatalf("JSONL has %d lines", got)
+	}
+	back, err := ReadJSONL(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("round trip lost events: %d", len(back))
+	}
+	for i, e := range back {
+		if e != b.Events()[i] {
+			t.Fatalf("event %d mutated in round trip: %+v vs %+v", i, e, b.Events()[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1}{"bad`)); err == nil {
+		t.Fatal("truncated input did not error")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var b Buffer
+	for _, e := range sampleEvents() {
+		b.Record(e)
+	}
+	var out bytes.Buffer
+	if err := b.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4", len(lines))
+	}
+	if lines[0] != "t,kind,node,job,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "job.finish") {
+		t.Fatalf("last row = %q", lines[4])
+	}
+}
+
+func TestJSONLRecorderStreams(t *testing.T) {
+	var out bytes.Buffer
+	r := NewJSONLRecorder(&out)
+	for _, e := range sampleEvents() {
+		r.Record(e)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	back, err := ReadJSONL(&out)
+	if err != nil || len(back) != 4 {
+		t.Fatalf("streaming round trip: %v, %d events", err, len(back))
+	}
+}
+
+func TestMultiFanout(t *testing.T) {
+	var a, b Buffer
+	m := Multi(&a, &b)
+	m.Record(Event{Kind: Sample, Value: 7})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+}

@@ -1,0 +1,148 @@
+package hetgrid
+
+import "testing"
+
+func TestRemoveNodeRequeuesJobs(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1, Seed: 21})
+	// Two capable nodes; jobs pinned by capacity to wherever placed.
+	a, err := g.AddNode(basicNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AddNode(basicNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill both nodes with work; queue extra jobs.
+	var hs []*JobHandle
+	for i := 0; i < 8; i++ {
+		h, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 2}, DurationHours: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	// Find a node that actually holds jobs.
+	victim := a
+	held := 0
+	for _, h := range hs {
+		if h.RunNode() == a {
+			held++
+		}
+	}
+	if held == 0 {
+		victim = b
+	}
+
+	requeued, lost, err := g.RemoveNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 1 {
+		t.Fatalf("nodes = %d after removal", g.Nodes())
+	}
+	if len(requeued)+len(lost) == 0 {
+		t.Fatal("no jobs were displaced from a loaded node")
+	}
+	for _, h := range requeued {
+		if h.RunNode() == victim {
+			t.Fatal("requeued job still assigned to the removed node")
+		}
+	}
+	g.Run()
+	st := g.Stats()
+	if st.Finished != 8-len(lost) {
+		t.Fatalf("finished %d, want %d (8 minus %d lost)", st.Finished, 8-len(lost), len(lost))
+	}
+}
+
+func TestRemoveNodeLostWhenNoAlternative(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1, Seed: 22})
+	gid, err := g.AddNode(gpuNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddNode(basicNode()); err != nil { // CPU-only peer
+		t.Fatal(err)
+	}
+	h, err := g.Submit(JobSpec{
+		CPU: &CEReqSpec{Cores: 1}, GPU: &CEReqSpec{Cores: 64}, GPUSlot: 1,
+		DurationHours: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RunNode() != gid {
+		t.Fatalf("GPU job on node %d, want the GPU node", h.RunNode())
+	}
+	requeued, lost, err := g.RemoveNode(gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(requeued) != 0 || len(lost) != 1 {
+		t.Fatalf("requeued=%d lost=%d, want 0/1 (no GPU remains)", len(requeued), len(lost))
+	}
+	if lost[0].Status() != StatusQueued {
+		t.Fatal("lost job should remain queued")
+	}
+}
+
+func TestRemoveUnknownNode(t *testing.T) {
+	g, _ := New(Options{})
+	if _, _, err := g.RemoveNode(99); err == nil {
+		t.Fatal("removing unknown node did not error")
+	}
+}
+
+func TestRemoveNodeRestartLosesProgress(t *testing.T) {
+	g, _ := New(Options{Seed: 23})
+	a, _ := g.AddNode(basicNode())
+	b, _ := g.AddNode(basicNode())
+	h, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, other := a, b
+	if h.RunNode() == b {
+		victim, other = b, a
+	}
+	_ = other
+	// Let it run half way, then kill its node.
+	g.RunFor(900)
+	if h.Status() != StatusRunning {
+		t.Fatalf("status %v midway", h.Status())
+	}
+	requeued, lost, err := g.RemoveNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 0 || len(requeued) != 1 {
+		t.Fatalf("requeued=%d lost=%d", len(requeued), len(lost))
+	}
+	start := g.NowSeconds()
+	g.Run()
+	// The job restarted from scratch: a full execution after removal.
+	// Node clocks are 2.0, so 1 nominal hour takes 1800 s.
+	if got := g.NowSeconds() - start; got < 1800 {
+		t.Fatalf("job finished only %.0fs after restart; progress was not discarded", got)
+	}
+	if h.Status() != StatusFinished {
+		t.Fatal("restarted job did not finish")
+	}
+}
+
+func TestStatsByCE(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1, Seed: 24})
+	g.AddNode(gpuNode(1))
+	g.AddNode(basicNode())
+	g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5})
+	g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, GPU: &CEReqSpec{Cores: 32}, GPUSlot: 1, DurationHours: 0.5})
+	g.Run()
+	st := g.Stats()
+	if _, ok := st.MeanWaitByCE["cpu"]; !ok {
+		t.Fatalf("no cpu breakdown: %v", st.MeanWaitByCE)
+	}
+	if _, ok := st.MeanWaitByCE["gpu1"]; !ok {
+		t.Fatalf("no gpu1 breakdown: %v", st.MeanWaitByCE)
+	}
+}

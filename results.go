@@ -1,0 +1,161 @@
+package hetgrid
+
+import (
+	"sort"
+
+	"hetgrid/internal/exec"
+	"hetgrid/internal/resource"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusFinished JobStatus = "finished"
+)
+
+// JobHandle tracks a submitted job.
+type JobHandle struct {
+	job *exec.Job
+}
+
+// ID returns the job's id.
+func (h *JobHandle) ID() int64 { return int64(h.job.ID) }
+
+// Status returns the job's current state.
+func (h *JobHandle) Status() JobStatus {
+	switch h.job.State {
+	case exec.Running:
+		return StatusRunning
+	case exec.Finished:
+		return StatusFinished
+	default:
+		return StatusQueued
+	}
+}
+
+// RunNode returns the node the job was matched to.
+func (h *JobHandle) RunNode() NodeID { return NodeID(h.job.RunNode) }
+
+// DominantCE names the job's dominant computing element ("cpu" or
+// "gpuN").
+func (h *JobHandle) DominantCE() string { return h.job.Dominant.String() }
+
+// WaitSeconds is the paper's headline metric: seconds between placement
+// on the run node and execution start. Valid once the job has started.
+func (h *JobHandle) WaitSeconds() float64 { return h.job.WaitTime().Seconds() }
+
+// TurnaroundSeconds is the time from placement to completion. Valid
+// once the job has finished.
+func (h *JobHandle) TurnaroundSeconds() float64 { return h.job.Turnaround().Seconds() }
+
+// GridStats summarizes a grid simulation.
+type GridStats struct {
+	Nodes         int
+	Submitted     int
+	Finished      int
+	MeanWaitSec   float64
+	P90WaitSec    float64
+	P99WaitSec    float64
+	MaxWaitSec    float64
+	ZeroWaitShare float64 // fraction of finished jobs that never waited
+	// MeanWaitByCE breaks the mean wait down by the jobs' dominant CE
+	// ("cpu", "gpu1", ...), exposing where queueing concentrates.
+	MeanWaitByCE map[string]float64
+}
+
+// Stats computes summary statistics over finished jobs.
+func (g *Grid) Stats() GridStats {
+	st := GridStats{
+		Nodes:     g.ov.Len(),
+		Submitted: g.cluster.Submitted(),
+		Finished:  g.cluster.Finished(),
+	}
+	waits := make([]float64, 0, len(g.jobs))
+	zero := 0
+	ceSum := map[string]float64{}
+	ceN := map[string]int{}
+	for _, h := range g.jobs {
+		if h.job.State != exec.Finished {
+			continue
+		}
+		w := h.job.WaitTime().Seconds()
+		waits = append(waits, w)
+		if w == 0 {
+			zero++
+		}
+		ce := h.job.Dominant.String()
+		ceSum[ce] += w
+		ceN[ce]++
+	}
+	if len(waits) == 0 {
+		return st
+	}
+	sum := 0.0
+	for _, w := range waits {
+		sum += w
+	}
+	st.MeanWaitSec = sum / float64(len(waits))
+	st.P90WaitSec = quantile(waits, 0.90)
+	st.P99WaitSec = quantile(waits, 0.99)
+	st.MaxWaitSec = quantile(waits, 1)
+	st.ZeroWaitShare = float64(zero) / float64(len(waits))
+	st.MeanWaitByCE = make(map[string]float64, len(ceSum))
+	for ce, s := range ceSum {
+		st.MeanWaitByCE[ce] = s / float64(ceN[ce])
+	}
+	return st
+}
+
+func quantile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// NodeInfo describes a live node for inspection.
+type NodeInfo struct {
+	ID       NodeID
+	CPU      CPUSpec
+	GPUSlots []int
+	DiskGB   float64
+	Queue    int
+	Running  int
+	Finished int
+	Free     bool
+}
+
+// NodeInfos lists all live nodes sorted by id.
+func (g *Grid) NodeInfos() []NodeInfo {
+	var out []NodeInfo
+	for _, n := range g.ov.Nodes() {
+		rt := g.cluster.Runtime(n.ID)
+		if rt == nil || n.Caps == nil {
+			continue
+		}
+		cpu := n.Caps.CPU()
+		info := NodeInfo{
+			ID:       NodeID(n.ID),
+			CPU:      CPUSpec{Clock: cpu.Clock, Cores: cpu.Cores, MemoryGB: cpu.Memory},
+			DiskGB:   n.Caps.Disk,
+			Queue:    rt.QueueLen(),
+			Running:  rt.RunningJobs(),
+			Finished: rt.FinishedJobs(),
+			Free:     rt.IsFree(),
+		}
+		for _, ce := range n.Caps.CEs {
+			if ce.Type != resource.TypeCPU {
+				info.GPUSlots = append(info.GPUSlots, int(ce.Type))
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}

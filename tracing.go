@@ -1,0 +1,78 @@
+package hetgrid
+
+import (
+	"io"
+
+	"hetgrid/internal/exec"
+	"hetgrid/internal/trace"
+)
+
+// TraceEvent is one recorded simulation occurrence. See TraceBuffer.
+type TraceEvent = trace.Event
+
+// Trace kinds emitted by Grid simulations.
+const (
+	TraceJobSubmit  = trace.JobSubmit
+	TraceJobStart   = trace.JobStart
+	TraceJobFinish  = trace.JobFinish
+	TraceJobRequeue = trace.JobRequeue
+	TraceJobLost    = trace.JobLost
+	TraceNodeJoin   = trace.NodeJoin
+	TraceNodeLeave  = trace.NodeLeave
+)
+
+// TraceBuffer accumulates events in memory and exports them as JSONL or
+// CSV. Attach one with Grid.SetTraceBuffer before submitting work.
+type TraceBuffer struct {
+	buf trace.Buffer
+}
+
+// Len returns the number of recorded events.
+func (t *TraceBuffer) Len() int { return t.buf.Len() }
+
+// Events returns a copy of the recorded events in order.
+func (t *TraceBuffer) Events() []TraceEvent { return t.buf.Events() }
+
+// WriteJSONL exports the trace as one JSON object per line.
+func (t *TraceBuffer) WriteJSONL(w io.Writer) error { return t.buf.WriteJSONL(w) }
+
+// WriteCSV exports the trace as CSV with a header row.
+func (t *TraceBuffer) WriteCSV(w io.Writer) error { return t.buf.WriteCSV(w) }
+
+// SetTraceBuffer installs (or, with nil, removes) a trace buffer that
+// records job lifecycle and membership events: job.submit, job.start,
+// job.finish (value = wait seconds), job.requeue, job.lost, node.join,
+// node.leave.
+func (g *Grid) SetTraceBuffer(t *TraceBuffer) {
+	g.tracer = t
+	if t == nil {
+		g.cluster.OnStart = nil
+		g.cluster.OnFinish = nil
+		return
+	}
+	g.cluster.OnStart = func(j *exec.Job) {
+		t.buf.Record(trace.Event{
+			T: g.eng.Now().Seconds(), Kind: trace.JobStart,
+			Node: int64(j.RunNode), Job: int64(j.ID),
+			Value: j.WaitTime().Seconds(),
+		})
+	}
+	g.cluster.OnFinish = func(j *exec.Job) {
+		t.buf.Record(trace.Event{
+			T: g.eng.Now().Seconds(), Kind: trace.JobFinish,
+			Node: int64(j.RunNode), Job: int64(j.ID),
+			Value: j.WaitTime().Seconds(),
+		})
+	}
+}
+
+// record emits an event when a tracer is installed.
+func (g *Grid) record(kind trace.Kind, node NodeID, job int64, value float64) {
+	if g.tracer == nil {
+		return
+	}
+	g.tracer.buf.Record(trace.Event{
+		T: g.eng.Now().Seconds(), Kind: kind,
+		Node: int64(node), Job: job, Value: value,
+	})
+}

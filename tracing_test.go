@@ -1,0 +1,111 @@
+package hetgrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGridTracingLifecycle(t *testing.T) {
+	g, _ := New(Options{Seed: 31})
+	var tb TraceBuffer
+	g.SetTraceBuffer(&tb)
+
+	a, _ := g.AddNode(basicNode())
+	b, _ := g.AddNode(basicNode())
+	_ = b
+	h, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 2}, DurationHours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+
+	evs := tb.Events()
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, string(e.Kind))
+	}
+	want := []string{"node.join", "node.join", "job.submit", "job.start", "job.finish"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// The finish event carries the wait time and the run node.
+	fin := evs[len(evs)-1]
+	if fin.Job != h.ID() || fin.Node != int64(h.RunNode()) || fin.Value != h.WaitSeconds() {
+		t.Fatalf("finish event = %+v", fin)
+	}
+	// Timestamps are nondecreasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatal("trace timestamps decreased")
+		}
+	}
+	_ = a
+}
+
+func TestGridTracingRemoveNode(t *testing.T) {
+	g, _ := New(Options{Seed: 32})
+	var tb TraceBuffer
+	g.SetTraceBuffer(&tb)
+	a, _ := g.AddNode(basicNode())
+	g.AddNode(basicNode())
+	h, _ := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 1})
+	victim := NodeID(h.RunNode())
+	_ = a
+	if _, _, err := g.RemoveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	var sawLeave, sawRequeueOrLost bool
+	for _, e := range tb.Events() {
+		switch e.Kind {
+		case TraceNodeLeave:
+			sawLeave = true
+		case TraceJobRequeue, TraceJobLost:
+			sawRequeueOrLost = true
+		}
+	}
+	if !sawLeave || !sawRequeueOrLost {
+		t.Fatalf("missing membership events: leave=%v requeue/lost=%v", sawLeave, sawRequeueOrLost)
+	}
+}
+
+func TestGridTracingExports(t *testing.T) {
+	g, _ := New(Options{Seed: 33})
+	var tb TraceBuffer
+	g.SetTraceBuffer(&tb)
+	g.AddNode(basicNode())
+	g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5})
+	g.Run()
+
+	var jsonl, csv bytes.Buffer
+	if err := tb.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"job.finish"`) {
+		t.Fatal("JSONL missing finish event")
+	}
+	if !strings.Contains(csv.String(), "job.finish") {
+		t.Fatal("CSV missing finish event")
+	}
+}
+
+func TestGridTracingDetach(t *testing.T) {
+	g, _ := New(Options{Seed: 34})
+	var tb TraceBuffer
+	g.SetTraceBuffer(&tb)
+	g.AddNode(basicNode())
+	g.SetTraceBuffer(nil)
+	g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5})
+	g.Run()
+	if tb.Len() != 1 { // only the node.join before detaching
+		t.Fatalf("events after detach: %d", tb.Len())
+	}
+}
