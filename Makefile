@@ -1,0 +1,38 @@
+# hetgrid build/verify harness.
+#
+#   make verify   — everything the CI gate runs: build, vet, race tests,
+#                   and a short benchmark pass that regenerates
+#                   BENCH_1.json against the BENCH_0.json baseline.
+
+GO ?= go
+BENCHTMP ?= /tmp/hetgrid_bench
+
+.PHONY: all build vet test race bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_1.json: the figure drivers run at 3 iterations
+# (each iteration is a full reduced-scale experiment), the hot-path
+# micro-benchmarks at 30, matching the conditions BENCH_0.json was
+# captured under. BENCH_0.json entries are embedded as baselines.
+bench:
+	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|WorkloadGen' \
+		-benchmem -benchtime 3x . | tee $(BENCHTMP)_figs.txt
+	$(GO) test -run '^$$' -bench 'Placement|AggRefresh' \
+		-benchmem -benchtime 30x . | tee $(BENCHTMP)_hot.txt
+	cat $(BENCHTMP)_figs.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
+	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 1 -prev BENCH_0.json -out BENCH_1.json
+
+verify: build vet race bench

@@ -73,6 +73,7 @@ func BenchmarkFig5InterArrival(b *testing.B) {
 			b.ReportMetric(meanHet, "canhet-wait-s")
 			b.ReportMetric(meanHom, "canhom-wait-s")
 			b.ReportMetric(meanCentral, "central-wait-s")
+			reportJobsPerSec(b, 1500*len(experiments.LBSchemes))
 		})
 	}
 }
@@ -107,6 +108,7 @@ func BenchmarkFig6ConstraintRatio(b *testing.B) {
 			b.ReportMetric(meanHet, "canhet-wait-s")
 			b.ReportMetric(meanHom, "canhom-wait-s")
 			b.ReportMetric(meanCentral, "central-wait-s")
+			reportJobsPerSec(b, 1500*len(experiments.LBSchemes))
 		})
 	}
 }
@@ -284,7 +286,17 @@ func BenchmarkPlacement(b *testing.B) {
 					b.StartTimer()
 				}
 			}
+			reportJobsPerSec(b, 1)
 		})
+	}
+}
+
+// reportJobsPerSec reports simulated job throughput: jobsPerOp jobs are
+// placed and executed per benchmark iteration, over the timed portion
+// of the run.
+func reportJobsPerSec(b *testing.B, jobsPerOp int) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(jobsPerOp*b.N)/secs, "jobs/s")
 	}
 }
 

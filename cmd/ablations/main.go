@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"hetgrid/internal/experiments"
+	"hetgrid/internal/perf"
 )
 
 func main() {
@@ -22,7 +23,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "root random seed")
 	only := flag.String("only", "all", "ablation to run: sf, virtual, staleness, gamma, gpus, bound, failures, churnlb or all")
 	out := flag.String("out", "", "output file (default stdout)")
+	pprofPath := flag.String("pprof", "", "write a CPU profile to this file")
+	perfStats := flag.Bool("perfstats", false, "enable perf timers and print the counter report to stderr")
 	flag.Parse()
+
+	stopPerf, err := perf.Instrument(*pprofPath, *perfStats)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopPerf()
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -1,0 +1,202 @@
+// Command benchjson runs the repository's benchmark suite and writes
+// the results as a machine-readable JSON document (BENCH_<pr>.json),
+// so performance can be tracked as a trajectory across PRs rather than
+// eyeballed from `go test -bench` output.
+//
+//	benchjson -out BENCH_1.json -prev BENCH_0.json
+//	benchjson -bench 'Fig5|Placement|AggRefresh' -benchtime 10x
+//
+// The schema (hetgrid-bench/v1) stores, per benchmark: ns/op, B/op,
+// allocs/op, and every custom metric the benchmark reported (wait-time
+// means, msgs/node/min, jobs/s, …). When -prev names an earlier
+// document, its entries are embedded as each benchmark's baseline, so
+// one file carries the before/after pair.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Doc is the top-level BENCH_*.json document.
+type Doc struct {
+	Schema    string  `json:"schema"`
+	PR        int     `json:"pr"`
+	Go        string  `json:"go,omitempty"`
+	CPU       string  `json:"cpu,omitempty"`
+	BenchTime string  `json:"benchtime,omitempty"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsOp     float64            `json:"ns_op"`
+	BytesOp  float64            `json:"bytes_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Baseline *Entry             `json:"baseline,omitempty"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	prev := flag.String("prev", "", "earlier BENCH_*.json whose entries become baselines")
+	pr := flag.Int("pr", 0, "PR number recorded in the document")
+	parseFile := flag.String("parse", "", "parse saved go test -bench output from this file instead of running the suite")
+	flag.Parse()
+
+	var doc *Doc
+	if *parseFile != "" {
+		f, err := os.Open(*parseFile)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err = parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkg)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		doc, err = parse(io.TeeReader(pipe, os.Stdout))
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+	}
+	doc.Schema = "hetgrid-bench/v1"
+	doc.BenchTime = *benchtime
+	doc.PR = *pr
+
+	if *prev != "" {
+		if err := embedBaselines(doc, *prev); err != nil {
+			fatal(err)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+// benchLine matches `BenchmarkName-8   30   123 ns/op   45 B/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parse extracts benchmark entries and environment lines from go test
+// output.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			_ = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: strings.TrimPrefix(m[1], "Benchmark"), Iters: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsOp = val
+			case "B/op":
+				e.BytesOp = val
+			case "allocs/op":
+				e.AllocsOp = val
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = val
+			}
+		}
+		doc.Entries = append(doc.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(doc.Entries, func(i, j int) bool { return doc.Entries[i].Name < doc.Entries[j].Name })
+	return doc, nil
+}
+
+// embedBaselines attaches the matching entry of an earlier document as
+// each benchmark's baseline.
+func embedBaselines(doc *Doc, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prev Doc
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]*Entry, len(prev.Entries))
+	for i := range prev.Entries {
+		e := &prev.Entries[i]
+		e.Baseline = nil // never nest more than one level
+		byName[e.Name] = e
+	}
+	for i := range doc.Entries {
+		if base, ok := byName[doc.Entries[i].Name]; ok {
+			doc.Entries[i].Baseline = base
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"hetgrid/internal/experiments"
+	"hetgrid/internal/perf"
 )
 
 func main() {
@@ -26,7 +27,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "root random seed")
 	out := flag.String("out", "", "output file (default stdout)")
+	pprofPath := flag.String("pprof", "", "write a CPU profile to this file")
+	perfStats := flag.Bool("perfstats", false, "enable perf timers and print the counter report to stderr")
 	flag.Parse()
+
+	stopPerf, err := perf.Instrument(*pprofPath, *perfStats)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopPerf()
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

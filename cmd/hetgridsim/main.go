@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"hetgrid/internal/experiments"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/sim"
 	"hetgrid/internal/stats"
 )
@@ -29,7 +30,16 @@ func main() {
 	gamma := flag.Float64("gamma", 0.3, "CPU contention coefficient")
 	seed := flag.Int64("seed", 1, "random seed")
 	seeds := flag.Int("seeds", 1, "replicate over this many consecutive seeds (parallel) and report mean±std")
+	pprofPath := flag.String("pprof", "", "write a CPU profile to this file")
+	perfStats := flag.Bool("perfstats", false, "enable perf timers and print the counter report to stderr")
 	flag.Parse()
+
+	stopPerf, err := perf.Instrument(*pprofPath, *perfStats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetgridsim:", err)
+		os.Exit(1)
+	}
+	defer stopPerf()
 
 	cfg := experiments.LBConfig{
 		Scheme:           experiments.SchemeName(*scheme),

@@ -121,6 +121,13 @@ func NewOverlay(dims int) *Overlay {
 // Dims returns the dimensionality of the overlay's space.
 func (o *Overlay) Dims() int { return o.dims }
 
+// Version is a monotonic membership version: it advances on every join
+// and leave. Zones only ever change as part of a join or leave (splits,
+// take-overs and merges all happen inside those operations), so a cache
+// keyed on Version pins both the node set and every node's zone. The
+// schedulers use it to reuse sorted indexes between churn events.
+func (o *Overlay) Version() uint64 { return uint64(o.joins) + uint64(o.leaves) }
+
 // Len returns the number of live nodes.
 func (o *Overlay) Len() int { return len(o.nodes) }
 

@@ -2,10 +2,18 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"hetgrid/internal/can"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/sim"
+)
+
+var (
+	cntSubmitted     = perf.NewCounter("exec.jobs_submitted")
+	cntFinished      = perf.NewCounter("exec.jobs_finished")
+	cntRateRefreshes = perf.NewCounter("exec.rate_refreshes")
 )
 
 // Config holds execution-model parameters.
@@ -31,8 +39,24 @@ type Cluster struct {
 	// OnFinish, when non-nil, is called as each job completes.
 	OnFinish func(*Job)
 
+	// loadObserver, when non-nil, is notified after every operation
+	// that may change a node's queue length or idleness (AddNode,
+	// Submit, a job finishing, RemoveNode). removed marks withdrawal.
+	// Schedulers use it to maintain incremental candidate indexes.
+	loadObserver func(r *Runtime, removed bool)
+
 	submitted int
 	finished  int
+}
+
+// SetLoadObserver installs the single load-change observer (the
+// scheduler's candidate index). Passing nil removes it.
+func (c *Cluster) SetLoadObserver(f func(r *Runtime, removed bool)) { c.loadObserver = f }
+
+func (c *Cluster) notifyLoad(r *Runtime, removed bool) {
+	if c.loadObserver != nil {
+		c.loadObserver(r, removed)
+	}
 }
 
 // NewCluster creates an empty cluster on the engine.
@@ -48,11 +72,23 @@ func (c *Cluster) AddNode(id can.NodeID, caps *resource.NodeCaps) *Runtime {
 	}
 	r := newRuntime(id, caps)
 	c.nodes[id] = r
+	c.notifyLoad(r, false)
 	return r
 }
 
 // Runtime returns the runtime state of a node, or nil.
 func (c *Cluster) Runtime(id can.NodeID) *Runtime { return c.nodes[id] }
+
+// Runtimes returns every node's runtime state sorted by id. It is meant
+// for index seeding and diagnostics, not hot paths — it allocates.
+func (c *Cluster) Runtimes() []*Runtime {
+	out := make([]*Runtime, 0, len(c.nodes))
+	for _, r := range c.nodes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // Submitted and Finished report cluster-wide job counts.
 func (c *Cluster) Submitted() int { return c.submitted }
@@ -76,8 +112,11 @@ func (c *Cluster) Submit(j *Job, node can.NodeID) error {
 	j.RunNode = node
 	j.Placed = now
 	r.queue = append(r.queue, j)
+	r.noteQueued(j, +1)
 	c.submitted++
+	cntSubmitted.Inc()
 	c.advance(r, now)
+	c.notifyLoad(r, false)
 	return nil
 }
 
@@ -108,6 +147,7 @@ func (c *Cluster) advance(r *Runtime, now sim.Time) {
 	for len(r.queue) > 0 && r.canStart(r.queue[0].Req) {
 		j := r.queue[0]
 		r.queue = r.queue[1:]
+		r.noteQueued(j, -1)
 		r.occupy(j)
 		j.State = Running
 		j.Started = now
@@ -125,6 +165,7 @@ func (c *Cluster) advance(r *Runtime, now sim.Time) {
 // cheap to refresh; nodes run at most a handful of jobs. Jobs are
 // processed in id order so event scheduling stays deterministic.
 func (c *Cluster) refreshRates(r *Runtime, now sim.Time) {
+	cntRateRefreshes.Add(int64(len(r.running())))
 	for _, j := range r.running() {
 		j.syncWork(now)
 		j.rate = c.rate(r, j)
@@ -148,7 +189,10 @@ func (c *Cluster) RemoveNode(id can.NodeID) []*Job {
 	}
 	delete(c.nodes, id)
 	var orphans []*Job
-	for _, j := range r.running() {
+	// release mutates the running set in place, so drain it from the
+	// front rather than ranging over it.
+	for len(r.run) > 0 {
+		j := r.run[0]
 		c.eng.Cancel(j.completion)
 		r.release(j)
 		j.State = Queued
@@ -157,10 +201,12 @@ func (c *Cluster) RemoveNode(id can.NodeID) []*Job {
 		orphans = append(orphans, j)
 	}
 	for _, j := range r.queue {
+		r.noteQueued(j, -1)
 		orphans = append(orphans, j)
 	}
 	r.queue = nil
 	c.submitted -= len(orphans) // re-submission will recount them
+	c.notifyLoad(r, true)
 	return orphans
 }
 
@@ -172,7 +218,9 @@ func (c *Cluster) finish(r *Runtime, j *Job, now sim.Time) {
 	j.State = Finished
 	j.Finished_ = now
 	c.finished++
+	cntFinished.Inc()
 	c.advance(r, now)
+	c.notifyLoad(r, false)
 	if c.OnFinish != nil {
 		c.OnFinish(j)
 	}

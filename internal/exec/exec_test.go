@@ -361,8 +361,11 @@ func TestManyJobsConserved(t *testing.T) {
 		if !r.IsFree() {
 			t.Fatalf("node %d not free after drain", i)
 		}
+		if len(r.run) != 0 {
+			t.Fatalf("node %d running set not empty after drain", i)
+		}
 		for _, ce := range r.ces {
-			if ce.usedCor != 0 || ce.runJobs != 0 || len(ce.runners) != 0 {
+			if ce.usedCor != 0 || ce.runJobs != 0 {
 				t.Fatalf("node %d CE %v occupancy not zero after drain", i, ce.ce.Type)
 			}
 		}

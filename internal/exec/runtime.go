@@ -12,7 +12,6 @@ type ceState struct {
 	ce      resource.CE
 	usedCor int // sum of required cores of running jobs using this CE
 	runJobs int // running jobs using this CE
-	runners map[JobID]*Job
 }
 
 func (c *ceState) freeCores() int { return c.ce.Cores - c.usedCor }
@@ -35,7 +34,14 @@ type Runtime struct {
 
 	queue []*Job // strictly FIFO: only the head may start
 	ces   map[resource.CEType]*ceState
-	done  int
+	run   []*Job // running jobs, kept sorted by id
+	// queuedJobs / queuedCores are per-CE-type tallies over the FIFO
+	// queue, maintained incrementally on queue transitions so that
+	// Score and DemandOn (called per node per aggregation refresh and
+	// per score evaluation) are O(1) instead of O(queue length).
+	queuedJobs  []int
+	queuedCores []int
+	done        int
 	// busyCoreSeconds accumulates, over completed jobs, execution
 	// wall-time × cores occupied — the per-node work metric used by
 	// the load-imbalance statistics.
@@ -45,7 +51,7 @@ type Runtime struct {
 func newRuntime(id can.NodeID, caps *resource.NodeCaps) *Runtime {
 	r := &Runtime{ID: id, Caps: caps, ces: make(map[resource.CEType]*ceState)}
 	for _, ce := range caps.CEs {
-		r.ces[ce.Type] = &ceState{ce: ce, runners: make(map[JobID]*Job)}
+		r.ces[ce.Type] = &ceState{ce: ce}
 	}
 	return r
 }
@@ -55,22 +61,25 @@ func (r *Runtime) QueueLen() int { return len(r.queue) }
 
 // RunningJobs returns the number of jobs currently executing. A job
 // using several CEs counts once.
-func (r *Runtime) RunningJobs() int { return len(r.running()) }
+func (r *Runtime) RunningJobs() int { return len(r.run) }
 
-// running returns the node's running jobs sorted by id.
-func (r *Runtime) running() []*Job {
-	set := make(map[JobID]*Job)
-	for _, c := range r.ces {
-		for id, j := range c.runners {
-			set[id] = j
+// running returns the node's running jobs sorted by id. The returned
+// slice is the runtime's own bookkeeping; callers must not mutate it or
+// hold it across occupy/release.
+func (r *Runtime) running() []*Job { return r.run }
+
+// noteQueued maintains the per-type queue tallies as jobs enter
+// (sign = +1) and leave (sign = -1) the FIFO queue.
+func (r *Runtime) noteQueued(j *Job, sign int) {
+	for _, t := range j.types() {
+		ti := int(t)
+		for len(r.queuedJobs) <= ti {
+			r.queuedJobs = append(r.queuedJobs, 0)
+			r.queuedCores = append(r.queuedCores, 0)
 		}
+		r.queuedJobs[ti] += sign
+		r.queuedCores[ti] += sign * j.Req.CoresOn(t)
 	}
-	out := make([]*Job, 0, len(set))
-	for _, j := range set {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
 }
 
 // FinishedJobs returns the number of jobs this node has completed.
@@ -83,7 +92,7 @@ func (r *Runtime) BusyCoreSeconds() float64 { return r.busyCoreSeconds }
 // totalCores sums a job's core occupancy across its required CEs.
 func totalCores(j *Job) int {
 	n := 0
-	for _, t := range j.Req.Types() {
+	for _, t := range j.types() {
 		n += j.Req.CoresOn(t)
 	}
 	return n
@@ -93,15 +102,7 @@ func totalCores(j *Job) int {
 // no running or waiting jobs at all, so any matching job starts
 // immediately.
 func (r *Runtime) IsFree() bool {
-	if len(r.queue) > 0 {
-		return false
-	}
-	for _, c := range r.ces {
-		if c.runJobs > 0 {
-			return false
-		}
-	}
-	return true
+	return len(r.queue) == 0 && len(r.run) == 0
 }
 
 // IsAcceptable reports whether a job with requirements req would start
@@ -119,9 +120,11 @@ func (r *Runtime) IsAcceptable(req resource.JobReq) bool {
 }
 
 // canStart checks CE availability only (queue discipline is the
-// caller's concern).
+// caller's concern). It iterates the requirement map directly — the
+// all-must-pass check is order-independent, and req.Types() would
+// allocate on every candidate evaluation.
 func (r *Runtime) canStart(req resource.JobReq) bool {
-	for _, t := range req.Types() {
+	for t := range req.CE {
 		c := r.ces[t]
 		if c == nil || !c.canHost(req.CoresOn(t)) {
 			return false
@@ -145,24 +148,22 @@ func (r *Runtime) Score(t resource.CEType) float64 {
 	return resource.ScoreNonDedicated(c.usedCor+r.queuedCoresOn(t), c.ce.Cores, c.ce.Clock)
 }
 
-// queuedOn counts waiting jobs that require CE type t.
+// queuedOn counts waiting jobs that require CE type t (O(1): read from
+// the incrementally maintained tally).
 func (r *Runtime) queuedOn(t resource.CEType) int {
-	n := 0
-	for _, j := range r.queue {
-		if _, ok := j.Req.CE[t]; ok {
-			n++
-		}
+	if int(t) < len(r.queuedJobs) {
+		return r.queuedJobs[t]
 	}
-	return n
+	return 0
 }
 
-// queuedCoresOn sums the cores waiting jobs will occupy on CE type t.
+// queuedCoresOn sums the cores waiting jobs will occupy on CE type t
+// (O(1): read from the incrementally maintained tally).
 func (r *Runtime) queuedCoresOn(t resource.CEType) int {
-	n := 0
-	for _, j := range r.queue {
-		n += j.Req.CoresOn(t)
+	if int(t) < len(r.queuedCores) {
+		return r.queuedCores[t]
 	}
-	return n
+	return 0
 }
 
 // DemandOn returns the load-aggregation inputs for CE type t: the cores
@@ -180,22 +181,29 @@ func (r *Runtime) DemandOn(t resource.CEType) (requiredCores, cores int, ok bool
 // CE returns the capability record of the node's CE of type t, or nil.
 func (r *Runtime) CE(t resource.CEType) *resource.CE { return r.Caps.CE(t) }
 
-// occupy reserves CEs for a starting job.
+// occupy reserves CEs for a starting job and enters it into the
+// id-sorted running set.
 func (r *Runtime) occupy(j *Job) {
-	for _, t := range j.Req.Types() {
+	for _, t := range j.types() {
 		c := r.ces[t]
 		c.usedCor += j.Req.CoresOn(t)
 		c.runJobs++
-		c.runners[j.ID] = j
 	}
+	i := sort.Search(len(r.run), func(i int) bool { return r.run[i].ID >= j.ID })
+	r.run = append(r.run, nil)
+	copy(r.run[i+1:], r.run[i:])
+	r.run[i] = j
 }
 
 // release frees a running job's CEs (on completion or preemption).
 func (r *Runtime) release(j *Job) {
-	for _, t := range j.Req.Types() {
+	for _, t := range j.types() {
 		c := r.ces[t]
 		c.usedCor -= j.Req.CoresOn(t)
 		c.runJobs--
-		delete(c.runners, j.ID)
+	}
+	i := sort.Search(len(r.run), func(i int) bool { return r.run[i].ID >= j.ID })
+	if i < len(r.run) && r.run[i] == j {
+		r.run = append(r.run[:i], r.run[i+1:]...)
 	}
 }

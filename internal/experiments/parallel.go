@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hetgrid/internal/stats"
 )
@@ -53,6 +54,71 @@ func ParallelMap[T any](n, workers int, f func(i int) T) []T {
 	return out
 }
 
+// ParallelMapErr is ParallelMap for fallible work: it runs f over every
+// index in [0, n) and returns the results in input order together with
+// the error of the lowest failing index, or nil.
+//
+// Unlike running ParallelMap to completion and scanning afterwards, a
+// failure cancels the sweep: indices not yet handed to a worker when
+// the first error lands are never started. The reported error is still
+// deterministic — indices are dispatched in ascending order, and after
+// the pool drains the slots are scanned ascending, so the lowest
+// failing index among those that ran wins regardless of goroutine
+// timing, and every index below it was dispatched before cancellation
+// could take effect.
+func ParallelMapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				v, err := f(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // Replication summarizes one metric across seed replicas.
 type Replication struct {
 	Seeds  []int64
@@ -63,30 +129,28 @@ type Replication struct {
 
 // ReplicateLB runs the same load-balancing configuration under n
 // consecutive seeds in parallel and summarizes the metric extracted by
-// pick (for example, mean wait time).
+// pick (for example, mean wait time). A failing replica cancels the
+// remaining seeds; the returned error is always the lowest failing
+// seed's, independent of scheduling.
 func ReplicateLB(cfg LBConfig, n int, pick func(*LBResult) float64) (Replication, error) {
-	type outcome struct {
-		v   float64
-		err error
-	}
-	results := ParallelMap(n, 0, func(i int) outcome {
+	results, err := ParallelMapErr(n, 0, func(i int) (float64, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
 		res, err := RunLoadBalance(c)
 		if err != nil {
-			return outcome{err: err}
+			return 0, err
 		}
-		return outcome{v: pick(res)}
+		return pick(res), nil
 	})
+	if err != nil {
+		return Replication{}, err
+	}
 	rep := Replication{}
 	var sample stats.Sample
-	for i, r := range results {
-		if r.err != nil {
-			return Replication{}, r.err
-		}
+	for i, v := range results {
 		rep.Seeds = append(rep.Seeds, cfg.Seed+int64(i))
-		rep.Means = append(rep.Means, r.v)
-		sample.Add(r.v)
+		rep.Means = append(rep.Means, v)
+		sample.Add(v)
 	}
 	rep.Mean = sample.Mean()
 	rep.StdDev = stddev(rep.Means, rep.Mean)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -102,5 +103,85 @@ func TestStddev(t *testing.T) {
 	// Sample stddev of this classic set is ≈2.138.
 	if got < 2.13 || got > 2.15 {
 		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestParallelMapErrSuccess(t *testing.T) {
+	for _, workers := range []int{1, 6} {
+		got, err := ParallelMapErr(30, workers, func(i int) (int, error) { return i * 2, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*2 {
+				t.Fatalf("workers=%d index %d: got %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestParallelMapErrFirstErrorDeterministic checks that when several
+// indices fail, the reported error is always the lowest failing index's,
+// regardless of worker count or goroutine scheduling.
+func TestParallelMapErrFirstErrorDeterministic(t *testing.T) {
+	failAt := map[int]bool{7: true, 11: true, 23: true}
+	for _, workers := range []int{1, 2, 8} {
+		for rep := 0; rep < 20; rep++ {
+			_, err := ParallelMapErr(40, workers, func(i int) (int, error) {
+				if failAt[i] {
+					return 0, fmt.Errorf("fail-%d", i)
+				}
+				return i, nil
+			})
+			if err == nil || err.Error() != "fail-7" {
+				t.Fatalf("workers=%d: err = %v, want fail-7", workers, err)
+			}
+		}
+	}
+}
+
+// TestParallelMapErrCancelsAfterFailure checks both cancellation
+// behaviors: the serial path stops exactly at the failure, and the
+// parallel path stops dispatching new indices once a failure has been
+// observed (indices already handed out may still run).
+func TestParallelMapErrCancelsAfterFailure(t *testing.T) {
+	// Serial: nothing past the failing index runs.
+	var serialRan int64
+	_, err := ParallelMapErr(100, 1, func(i int) (int, error) {
+		atomic.AddInt64(&serialRan, 1)
+		if i == 4 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("serial err = %v", err)
+	}
+	if serialRan != 5 {
+		t.Fatalf("serial ran %d calls, want 5 (indices 0..4)", serialRan)
+	}
+
+	// Parallel: with a failure at index 0 and workers blocked until it
+	// lands, the vast majority of the sweep must never start.
+	var parallelRan int64
+	_, err = ParallelMapErr(10_000, 2, func(i int) (int, error) {
+		atomic.AddInt64(&parallelRan, 1)
+		if i == 0 {
+			return 0, fmt.Errorf("early")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "early" {
+		t.Fatalf("parallel err = %v", err)
+	}
+	if ran := atomic.LoadInt64(&parallelRan); ran == 10_000 {
+		t.Fatalf("parallel ran the full sweep (%d calls) despite an index-0 failure", ran)
+	}
+}
+
+func TestParallelMapErrEmpty(t *testing.T) {
+	out, err := ParallelMapErr(0, 4, func(int) (int, error) { return 0, fmt.Errorf("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: out=%v err=%v", out, err)
 	}
 }

@@ -7,7 +7,14 @@ package netsim
 
 import (
 	"hetgrid/internal/can"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/sim"
+)
+
+var (
+	cntMsgsSent  = perf.NewCounter("net.msgs_sent")
+	cntBytesSent = perf.NewCounter("net.bytes_sent")
+	cntDropped   = perf.NewCounter("net.msgs_dropped")
 )
 
 // Counters accumulates traffic totals.
@@ -64,6 +71,8 @@ func (n *Net) node(id can.NodeID) *Counters {
 // arrival (unless dst is gone by then). Sending is counted immediately;
 // receiving at delivery.
 func (n *Net) Send(src, dst can.NodeID, size int, deliver func(now sim.Time)) {
+	cntMsgsSent.Inc()
+	cntBytesSent.Add(int64(size))
 	n.total.MsgsSent++
 	n.total.BytesSent += int64(size)
 	n.window.MsgsSent++
@@ -74,6 +83,7 @@ func (n *Net) Send(src, dst can.NodeID, size int, deliver func(now sim.Time)) {
 
 	n.eng.After(n.latency, func(now sim.Time) {
 		if n.deliverable != nil && !n.deliverable(dst) {
+			cntDropped.Inc()
 			return
 		}
 		n.total.MsgsRecv++

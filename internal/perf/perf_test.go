@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistryIdempotent(t *testing.T) {
+	a := NewCounter("test.reg")
+	b := NewCounter("test.reg")
+	if a != b {
+		t.Fatal("NewCounter with the same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter("test.concurrent")
+	c.v.Store(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestTimerGating(t *testing.T) {
+	tm := NewTimer("test.timer")
+	SetEnabled(false)
+	tm.Start()()
+	if _, n := tm.Total(); n != 0 {
+		t.Fatalf("disabled timer recorded %d ops", n)
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	tm.Start()()
+	d, n := tm.Total()
+	if n != 1 || d < 0 {
+		t.Fatalf("enabled timer recorded n=%d d=%v", n, d)
+	}
+}
+
+func TestSnapshotSortedAndPrint(t *testing.T) {
+	NewCounter("test.b").Inc()
+	NewCounter("test.a").Inc()
+	stats := Snapshot()
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Name > stats[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", stats[i-1].Name, stats[i].Name)
+		}
+	}
+	var b strings.Builder
+	Fprint(&b)
+	if !strings.Contains(b.String(), "test.a") {
+		t.Fatalf("report missing counter:\n%s", b.String())
+	}
+}

@@ -3,8 +3,11 @@ package proto
 import (
 	"hetgrid/internal/can"
 	"hetgrid/internal/geom"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/sim"
 )
+
+var cntHeartbeatTicks = perf.NewCounter("proto.heartbeat_ticks")
 
 // Host is the protocol state machine of one live node. It owns the
 // node's believed zone, its neighbor view, and the retained copies of
@@ -63,6 +66,7 @@ func (h *Host) onTick(now sim.Time) {
 	if !h.alive {
 		return
 	}
+	cntHeartbeatTicks.Inc()
 	cfg := &h.s.Cfg
 
 	// 1. Expire neighbors that have gone silent. A silent disappearance

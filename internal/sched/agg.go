@@ -10,7 +10,14 @@ import (
 
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/resource"
+)
+
+var (
+	cntAggRefresh = perf.NewCounter("sched.agg_refreshes")
+	cntAggRebuild = perf.NewCounter("sched.agg_topology_rebuilds")
+	tmrAggRefresh = perf.NewTimer("sched.agg_refresh")
 )
 
 // CELoad is the aggregated load information for one CE type in a region
@@ -45,10 +52,30 @@ func (d DimAgg) Load(t resource.CEType) CELoad {
 // on heartbeats, one hop per period; the simulator recomputes it exactly
 // on the heartbeat cadence, which preserves the staleness the paper's
 // scheme lives with (decisions between refreshes use old data).
+//
+// All per-refresh storage lives in flat backing arrays owned by the
+// table and reused across refreshes, so a steady-state Refresh is
+// allocation-free; the per-dimension sort orders are additionally cached
+// against the overlay's membership version, so they are only recomputed
+// after churn. The aggregated sums are exact (integer-valued float64s),
+// which makes them independent of summation order — reordering tied
+// zone coordinates cannot perturb a single output bit.
 type AggTable struct {
 	dims   int
 	ntypes int
 	agg    map[can.NodeID][]DimAgg
+
+	// Topology cache, valid while ov/version match the overlay.
+	ov      *can.Overlay
+	version uint64
+	nodes   []*can.Node // ov.Nodes() snapshot
+	order   [][]int     // per dim: node indexes sorted by (Zone.Lo[d], ID)
+	los     [][]float64 // per dim: the sorted zone starts
+
+	// Flat per-refresh buffers.
+	loads   []CELoad // n×ntypes per-node loads
+	suf     []CELoad // dims×(n+1)×ntypes suffix sums; DimAgg.ByType points here
+	dimAggs []DimAgg // n×dims backing for the map values
 }
 
 // NewAggTable creates an empty table for a d-dimensional CAN with CE
@@ -58,7 +85,8 @@ func NewAggTable(dims int, gpuSlots int) *AggTable {
 }
 
 // At returns the aggregate beyond node id along dim. Missing entries
-// (before the first refresh) return an empty aggregate.
+// (before the first refresh) return an empty aggregate. The returned
+// aggregate is valid until the next Refresh, which reuses its storage.
 func (a *AggTable) At(id can.NodeID, dim int) DimAgg {
 	if rows := a.agg[id]; rows != nil && dim < len(rows) {
 		return rows[dim]
@@ -66,58 +94,109 @@ func (a *AggTable) At(id can.NodeID, dim int) DimAgg {
 	return DimAgg{}
 }
 
+// grow returns s resized to n elements, reusing its backing array when
+// the capacity allows. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// rebuildTopology re-sorts the per-dimension orders after churn. Ties on
+// the (tie-prone, float-valued) zone starts break by node ID, the same
+// discipline as can/bounded.go, so the permutation is a pure function of
+// the overlay state rather than of sort.Slice's unstable internals.
+func (a *AggTable) rebuildTopology(ov *can.Overlay) {
+	cntAggRebuild.Inc()
+	a.ov, a.version = ov, ov.Version()
+	a.nodes = ov.Nodes()
+	nodes := a.nodes
+	n := len(nodes)
+	if a.order == nil {
+		a.order = make([][]int, a.dims)
+		a.los = make([][]float64, a.dims)
+	}
+	for d := 0; d < a.dims; d++ {
+		idx := grow(a.order[d], n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool {
+			lx, ly := nodes[idx[x]].Zone.Lo[d], nodes[idx[y]].Zone.Lo[d]
+			if lx != ly {
+				return lx < ly
+			}
+			return nodes[idx[x]].ID < nodes[idx[y]].ID
+		})
+		los := grow(a.los[d], n)
+		for i := range los {
+			los[i] = nodes[idx[i]].Zone.Lo[d]
+		}
+		a.order[d], a.los[d] = idx, los
+	}
+}
+
 // Refresh recomputes the table: for each dimension D, the region beyond
 // node N is the set of nodes whose zone starts at or past N's zone end
 // (zone.Lo[D] ≥ N.zone.Hi[D]) — the nodes reachable by pushing further
-// out along D. Computed with sorted suffix sums in O(d·n log n).
+// out along D. Computed with suffix sums over the cached sorted orders:
+// O(d·n) per refresh between churn events, O(d·n log n) after churn.
 func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
-	nodes := ov.Nodes()
-	n := len(nodes)
-	a.agg = make(map[can.NodeID][]DimAgg, n)
-	for _, nd := range nodes {
-		a.agg[nd.ID] = make([]DimAgg, a.dims)
+	defer tmrAggRefresh.Start()()
+	cntAggRefresh.Inc()
+	if a.ov != ov || a.version != ov.Version() {
+		a.rebuildTopology(ov)
 	}
+	nodes := a.nodes
+	n := len(nodes)
+	nt := a.ntypes
 
-	// Per-node loads, gathered once. loads[i] is indexed by CE type.
-	loads := make([][]CELoad, n)
+	// Per-node loads, gathered once into the flat buffer. The row for
+	// node index i is loads[i·nt : (i+1)·nt], indexed by CE type.
+	a.loads = grow(a.loads, n*nt)
 	for i, nd := range nodes {
-		row := make([]CELoad, a.ntypes)
+		row := a.loads[i*nt : (i+1)*nt]
+		for t := range row {
+			row[t] = CELoad{}
+		}
 		if rt := cl.Runtime(nd.ID); rt != nil {
-			for t := 0; t < a.ntypes; t++ {
+			for t := 0; t < nt; t++ {
 				if req, cores, ok := rt.DemandOn(resource.CEType(t)); ok {
 					row[t] = CELoad{SumRequiredCores: float64(req), SumCores: float64(cores)}
 				}
 			}
 		}
-		loads[i] = row
 	}
 
-	idx := make([]int, n)
+	// Rebind the map values to the (reused) result backing array.
+	a.dimAggs = grow(a.dimAggs, n*a.dims)
+	clear(a.agg)
+	for i, nd := range nodes {
+		a.agg[nd.ID] = a.dimAggs[i*a.dims : (i+1)*a.dims]
+	}
+
+	a.suf = grow(a.suf, a.dims*(n+1)*nt)
 	for d := 0; d < a.dims; d++ {
-		for i := range idx {
-			idx[i] = i
+		order, los := a.order[d], a.los[d]
+		// Suffix sums over the sorted order: row i aggregates sorted
+		// positions i..n-1; row n is the zero sentinel.
+		suf := a.suf[d*(n+1)*nt : (d+1)*(n+1)*nt]
+		top := suf[n*nt:]
+		for t := range top {
+			top[t] = CELoad{}
 		}
-		sort.Slice(idx, func(x, y int) bool {
-			return nodes[idx[x]].Zone.Lo[d] < nodes[idx[y]].Zone.Lo[d]
-		})
-		// Suffix sums over the sorted order: suf[i] aggregates sorted
-		// positions i..n-1.
-		suf := make([][]CELoad, n+1)
-		suf[n] = make([]CELoad, a.ntypes)
 		for i := n - 1; i >= 0; i-- {
-			row := make([]CELoad, a.ntypes)
-			for t := 0; t < a.ntypes; t++ {
-				row[t] = suf[i+1][t].add(loads[idx[i]][t])
+			row := suf[i*nt : (i+1)*nt]
+			next := suf[(i+1)*nt : (i+2)*nt]
+			load := a.loads[order[i]*nt : (order[i]+1)*nt]
+			for t := 0; t < nt; t++ {
+				row[t] = next[t].add(load[t])
 			}
-			suf[i] = row
 		}
-		los := make([]float64, n)
-		for i := range los {
-			los[i] = nodes[idx[i]].Zone.Lo[d]
-		}
-		for _, nd := range nodes {
+		for i, nd := range nodes {
 			pos := sort.SearchFloat64s(los, nd.Zone.Hi[d])
-			a.agg[nd.ID][d] = DimAgg{Nodes: n - pos, ByType: suf[pos]}
+			a.dimAggs[i*a.dims+d] = DimAgg{Nodes: n - pos, ByType: suf[pos*nt : (pos+1)*nt]}
 		}
 	}
 }

@@ -1,9 +1,18 @@
 package sched
 
 import (
+	"sort"
+
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/resource"
+)
+
+var (
+	cntCentralRebuilds  = perf.NewCounter("sched.central_index_rebuilds")
+	cntCentralFastPath  = perf.NewCounter("sched.central_fastpath_picks")
+	cntCentralFullScans = perf.NewCounter("sched.central_full_scans")
 )
 
 // Central is the greedy online centralized comparator of Section V-A:
@@ -13,52 +22,232 @@ import (
 // else the node minimizing the score function — possibly
 // over-provisioning, as the paper notes, to stay comparable to the
 // online decentralized schemes.
+//
+// Placement is served from an incremental candidate index instead of a
+// full population scan per job: the cluster notifies the index on every
+// queue/idleness transition, and the overlay's membership version keys
+// the static capability ranking. The index changes only how candidates
+// are enumerated — the chosen node, and therefore every simulation
+// output byte, is identical to the full scan (the selection rules are
+// order-independent argmax/argmin with ID tie-breaks).
 type Central struct {
 	ctx   *Context
 	Stats Stats
+	idx   *centralIndex
 }
 
-// NewCentral builds the centralized comparator.
-func NewCentral(ctx *Context) *Central { return &Central{ctx: ctx} }
+// NewCentral builds the centralized comparator and attaches its
+// candidate index to the cluster's load-change feed.
+func NewCentral(ctx *Context) *Central {
+	return &Central{ctx: ctx, idx: newCentralIndex(ctx.Ov, ctx.Cluster)}
+}
 
 // Name returns the label used in the paper's figures.
 func (s *Central) Name() string { return "central" }
 
-// Place scans all nodes with perfect information.
+// Place assigns a job with perfect information, without rescanning all
+// nodes: free and acceptable candidates come from the incrementally
+// maintained idle / empty-queue sets, ranked by the static per-CE-type
+// clock order; only the last-resort score pick walks the population.
 func (s *Central) Place(j *exec.Job) (can.NodeID, error) {
-	c := s.ctx
-	var sat, acceptable, free []*can.Node
-	for _, n := range c.Ov.Nodes() {
-		if n.Caps == nil || !resource.Satisfies(n.Caps, j.Req) {
-			continue
-		}
-		rt := c.Cluster.Runtime(n.ID)
-		if rt == nil {
-			continue
-		}
-		sat = append(sat, n)
-		if rt.IsAcceptable(j.Req) {
-			acceptable = append(acceptable, n)
-			if rt.IsFree() {
-				free = append(free, n)
-			}
-		}
-	}
-	switch {
-	case len(free) > 0:
+	ix := s.idx
+	ix.ensure()
+	if id, ok := ix.bestFree(j.Req, j.Dominant); ok {
+		cntCentralFastPath.Inc()
 		s.Stats.FreePicks++
 		s.Stats.Placed++
-		return pickFastest(free, j.Dominant).ID, nil
-	case len(acceptable) > 0:
+		return id, nil
+	}
+	if id, ok := ix.bestAcceptable(j.Req, j.Dominant); ok {
+		cntCentralFastPath.Inc()
 		s.Stats.AcceptPicks++
 		s.Stats.Placed++
-		return pickFastest(acceptable, j.Dominant).ID, nil
-	case len(sat) > 0:
+		return id, nil
+	}
+	cntCentralFullScans.Inc()
+	sat := ix.satisfying(j.Req)
+	if len(sat) > 0 {
 		s.Stats.ScorePicks++
 		s.Stats.Placed++
-		return c.pickMinScore(sat, j.Dominant).ID, nil
-	default:
-		s.Stats.Unmatchable++
-		return 0, ErrUnmatchable
+		return s.ctx.pickMinScore(sat, j.Dominant).ID, nil
 	}
+	s.Stats.Unmatchable++
+	return 0, ErrUnmatchable
+}
+
+// centralIndex maintains the comparator's candidate sets:
+//
+//   - idle: nodes with no running or queued jobs (the paper's free
+//     nodes), maintained by cluster load notifications;
+//   - emptyQ: nodes with an empty FIFO queue (the superset that can
+//     contain acceptable nodes), maintained the same way;
+//   - ranked: per CE type, all capable nodes ordered by (clock desc,
+//     ID asc) — exactly pickFastest's preference order — cached against
+//     the overlay's membership version.
+type centralIndex struct {
+	ov *can.Overlay
+	cl *exec.Cluster
+
+	valid   bool
+	version uint64
+	nodes   []*can.Node // ov.Nodes() snapshot, ID ascending
+	ranked  map[resource.CEType][]*can.Node
+
+	idle    map[can.NodeID]*exec.Runtime
+	emptyQ  map[can.NodeID]*exec.Runtime
+	scratch []*can.Node
+}
+
+func newCentralIndex(ov *can.Overlay, cl *exec.Cluster) *centralIndex {
+	ix := &centralIndex{
+		ov:     ov,
+		cl:     cl,
+		ranked: make(map[resource.CEType][]*can.Node),
+		idle:   make(map[can.NodeID]*exec.Runtime),
+		emptyQ: make(map[can.NodeID]*exec.Runtime),
+	}
+	cl.SetLoadObserver(ix.observe)
+	for _, rt := range cl.Runtimes() {
+		ix.observe(rt, false)
+	}
+	return ix
+}
+
+// observe is the cluster's load-change notification: refile the node in
+// the idle and empty-queue sets.
+func (ix *centralIndex) observe(r *exec.Runtime, removed bool) {
+	if removed {
+		delete(ix.idle, r.ID)
+		delete(ix.emptyQ, r.ID)
+		return
+	}
+	if r.IsFree() {
+		ix.idle[r.ID] = r
+	} else {
+		delete(ix.idle, r.ID)
+	}
+	if r.QueueLen() == 0 {
+		ix.emptyQ[r.ID] = r
+	} else {
+		delete(ix.emptyQ, r.ID)
+	}
+}
+
+// ensure revalidates the membership-keyed caches after churn.
+func (ix *centralIndex) ensure() {
+	if ix.valid && ix.version == ix.ov.Version() {
+		return
+	}
+	cntCentralRebuilds.Inc()
+	ix.nodes = ix.ov.Nodes()
+	ix.version = ix.ov.Version()
+	ix.valid = true
+	for t := range ix.ranked {
+		ix.ranked[t] = ix.ranked[t][:0]
+	}
+	for _, n := range ix.nodes {
+		if n.Caps == nil {
+			continue
+		}
+		for _, ce := range n.Caps.CEs {
+			ix.ranked[ce.Type] = append(ix.ranked[ce.Type], n)
+		}
+	}
+	for t, list := range ix.ranked {
+		ty := t
+		sort.Slice(list, func(i, j int) bool {
+			ci, cj := list[i].Caps.CE(ty).Clock, list[j].Caps.CE(ty).Clock
+			if ci != cj {
+				return ci > cj
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+}
+
+// bestFree returns the fastest idle node (dominant-CE clock, ties to
+// the lowest ID) that statically satisfies the job: the same node
+// pickFastest would select from the full free list.
+func (ix *centralIndex) bestFree(req resource.JobReq, dom resource.CEType) (can.NodeID, bool) {
+	ranked := ix.ranked[dom]
+	if len(ix.idle) == 0 || len(ranked) == 0 {
+		return 0, false
+	}
+	if len(ix.idle)*8 > len(ranked) {
+		// Densely idle grid: the first ranked node that is idle and
+		// satisfying is the argmax.
+		for _, n := range ranked {
+			if _, ok := ix.idle[n.ID]; ok && resource.Satisfies(n.Caps, req) {
+				return n.ID, true
+			}
+		}
+		return 0, false
+	}
+	// Sparsely idle grid: argmax over the small idle set.
+	var bestID can.NodeID
+	bestClock := -1.0
+	found := false
+	for id, rt := range ix.idle {
+		if !resource.Satisfies(rt.Caps, req) {
+			continue
+		}
+		clock := 0.0
+		if ce := rt.Caps.CE(dom); ce != nil {
+			clock = ce.Clock
+		}
+		if !found || clock > bestClock || (clock == bestClock && id < bestID) {
+			bestID, bestClock, found = id, clock, true
+		}
+	}
+	return bestID, found
+}
+
+// bestAcceptable returns the fastest node where the job would start
+// immediately (empty queue, every required CE available), matching
+// pickFastest over the full acceptable list.
+func (ix *centralIndex) bestAcceptable(req resource.JobReq, dom resource.CEType) (can.NodeID, bool) {
+	ranked := ix.ranked[dom]
+	if len(ix.emptyQ) == 0 || len(ranked) == 0 {
+		return 0, false
+	}
+	if len(ix.emptyQ)*8 > len(ranked) {
+		for _, n := range ranked {
+			if rt, ok := ix.emptyQ[n.ID]; ok && rt.IsAcceptable(req) {
+				return n.ID, true
+			}
+		}
+		return 0, false
+	}
+	var bestID can.NodeID
+	bestClock := -1.0
+	found := false
+	for id, rt := range ix.emptyQ {
+		if !rt.IsAcceptable(req) {
+			continue
+		}
+		clock := 0.0
+		if ce := rt.Caps.CE(dom); ce != nil {
+			clock = ce.Clock
+		}
+		if !found || clock > bestClock || (clock == bestClock && id < bestID) {
+			bestID, bestClock, found = id, clock, true
+		}
+	}
+	return bestID, found
+}
+
+// satisfying collects every node that could ever run the job (the
+// score-pick candidate set), reusing the scratch slice.
+func (ix *centralIndex) satisfying(req resource.JobReq) []*can.Node {
+	ix.scratch = ix.scratch[:0]
+	for _, n := range ix.nodes {
+		if n.Caps == nil || !resource.Satisfies(n.Caps, req) {
+			continue
+		}
+		if ix.cl.Runtime(n.ID) == nil {
+			continue
+		}
+		ix.scratch = append(ix.scratch, n)
+	}
+	return ix.scratch
 }

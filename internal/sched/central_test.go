@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sim"
+	"hetgrid/internal/workload"
+)
+
+// referenceCentralPlace is the seed's full-population scan, kept
+// verbatim as the specification the incremental index must match
+// decision-for-decision.
+func referenceCentralPlace(c *Context, st *Stats, j *exec.Job) (can.NodeID, error) {
+	var sat, acceptable, free []*can.Node
+	for _, n := range c.Ov.Nodes() {
+		if n.Caps == nil || !resource.Satisfies(n.Caps, j.Req) {
+			continue
+		}
+		rt := c.Cluster.Runtime(n.ID)
+		if rt == nil {
+			continue
+		}
+		sat = append(sat, n)
+		if rt.IsAcceptable(j.Req) {
+			acceptable = append(acceptable, n)
+			if rt.IsFree() {
+				free = append(free, n)
+			}
+		}
+	}
+	switch {
+	case len(free) > 0:
+		st.FreePicks++
+		st.Placed++
+		return pickFastest(free, j.Dominant).ID, nil
+	case len(acceptable) > 0:
+		st.AcceptPicks++
+		st.Placed++
+		return pickFastest(acceptable, j.Dominant).ID, nil
+	case len(sat) > 0:
+		st.ScorePicks++
+		st.Placed++
+		return c.pickMinScore(sat, j.Dominant).ID, nil
+	default:
+		st.Unmatchable++
+		return 0, ErrUnmatchable
+	}
+}
+
+// TestCentralIndexMatchesFullScan drives the indexed Central and the
+// reference full scan over the same evolving grid — submissions filling
+// queues, completions draining them, and churn invalidating the
+// membership caches — and requires identical placements and stats at
+// every step. The reference scan is read-only, so both deciders observe
+// exactly the same state.
+func TestCentralIndexMatchesFullScan(t *testing.T) {
+	ctx, ov, cl := testGrid(t, 60, 2, 7)
+	s := NewCentral(ctx)
+	var refStats Stats
+	r := rng.NewSplit(7, "central-equiv")
+	jobs := workload.NewJobGen(ctx.Space, 7)
+
+	nextID := exec.JobID(1)
+	place := func(j *exec.Job) {
+		wantID, wantErr := referenceCentralPlace(ctx, &refStats, j)
+		gotID, gotErr := s.Place(j)
+		if gotErr != wantErr {
+			t.Fatalf("job %d: err=%v, reference err=%v", j.ID, gotErr, wantErr)
+		}
+		if gotErr == nil {
+			if gotID != wantID {
+				t.Fatalf("job %d: indexed central picked node %d, full scan picked %d",
+					j.ID, gotID, wantID)
+			}
+			if err := cl.Submit(j, gotID); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		if s.Stats != refStats {
+			t.Fatalf("job %d: stats diverged: %+v vs reference %+v", j.ID, s.Stats, refStats)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		j, _ := jobs.Next()
+		j.ID = nextID
+		nextID++
+		place(j)
+
+		// Let some work complete so the idle/empty-queue sets shrink and
+		// regrow across the run.
+		if step%7 == 3 {
+			ctx.Eng.RunUntil(ctx.Eng.Now().Add(sim.FromSeconds(90 * r.Float64())))
+		}
+
+		// Churn: withdraw a node (execution plane first, then overlay,
+		// mirroring the experiment drivers) and re-place its orphans.
+		if step%41 == 17 {
+			nodes := ov.Nodes()
+			victim := nodes[r.Intn(len(nodes))]
+			orphans := cl.RemoveNode(victim.ID)
+			ov.Leave(victim.ID)
+			for _, oj := range orphans {
+				place(oj)
+			}
+		}
+	}
+	if s.Stats.Placed == 0 || s.Stats.ScorePicks == 0 {
+		t.Fatalf("test never exercised the score tier: %+v", s.Stats)
+	}
+	if s.Stats != refStats {
+		t.Fatalf("final stats diverged: %+v vs reference %+v", s.Stats, refStats)
+	}
+}

@@ -6,9 +6,15 @@ import (
 
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/perf"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
 	"hetgrid/internal/sim"
+)
+
+var (
+	cntScoreEvals = perf.NewCounter("sched.score_evals")
+	cntFallbacks  = perf.NewCounter("sched.fallback_scans")
 )
 
 // Scheduler assigns a run node to each job. Place returns the chosen
@@ -160,6 +166,7 @@ func pickFastest(nodes []*can.Node, t resource.CEType) *can.Node {
 func (c *Context) pickMinScore(nodes []*can.Node, t resource.CEType) *can.Node {
 	var best *can.Node
 	bestScore := 0.0
+	cntScoreEvals.Add(int64(len(nodes)))
 	for _, n := range nodes {
 		rt := c.Cluster.Runtime(n.ID)
 		if rt == nil {
@@ -246,5 +253,6 @@ func (c *Context) fallback(req resource.JobReq, t resource.CEType, st *Stats) *c
 		return nil
 	}
 	st.Fallbacks++
+	cntFallbacks.Inc()
 	return c.pickMinScore(sat, t)
 }

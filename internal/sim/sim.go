@@ -10,6 +10,17 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"hetgrid/internal/perf"
+)
+
+// Registry instrumentation for the engine hot path (telemetry only;
+// never feeds back into simulation state).
+var (
+	cntScheduled = perf.NewCounter("sim.events_scheduled")
+	cntFired     = perf.NewCounter("sim.events_fired")
+	cntCancelled = perf.NewCounter("sim.events_cancelled")
+	cntPooled    = perf.NewCounter("sim.events_pooled")
 )
 
 // Time is a point in virtual time, measured in Ticks since the start of
@@ -59,17 +70,25 @@ type Handler func(now Time)
 type event struct {
 	at      Time
 	seq     uint64 // insertion order; breaks time ties deterministically
+	gen     uint64 // recycle generation; invalidates stale EventIDs
 	handler Handler
 	index   int // heap index, -1 when cancelled or popped
 }
 
 // EventID identifies a scheduled event so that it can be cancelled.
-// The zero EventID is invalid.
-type EventID struct{ ev *event }
+// The zero EventID is invalid. Fired and cancelled events return to an
+// engine-local pool; the generation stamp keeps a retained EventID from
+// ever touching the event's next incarnation.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // Valid reports whether the id refers to an event that was scheduled and
 // has not yet fired or been cancelled.
-func (id EventID) Valid() bool { return id.ev != nil && id.ev.index >= 0 }
+func (id EventID) Valid() bool {
+	return id.ev != nil && id.ev.gen == id.gen && id.ev.index >= 0
+}
 
 type eventQueue []*event
 
@@ -106,6 +125,7 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	queue   eventQueue
+	pool    []*event // recycled events; bounded by peak queue length
 	nextSeq uint64
 	fired   uint64
 	stopped bool
@@ -132,10 +152,29 @@ func (e *Engine) At(at Time, h Handler) EventID {
 	if h == nil {
 		panic("sim: nil handler")
 	}
-	ev := &event{at: at, seq: e.nextSeq, handler: h}
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		ev.at, ev.handler = at, h
+	} else {
+		ev = &event{at: at, handler: h}
+	}
+	ev.seq = e.nextSeq
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev}
+	cntScheduled.Inc()
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped or cancelled event to the pool. Bumping the
+// generation first invalidates every EventID still pointing at it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.handler = nil // release the closure promptly
+	e.pool = append(e.pool, ev)
+	cntPooled.Inc()
 }
 
 // After schedules h to run d ticks from now. Negative d is treated as 0.
@@ -155,6 +194,8 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	heap.Remove(&e.queue, id.ev.index)
 	id.ev.index = -1
+	e.recycle(id.ev)
+	cntCancelled.Inc()
 	return true
 }
 
@@ -171,7 +212,12 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.fired++
-	ev.handler(e.now)
+	cntFired.Inc()
+	// Capture the handler, then recycle before invoking it: the handler
+	// may schedule new events, which are welcome to reuse this slot.
+	h := ev.handler
+	e.recycle(ev)
+	h(e.now)
 	return true
 }
 

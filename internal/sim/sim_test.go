@@ -279,3 +279,64 @@ func TestManyEventsStressOrdering(t *testing.T) {
 		t.Fatalf("Fired() = %d, want 5000", e.Fired())
 	}
 }
+
+func TestEventPoolReusesSlots(t *testing.T) {
+	e := New()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			e.After(Duration(i), func(Time) {})
+		}
+		e.Run()
+	}
+	// After the first round drains, every later round should be served
+	// from the pool: the pool holds the peak event population.
+	if len(e.pool) != 100 {
+		t.Fatalf("pool size = %d, want 100", len(e.pool))
+	}
+}
+
+func TestStaleEventIDCannotCancelRecycledEvent(t *testing.T) {
+	e := New()
+	id := e.After(1, func(Time) {})
+	e.Run() // fires and recycles the event
+	if id.Valid() {
+		t.Fatal("fired event's id still valid")
+	}
+	// The recycled slot now backs a fresh event; the stale id must not
+	// touch it.
+	id2 := e.After(1, func(Time) {})
+	if id2.ev != id.ev {
+		t.Fatalf("expected pooled slot reuse (test premise); got fresh allocation")
+	}
+	if e.Cancel(id) {
+		t.Fatal("stale id cancelled the recycled event")
+	}
+	if !id2.Valid() {
+		t.Fatal("fresh event invalidated by stale cancel")
+	}
+	fired := false
+	e.queue[id2.ev.index].handler = func(Time) { fired = true }
+	e.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+func TestCancelRecyclesAndKeepsOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	a := e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	if !e.Cancel(a) {
+		t.Fatal("cancel failed")
+	}
+	if e.Cancel(a) {
+		t.Fatal("double cancel succeeded")
+	}
+	// The cancelled slot is reused for a later event.
+	e.At(5, func(Time) { order = append(order, 0) })
+	e.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 2 {
+		t.Fatalf("order = %v, want [0 2]", order)
+	}
+}

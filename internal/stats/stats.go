@@ -11,16 +11,19 @@ import (
 	"strings"
 )
 
-// Sample accumulates float64 observations.
+// Sample accumulates float64 observations. The insertion order of the
+// observations is preserved: order statistics (Min/Max/Quantile/CDF)
+// are computed on a lazily maintained sorted shadow copy, never by
+// sorting the observations in place.
 type Sample struct {
-	vs     []float64
-	sorted bool
+	vs     []float64 // observations, insertion order
+	sorted []float64 // shadow copy of vs, ascending; nil when stale
 }
 
 // Add appends one observation.
 func (s *Sample) Add(v float64) {
 	s.vs = append(s.vs, v)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // N returns the number of observations.
@@ -40,60 +43,63 @@ func (s *Sample) Mean() float64 {
 
 // Min and Max return the extremes (0 for an empty sample).
 func (s *Sample) Min() float64 {
-	s.sort()
-	if len(s.vs) == 0 {
+	vs := s.sort()
+	if len(vs) == 0 {
 		return 0
 	}
-	return s.vs[0]
+	return vs[0]
 }
 
 // Max returns the largest observation.
 func (s *Sample) Max() float64 {
-	s.sort()
-	if len(s.vs) == 0 {
+	vs := s.sort()
+	if len(vs) == 0 {
 		return 0
 	}
-	return s.vs[len(s.vs)-1]
+	return vs[len(vs)-1]
 }
 
-func (s *Sample) sort() {
-	if !s.sorted {
-		sort.Float64s(s.vs)
-		s.sorted = true
+// sort returns the observations in ascending order without disturbing
+// their insertion order, reusing the shadow copy until the next Add.
+func (s *Sample) sort() []float64 {
+	if s.sorted == nil && len(s.vs) > 0 {
+		s.sorted = append(make([]float64, 0, len(s.vs)), s.vs...)
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // Quantile returns the p-quantile (0 ≤ p ≤ 1) by linear interpolation.
 func (s *Sample) Quantile(p float64) float64 {
-	s.sort()
-	n := len(s.vs)
+	vs := s.sort()
+	n := len(vs)
 	if n == 0 {
 		return 0
 	}
 	if p <= 0 {
-		return s.vs[0]
+		return vs[0]
 	}
 	if p >= 1 {
-		return s.vs[n-1]
+		return vs[n-1]
 	}
 	pos := p * float64(n-1)
 	lo := int(math.Floor(pos))
 	frac := pos - float64(lo)
 	if lo+1 >= n {
-		return s.vs[n-1]
+		return vs[n-1]
 	}
-	return s.vs[lo]*(1-frac) + s.vs[lo+1]*frac
+	return vs[lo]*(1-frac) + vs[lo+1]*frac
 }
 
 // CDF returns the fraction of observations ≤ x.
 func (s *Sample) CDF(x float64) float64 {
-	s.sort()
-	if len(s.vs) == 0 {
+	vs := s.sort()
+	if len(vs) == 0 {
 		return 0
 	}
 	// First index with value > x.
-	i := sort.Search(len(s.vs), func(i int) bool { return s.vs[i] > x })
-	return float64(i) / float64(len(s.vs))
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] > x })
+	return float64(i) / float64(len(vs))
 }
 
 // CDFSeries evaluates the CDF on a grid of x values (as percentages,
@@ -108,9 +114,12 @@ func (s *Sample) CDFSeries(xs []float64) []float64 {
 
 // Values returns a sorted copy of the observations.
 func (s *Sample) Values() []float64 {
-	s.sort()
-	return append([]float64(nil), s.vs...)
+	return append([]float64(nil), s.sort()...)
 }
+
+// Observations returns the observations in insertion order. The slice
+// is the sample's own storage; callers must not mutate it.
+func (s *Sample) Observations() []float64 { return s.vs }
 
 // Grid builds n+1 evenly spaced values from 0 to max inclusive.
 func Grid(max float64, n int) []float64 {

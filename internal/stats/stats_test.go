@@ -211,3 +211,63 @@ func TestMaxOverMean(t *testing.T) {
 		t.Fatal("degenerate max/mean should be 0")
 	}
 }
+
+// TestQuantileKeepsInsertionOrder guards against the order-statistics
+// queries sorting the observation buffer in place: quantile, CDF, and
+// extreme queries interleaved with iteration must always see the
+// observations in the order they were added.
+func TestQuantileKeepsInsertionOrder(t *testing.T) {
+	inserted := []float64{9, 2, 7, 1, 8, 3, 6, 0, 5, 4}
+	var s Sample
+	check := func(when string) {
+		got := s.Observations()
+		if len(got) != len(inserted[:len(got)]) {
+			t.Fatalf("%s: %d observations, want %d", when, len(got), len(inserted))
+		}
+		for i, v := range got {
+			if v != inserted[i] {
+				t.Fatalf("%s: observation %d = %v, want %v (insertion order destroyed)",
+					when, i, v, inserted[i])
+			}
+		}
+	}
+	for i, v := range inserted {
+		s.Add(v)
+		// Interleave every flavor of sorted query with iteration.
+		switch i % 4 {
+		case 0:
+			s.Quantile(0.5)
+		case 1:
+			s.Min()
+			s.Max()
+		case 2:
+			s.CDF(float64(i))
+		case 3:
+			s.Values()
+		}
+		check("during inserts")
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Fatalf("Quantile(1) = %v, want 9", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+	check("after queries")
+
+	// The sorted views must still be correct and refreshed by new adds.
+	want := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	vs := s.Values()
+	for i, v := range vs {
+		if v != want[i] {
+			t.Fatalf("Values()[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	s.Add(-1)
+	if got := s.Min(); got != -1 {
+		t.Fatalf("Min after Add = %v, want -1", got)
+	}
+	if got := s.Observations()[len(s.Observations())-1]; got != -1 {
+		t.Fatalf("last observation = %v, want -1", got)
+	}
+}
