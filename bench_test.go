@@ -291,6 +291,65 @@ func BenchmarkPlacement(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaceSteadyState measures the pure matchmaking walk — Place
+// only, no job execution — in a 500-node grid once the overlay's read
+// caches and the scheduler's scratch buffers are warm. Steady state is
+// the claim: b.ReportAllocs must show 0 allocs/op for both CAN schemes.
+func BenchmarkPlaceSteadyState(b *testing.B) {
+	eng := sim.New()
+	space := resource.NewSpace(2)
+	ov := can.NewOverlay(space.Dims())
+	cl := exec.NewCluster(eng, exec.DefaultConfig())
+	gen := workload.NewNodeGen(space, 8)
+	redraw := rng.New(88)
+	for i := 0; i < 500; i++ {
+		caps := gen.One()
+		n, err := ov.Join(space.NodePoint(caps), caps)
+		for err != nil {
+			caps.Virtual = redraw.Float64() * 0.999999
+			n, err = ov.Join(space.NodePoint(caps), caps)
+		}
+		cl.AddNode(n.ID, caps)
+	}
+	jgen := workload.NewJobGen(space, 9)
+	jobs := make([]*exec.Job, 256)
+	for i := range jobs {
+		jobs[i], _ = jgen.Next()
+	}
+	// Build every node's cached view up front: with no churn the views
+	// never rebuild, so the measured loop sees the true steady state
+	// rather than amortized one-time lazy builds.
+	for _, n := range ov.Nodes() {
+		ov.NeighborView(n.ID)
+		ov.OutwardView(n.ID)
+	}
+	for _, tc := range []struct {
+		name  string
+		build func(*sched.Context) sched.Scheduler
+	}{
+		{"canhet", func(c *sched.Context) sched.Scheduler { return sched.NewCanHet(c) }},
+		{"canhom", func(c *sched.Context) sched.Scheduler { return sched.NewCanHom(c) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := tc.build(sched.NewContext(eng, ov, cl, space, 8))
+			// Warm the view caches, the aggregate table and every
+			// scratch buffer before measuring.
+			for i := 0; i < 64; i++ {
+				if _, err := s.Place(jobs[i%len(jobs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Place(jobs[i%len(jobs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // reportJobsPerSec reports simulated job throughput: jobsPerOp jobs are
 // placed and executed per benchmark iteration, over the timed portion
 // of the run.

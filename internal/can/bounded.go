@@ -38,14 +38,13 @@ func (o *Overlay) BoundedNeighborIDs(id NodeID, perFace int) []NodeID {
 		overlap float64
 	}
 	buckets := make(map[FaceKey][]scored)
-	for _, nbID := range o.NeighborIDs(id) {
-		nb := o.nodes[nbID]
+	for _, nb := range o.NeighborView(id) {
 		dim, dir, ok := n.Zone.Abuts(nb.Zone)
 		if !ok {
 			continue
 		}
 		key := FaceKey{dim, dir}
-		buckets[key] = append(buckets[key], scored{nbID, n.Zone.FaceOverlap(nb.Zone, dim)})
+		buckets[key] = append(buckets[key], scored{nb.ID, n.Zone.FaceOverlap(nb.Zone, dim)})
 	}
 	set := make(map[NodeID]struct{})
 	for _, bucket := range buckets {

@@ -84,6 +84,72 @@ func (o *Overlay) Validate() error {
 			}
 		}
 	}
+
+	return o.validateCaches()
+}
+
+// validateCaches cross-checks the version-keyed read caches against
+// brute-force recomputation: the shared membership snapshot, and every
+// cached per-node view that is currently marked valid (stale entries are
+// rebuilt lazily, so their contents carry no claim).
+func (o *Overlay) validateCaches() error {
+	if o.snapValid {
+		if o.snapVersion != o.Version() {
+			return fmt.Errorf("snapshot marked valid at version %d, overlay at %d", o.snapVersion, o.Version())
+		}
+		if len(o.snap) != len(o.nodes) {
+			return fmt.Errorf("snapshot has %d nodes, overlay has %d", len(o.snap), len(o.nodes))
+		}
+		for i, n := range o.snap {
+			if i > 0 && o.snap[i-1].ID >= n.ID {
+				return fmt.Errorf("snapshot not strictly ID-sorted at index %d", i)
+			}
+			if o.nodes[n.ID] != n {
+				return fmt.Errorf("snapshot entry %d is not the live node", n.ID)
+			}
+		}
+	}
+
+	for id, v := range o.views {
+		if o.nodes[id] == nil {
+			return fmt.Errorf("cached view for dead node %d", id)
+		}
+		if !v.valid {
+			continue
+		}
+		n := o.nodes[id]
+		// Neighbor list: exactly the adjacency set, strictly ID-sorted.
+		if len(v.neighbors) != len(o.neighbors[id]) {
+			return fmt.Errorf("node %d: cached view has %d neighbors, adjacency has %d",
+				id, len(v.neighbors), len(o.neighbors[id]))
+		}
+		wantOut := 0
+		for i, nb := range v.neighbors {
+			if i > 0 && v.neighbors[i-1].ID >= nb.ID {
+				return fmt.Errorf("node %d: cached neighbor view not strictly ID-sorted", id)
+			}
+			if o.nodes[nb.ID] != nb {
+				return fmt.Errorf("node %d: cached view holds stale pointer for neighbor %d", id, nb.ID)
+			}
+			if !o.IsNeighbor(id, nb.ID) {
+				return fmt.Errorf("node %d: cached view lists non-neighbor %d", id, nb.ID)
+			}
+			dim, dir, ok := n.Zone.Abuts(nb.Zone)
+			if !ok {
+				return fmt.Errorf("node %d: cached neighbor %d no longer abuts", id, nb.ID)
+			}
+			if dir > 0 {
+				if wantOut >= len(v.outward) || v.outward[wantOut].Node != nb || v.outward[wantOut].Dim != dim {
+					return fmt.Errorf("node %d: cached outward pairs disagree with Abuts at neighbor %d", id, nb.ID)
+				}
+				wantOut++
+			}
+		}
+		if wantOut != len(v.outward) {
+			return fmt.Errorf("node %d: cached view has %d outward pairs, brute force finds %d",
+				id, len(v.outward), wantOut)
+		}
+	}
 	return nil
 }
 

@@ -1,7 +1,5 @@
 package can
 
-import "sort"
-
 // Two nodes are CAN neighbors when their zones share a (d-1)-dimensional
 // face. The overlay maintains this adjacency incrementally: a join only
 // affects the split zone's former neighborhood, and a leave only the
@@ -10,24 +8,21 @@ import "sort"
 // maintenance in tests.
 
 // NeighborIDs returns the IDs of node id's neighbors, sorted ascending.
+// The slice is freshly allocated; hot paths should use NeighborView.
 func (o *Overlay) NeighborIDs(id NodeID) []NodeID {
-	set := o.neighbors[id]
-	ids := make([]NodeID, 0, len(set))
-	for nb := range set {
-		ids = append(ids, nb)
+	view := o.NeighborView(id)
+	ids := make([]NodeID, len(view))
+	for i, nb := range view {
+		ids[i] = nb.ID
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// Neighbors returns node id's neighbors, sorted by ID.
+// Neighbors returns node id's neighbors, sorted by ID. The slice is
+// freshly allocated; hot paths should use NeighborView, which serves
+// the same contents from the version-keyed cache.
 func (o *Overlay) Neighbors(id NodeID) []*Node {
-	ids := o.NeighborIDs(id)
-	ns := make([]*Node, len(ids))
-	for i, nb := range ids {
-		ns[i] = o.nodes[nb]
-	}
-	return ns
+	return append([]*Node(nil), o.NeighborView(id)...)
 }
 
 // IsNeighbor reports whether a and b are currently neighbors.
@@ -51,11 +46,15 @@ func (o *Overlay) AvgNeighbors() float64 {
 func (o *Overlay) link(a, b NodeID) {
 	o.neighbors[a][b] = struct{}{}
 	o.neighbors[b][a] = struct{}{}
+	o.invalidateView(a)
+	o.invalidateView(b)
 }
 
 func (o *Overlay) unlink(a, b NodeID) {
 	delete(o.neighbors[a], b)
 	delete(o.neighbors[b], a)
+	o.invalidateView(a)
+	o.invalidateView(b)
 }
 
 // rewireAfterJoin updates adjacency after owner's zone was split to

@@ -102,6 +102,14 @@ type Overlay struct {
 	neighbors map[NodeID]map[NodeID]struct{}
 	nextID    NodeID
 
+	// Version-keyed read caches (cache.go): per-node neighbor/outward
+	// views, invalidated selectively by the rewire paths, and the shared
+	// membership snapshot served by Nodes().
+	views       map[NodeID]*nodeView
+	snap        []*Node
+	snapVersion uint64
+	snapValid   bool
+
 	// Counters for diagnostics.
 	joins, leaves, takeoverMoves int
 }
@@ -115,6 +123,7 @@ func NewOverlay(dims int) *Overlay {
 		dims:      dims,
 		nodes:     make(map[NodeID]*Node),
 		neighbors: make(map[NodeID]map[NodeID]struct{}),
+		views:     make(map[NodeID]*nodeView),
 	}
 }
 
@@ -134,18 +143,24 @@ func (o *Overlay) Len() int { return len(o.nodes) }
 // Node returns the live node with the given id, or nil.
 func (o *Overlay) Node(id NodeID) *Node { return o.nodes[id] }
 
-// Nodes returns all live nodes sorted by ID. The slice is freshly
-// allocated; callers may keep it.
+// Nodes returns all live nodes sorted by ID as a shared, version-keyed
+// snapshot: repeated calls between churn events return the same slice
+// without allocating. The slice must not be modified. A snapshot stays
+// intact after churn (each version gets a fresh backing array), but it
+// then describes the older membership; callers that cache it should
+// revalidate against Version().
 func (o *Overlay) Nodes() []*Node {
-	ids := make([]NodeID, 0, len(o.nodes))
-	for id := range o.nodes {
-		ids = append(ids, id)
+	if o.snapValid && o.snapVersion == o.Version() {
+		return o.snap
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	ns := make([]*Node, len(ids))
-	for i, id := range ids {
-		ns[i] = o.nodes[id]
+	// Allocate fresh rather than reuse the old backing array: callers
+	// may still hold the previous snapshot.
+	ns := make([]*Node, 0, len(o.nodes))
+	for _, n := range o.nodes {
+		ns = append(ns, n)
 	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	o.snap, o.snapVersion, o.snapValid = ns, o.Version(), true
 	return ns
 }
 
@@ -382,31 +397,33 @@ func sibling(t *treeNode) *treeNode {
 
 // deepestLeafPair returns the deepest internal node in t's subtree whose
 // children are both leaves, breaking depth ties toward the low child so
-// the choice is deterministic.
+// the choice is deterministic. Plain recursion (no closure): Takeover
+// runs once per heartbeat tick per node, and an escaping closure here
+// would allocate on every call.
 func deepestLeafPair(t *treeNode) *treeNode {
-	var best *treeNode
-	bestDepth := -1
-	var walk func(x *treeNode, depth int)
-	walk = func(x *treeNode, depth int) {
-		if x.isLeaf() {
-			return
-		}
-		if x.low.isLeaf() && x.high.isLeaf() && depth > bestDepth {
-			best, bestDepth = x, depth
-		}
-		walk(x.low, depth+1)
-		walk(x.high, depth+1)
-	}
-	walk(t, 0)
+	best, _ := deepestLeafPairIn(t, 0, nil, -1)
 	return best
+}
+
+func deepestLeafPairIn(x *treeNode, depth int, best *treeNode, bestDepth int) (*treeNode, int) {
+	if x.isLeaf() {
+		return best, bestDepth
+	}
+	if x.low.isLeaf() && x.high.isLeaf() && depth > bestDepth {
+		best, bestDepth = x, depth
+	}
+	best, bestDepth = deepestLeafPairIn(x.low, depth+1, best, bestDepth)
+	return deepestLeafPairIn(x.high, depth+1, best, bestDepth)
 }
 
 func (o *Overlay) removeNodeState(id NodeID) {
 	for nb := range o.neighbors[id] {
 		delete(o.neighbors[nb], id)
+		o.invalidateView(nb)
 	}
 	delete(o.neighbors, id)
 	delete(o.nodes, id)
+	o.dropView(id)
 }
 
 // SplitHistory returns the sequence of splits that carved node id's

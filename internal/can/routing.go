@@ -42,6 +42,15 @@ func zoneDistance(z geom.Zone, p geom.Point) float64 {
 // partition the space, greedy forwarding makes strict progress and
 // always terminates at the owner.
 func (o *Overlay) Route(from NodeID, target geom.Point) ([]*Node, error) {
+	return o.RouteAppend(nil, from, target)
+}
+
+// RouteAppend is Route with a caller-supplied path buffer: the path is
+// appended to path[:0], so a scheduler placing jobs in a loop can reuse
+// one buffer and route without allocating. The returned slice aliases
+// the buffer (grown if needed).
+func (o *Overlay) RouteAppend(path []*Node, from NodeID, target geom.Point) ([]*Node, error) {
+	path = path[:0]
 	cur := o.nodes[from]
 	if cur == nil {
 		return nil, fmt.Errorf("can: route from unknown node %d", from)
@@ -49,13 +58,13 @@ func (o *Overlay) Route(from NodeID, target geom.Point) ([]*Node, error) {
 	if len(target) != o.dims {
 		return nil, fmt.Errorf("can: target has %d dims, overlay has %d", len(target), o.dims)
 	}
-	path := []*Node{cur}
+	path = append(path, cur)
 	maxHops := 10*len(o.nodes) + 10
 	for !cur.Zone.Contains(target) {
 		curDist := zoneDistance(cur.Zone, target)
 		var next *Node
 		bestDist := math.Inf(1)
-		for _, nb := range o.Neighbors(cur.ID) {
+		for _, nb := range o.NeighborView(cur.ID) {
 			if nb.Zone.Contains(target) {
 				next, bestDist = nb, 0
 				break

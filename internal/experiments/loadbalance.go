@@ -51,6 +51,11 @@ type LBConfig struct {
 	// simultaneous jobs — the paper's anticipated future GPUs — instead
 	// of dedicated ones (extension experiment).
 	ConcurrentGPUs bool
+	// Cancel, when non-nil, is polled at every event boundary of the
+	// simulation loop; once it returns true the run stops and reports an
+	// error wrapping ErrCanceled. ReplicateLB wires this to the sweep's
+	// CancelFlag so a failing replica halts its in-flight siblings.
+	Cancel func() bool
 }
 
 // DefaultLBConfig returns the evaluation's setup: 1000 nodes, 20000
@@ -170,7 +175,22 @@ func RunLoadBalance(cfg LBConfig) (*LBResult, error) {
 		res.WaitTimes.Add(j.WaitTime().Seconds())
 	}
 	eng.At(0, arrive)
-	eng.Run()
+	if cfg.Cancel == nil {
+		eng.Run()
+	} else {
+		// Stepped run: the cancellation flag is polled between events, so
+		// a canceled replica halts at the next event boundary instead of
+		// simulating its full horizon.
+		for {
+			if cfg.Cancel() {
+				return nil, fmt.Errorf("experiments: load-balance run (scheme %s, seed %d): %w",
+					cfg.Scheme, cfg.Seed, ErrCanceled)
+			}
+			if !eng.Step() {
+				break
+			}
+		}
+	}
 
 	res.Makespan = sim.Duration(eng.Now())
 	var work []float64

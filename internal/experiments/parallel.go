@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"runtime"
 	"sync"
@@ -8,6 +9,43 @@ import (
 
 	"hetgrid/internal/stats"
 )
+
+// ErrCanceled is returned (wrapped) by a run that halted because a
+// lower-indexed sibling in the same parallel sweep failed first.
+var ErrCanceled = errors.New("experiments: canceled by earlier failure")
+
+// CancelFlag propagates first-error cancellation into in-flight runs.
+// It records the lowest index that failed so far; only work items with
+// a HIGHER index observe cancellation. Lower-indexed items always run
+// to completion, which is what keeps the reported error deterministic:
+// the minimum index destined to fail can never be canceled (that would
+// require an even lower failure), so it always records its own error
+// and the ascending scan reports it regardless of goroutine timing.
+type CancelFlag struct {
+	low atomic.Int64 // lowest failing index; MaxInt64 = none
+}
+
+func newCancelFlag() *CancelFlag {
+	c := &CancelFlag{}
+	c.low.Store(math.MaxInt64)
+	return c
+}
+
+// fail records a genuine failure at index i.
+func (c *CancelFlag) fail(i int) {
+	for {
+		cur := c.low.Load()
+		if int64(i) >= cur || c.low.CompareAndSwap(cur, int64(i)) {
+			return
+		}
+	}
+}
+
+// CanceledFor reports whether work item i should halt: some item with a
+// lower index has already failed. Safe on a nil flag (never canceled).
+func (c *CancelFlag) CanceledFor(i int) bool {
+	return c != nil && int64(i) > c.low.Load()
+}
 
 // Each simulation is single-threaded for determinism, but independent
 // runs parallelize perfectly. ParallelMap fans a set of configurations
@@ -67,6 +105,21 @@ func ParallelMap[T any](n, workers int, f func(i int) T) []T {
 // timing, and every index below it was dispatched before cancellation
 // could take effect.
 func ParallelMapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	return ParallelMapErrCancel(n, workers, func(i int, _ *CancelFlag) (T, error) {
+		return f(i)
+	})
+}
+
+// ParallelMapErrCancel extends ParallelMapErr with in-flight
+// cancellation: f receives the sweep's CancelFlag and may poll
+// cancel.CanceledFor(i) to abandon work early (for example by wiring it
+// into LBConfig.Cancel, which RunLoadBalance checks at every event
+// boundary). A run that halts this way should return an error wrapping
+// ErrCanceled; such errors are recorded but never reported as the
+// sweep's outcome — the ascending scan skips them, so the result is
+// still the lowest genuinely failing index, unchanged by scheduling
+// (see CancelFlag for why that index can never itself be canceled).
+func ParallelMapErrCancel[T any](n, workers int, f func(i int, cancel *CancelFlag) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -77,9 +130,10 @@ func ParallelMapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error
 	if n == 0 {
 		return out, nil
 	}
+	cancel := newCancelFlag()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := f(i)
+			v, err := f(i, cancel)
 			if err != nil {
 				return out, err
 			}
@@ -96,9 +150,12 @@ func ParallelMapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				v, err := f(i)
+				v, err := f(i, cancel)
 				if err != nil {
 					errs[i] = err
+					if !errors.Is(err, ErrCanceled) {
+						cancel.fail(i)
+					}
 					failed.Store(true)
 					continue
 				}
@@ -111,12 +168,22 @@ func ParallelMapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error
 	}
 	close(jobs)
 	wg.Wait()
+	var firstCanceled error
 	for _, err := range errs {
-		if err != nil {
-			return out, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, ErrCanceled) {
+			if firstCanceled == nil {
+				firstCanceled = err
+			}
+			continue
+		}
+		return out, err
 	}
-	return out, nil
+	// Defensive: only canceled errors recorded (should be impossible —
+	// cancellation implies a lower genuine failure).
+	return out, firstCanceled
 }
 
 // Replication summarizes one metric across seed replicas.
@@ -130,12 +197,14 @@ type Replication struct {
 // ReplicateLB runs the same load-balancing configuration under n
 // consecutive seeds in parallel and summarizes the metric extracted by
 // pick (for example, mean wait time). A failing replica cancels the
-// remaining seeds; the returned error is always the lowest failing
-// seed's, independent of scheduling.
+// remaining seeds — including ones already simulating, which halt at
+// their next event boundary; the returned error is always the lowest
+// failing seed's, independent of scheduling.
 func ReplicateLB(cfg LBConfig, n int, pick func(*LBResult) float64) (Replication, error) {
-	results, err := ParallelMapErr(n, 0, func(i int) (float64, error) {
+	results, err := ParallelMapErrCancel(n, 0, func(i int, cancel *CancelFlag) (float64, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
+		c.Cancel = func() bool { return cancel.CanceledFor(i) }
 		res, err := RunLoadBalance(c)
 		if err != nil {
 			return 0, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -183,5 +184,89 @@ func TestParallelMapErrEmpty(t *testing.T) {
 	out, err := ParallelMapErr(0, 4, func(int) (int, error) { return 0, fmt.Errorf("never") })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty: out=%v err=%v", out, err)
+	}
+}
+
+func TestCancelFlagOnlyHaltsHigherIndices(t *testing.T) {
+	c := newCancelFlag()
+	for _, i := range []int{0, 3, 9} {
+		if c.CanceledFor(i) {
+			t.Fatalf("fresh flag cancels index %d", i)
+		}
+	}
+	c.fail(3)
+	if c.CanceledFor(2) || c.CanceledFor(3) {
+		t.Fatal("failure at 3 must not cancel indices ≤ 3 (determinism)")
+	}
+	if !c.CanceledFor(4) {
+		t.Fatal("failure at 3 must cancel index 4")
+	}
+	c.fail(7) // higher failure must not raise the low-water mark
+	if c.CanceledFor(3) {
+		t.Fatal("later higher-index failure moved the mark up")
+	}
+	var nilFlag *CancelFlag
+	if nilFlag.CanceledFor(0) {
+		t.Fatal("nil flag canceled")
+	}
+}
+
+// TestRunLoadBalanceCancel checks the event-boundary cancellation in the
+// simulation loop itself: a run whose Cancel predicate trips partway
+// through stops with ErrCanceled instead of simulating its horizon.
+func TestRunLoadBalanceCancel(t *testing.T) {
+	polls := 0
+	cfg := DefaultLBConfig(CanHet)
+	cfg.Nodes = 40
+	cfg.Jobs = 500
+	cfg.Cancel = func() bool { polls++; return polls > 100 }
+	res, err := RunLoadBalance(cfg)
+	if res != nil || err == nil {
+		t.Fatalf("canceled run returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if polls != 101 {
+		t.Fatalf("run continued past the cancellation poll (%d polls)", polls)
+	}
+}
+
+// TestSlowReplicaObservesCancellation drives the full chain: replica 0
+// fails (only after replica 1 is simulating), the sweep's flag flips,
+// and the in-flight replica 1 aborts at an event boundary with
+// ErrCanceled — while the sweep still reports replica 0's genuine error.
+func TestSlowReplicaObservesCancellation(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	started := make(chan struct{})
+	var slowErr error
+	_, err := ParallelMapErrCancel(2, 2, func(i int, cancel *CancelFlag) (int, error) {
+		if i == 0 {
+			<-started // replica 1 is inside its simulation loop
+			return 0, boom
+		}
+		cfg := DefaultLBConfig(CanHet)
+		cfg.Nodes = 60
+		cfg.Jobs = 200_000 // far longer than replica 0's turnaround
+		signaled := false
+		cfg.Cancel = func() bool {
+			if !signaled {
+				signaled = true
+				close(started)
+			}
+			return cancel.CanceledFor(i)
+		}
+		_, runErr := RunLoadBalance(cfg)
+		slowErr = runErr
+		if runErr == nil {
+			return 0, fmt.Errorf("slow replica ran to completion without observing cancellation")
+		}
+		return 0, runErr
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want the genuine failure (boom)", err)
+	}
+	if !errors.Is(slowErr, ErrCanceled) {
+		t.Fatalf("slow replica error = %v, want ErrCanceled", slowErr)
 	}
 }

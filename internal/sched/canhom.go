@@ -33,9 +33,9 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 	if entry == nil {
 		return 0, ErrUnmatchable
 	}
-	jobPt := c.Space.JobPoint(j.Req, c.jobVirtual())
+	jobPt := c.jobPoint(j.Req)
 
-	path, err := c.Ov.Route(entry.ID, jobPt)
+	path, err := c.route(entry.ID, jobPt)
 	if err != nil {
 		return 0, err
 	}
@@ -57,12 +57,13 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 
 		// Free nodes only: the oblivious scheme cannot tell that a busy
 		// node still has an idle CE of the right kind.
-		var free []*can.Node
+		free := c.freeBuf[:0]
 		for _, n := range cands {
 			if rt := c.Cluster.Runtime(n.ID); rt != nil && rt.IsFree() {
 				free = append(free, n)
 			}
 		}
+		c.freeBuf = free
 		if len(free) > 0 {
 			s.Stats.FreePicks++
 			s.Stats.Placed++
@@ -70,24 +71,24 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 		}
 
 		// Push on CPU aggregates regardless of what the job needs.
-		var target *outward
+		var target *can.Outward
 		bestObj := 0.0
 		outs := c.outwardNeighbors(cur)
 		for i := range outs {
 			o := &outs[i]
-			if o.node.Caps == nil || !resource.Satisfies(o.node.Caps, j.Req) {
+			if o.Node.Caps == nil || !resource.Satisfies(o.Node.Caps, j.Req) {
 				continue
 			}
-			obj := c.Agg.Objective(o.node.ID, o.dim, resource.TypeCPU)
+			obj := c.Agg.Objective(o.Node.ID, o.Dim, resource.TypeCPU)
 			if target == nil || obj < bestObj ||
-				(obj == bestObj && o.node.ID < target.node.ID) {
+				(obj == bestObj && o.Node.ID < target.Node.ID) {
 				target, bestObj = o, obj
 			}
 		}
 
 		stop := target == nil
 		if !stop {
-			p := resource.StopProbability(c.Agg.At(cur.ID, target.dim).Nodes, c.StoppingFactor)
+			p := resource.StopProbability(c.Agg.At(cur.ID, target.Dim).Nodes, c.StoppingFactor)
 			stop = c.rnd.Bool(p)
 		}
 		if stop {
@@ -99,7 +100,7 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 			return c.pickMinScore(cands, resource.TypeCPU).ID, nil
 		}
 
-		cur = target.node
+		cur = target.Node
 		s.Stats.PushHops++
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/geom"
 	"hetgrid/internal/perf"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
@@ -70,6 +71,17 @@ type Context struct {
 	rnd         *rng.Stream
 	lastRefresh sim.Time
 	refreshed   bool
+
+	// Per-placement scratch. A Context serves one placement at a time;
+	// these buffers are recycled across Place calls so a steady-state
+	// placement allocates nothing. satBuf is overwritten by each
+	// satisfying() call, so its result is valid only until the next hop.
+	satBuf      []*can.Node
+	acceptBuf   []*can.Node
+	freeBuf     []*can.Node
+	fallbackBuf []*can.Node
+	pathBuf     []*can.Node
+	jobPtBuf    geom.Point
 }
 
 // NewContext wires a scheduling context. Aggregated load information is
@@ -118,6 +130,26 @@ func (c *Context) jobVirtual() float64 {
 	return v
 }
 
+// jobPoint computes the job's routing coordinate into the per-Context
+// scratch point (same contents as Space.JobPoint, without the
+// allocation). The point is overwritten by the next placement.
+func (c *Context) jobPoint(req resource.JobReq) geom.Point {
+	if len(c.jobPtBuf) != c.Space.Dims() {
+		c.jobPtBuf = make(geom.Point, c.Space.Dims())
+	}
+	return c.Space.JobPointInto(c.jobPtBuf, req, c.jobVirtual())
+}
+
+// route runs CAN routing into the per-Context path buffer. The returned
+// path is valid until the next placement.
+func (c *Context) route(from can.NodeID, target geom.Point) ([]*can.Node, error) {
+	path, err := c.Ov.RouteAppend(c.pathBuf, from, target)
+	if path != nil {
+		c.pathBuf = path
+	}
+	return path, err
+}
+
 // randomEntry picks the node a client submits through (uniformly random,
 // as in the evaluation).
 func (c *Context) randomEntry() *can.Node {
@@ -130,17 +162,20 @@ func (c *Context) randomEntry() *can.Node {
 
 // satisfying filters cur and its neighbors down to nodes that statically
 // satisfy the job, returned in deterministic (ID) order with cur first
-// when it qualifies.
+// when it qualifies. The result aliases a per-Context scratch buffer and
+// is valid only until the next satisfying call; the neighborhood comes
+// from the overlay's cached view, so no scan or allocation happens here.
 func (c *Context) satisfying(cur *can.Node, req resource.JobReq) []*can.Node {
-	var out []*can.Node
+	out := c.satBuf[:0]
 	if cur.Caps != nil && resource.Satisfies(cur.Caps, req) {
 		out = append(out, cur)
 	}
-	for _, nb := range c.Ov.Neighbors(cur.ID) {
+	for _, nb := range c.Ov.NeighborView(cur.ID) {
 		if nb.Caps != nil && resource.Satisfies(nb.Caps, req) {
 			out = append(out, nb)
 		}
 	}
+	c.satBuf = out
 	return out
 }
 
@@ -182,20 +217,12 @@ func (c *Context) pickMinScore(nodes []*can.Node, t resource.CEType) *can.Node {
 
 // outwardNeighbors lists (neighbor, dimension) pairs where the neighbor
 // sits on cur's high side — the directions a job can be pushed toward
-// more capable regions.
-func (c *Context) outwardNeighbors(cur *can.Node) []outward {
-	var out []outward
-	for _, nb := range c.Ov.Neighbors(cur.ID) {
-		if dim, dir, ok := cur.Zone.Abuts(nb.Zone); ok && dir > 0 {
-			out = append(out, outward{node: nb, dim: dim})
-		}
-	}
-	return out
-}
-
-type outward struct {
-	node *can.Node
-	dim  int
+// more capable regions. Served straight from the overlay's cached view:
+// the Abuts tests ran once when the view was built, so a hop no longer
+// re-scans the neighborhood (previously both satisfying and this helper
+// walked Neighbors, scanning every hop's neighborhood twice).
+func (c *Context) outwardNeighbors(cur *can.Node) []can.Outward {
+	return c.Ov.OutwardView(cur.ID)
 }
 
 // boost walks the job out of a region whose nodes cannot satisfy it:
@@ -210,12 +237,12 @@ func (c *Context) boost(cur *can.Node, req resource.JobReq, jobPt []float64, st 
 		}
 		// Move outward along the dimension where cur's zone is farthest
 		// below the job's coordinate.
-		var best *outward
+		var best *can.Outward
 		bestDeficit := 0.0
 		outs := c.outwardNeighbors(cur)
 		for i := range outs {
 			o := &outs[i]
-			deficit := jobPt[o.dim] - cur.Zone.Hi[o.dim]
+			deficit := jobPt[o.Dim] - cur.Zone.Hi[o.Dim]
 			if deficit < 0 {
 				// Already past the requirement in this dimension; an
 				// outward hop may still help reach capable nodes, but
@@ -223,14 +250,14 @@ func (c *Context) boost(cur *can.Node, req resource.JobReq, jobPt []float64, st 
 				deficit = 1e-9
 			}
 			if best == nil || deficit > bestDeficit ||
-				(deficit == bestDeficit && o.node.ID < best.node.ID) {
+				(deficit == bestDeficit && o.Node.ID < best.Node.ID) {
 				best, bestDeficit = o, deficit
 			}
 		}
 		if best == nil {
 			return nil, ErrUnmatchable
 		}
-		cur = best.node
+		cur = best.Node
 		st.BoostedWalks++
 	}
 	return nil, ErrUnmatchable
@@ -243,12 +270,13 @@ func (c *Context) boost(cur *can.Node, req resource.JobReq, jobPt []float64, st 
 // machinery needed rescuing; a nil return means the job is genuinely
 // unmatchable anywhere in the grid.
 func (c *Context) fallback(req resource.JobReq, t resource.CEType, st *Stats) *can.Node {
-	var sat []*can.Node
+	sat := c.fallbackBuf[:0]
 	for _, n := range c.Ov.Nodes() {
 		if n.Caps != nil && resource.Satisfies(n.Caps, req) {
 			sat = append(sat, n)
 		}
 	}
+	c.fallbackBuf = sat
 	if len(sat) == 0 {
 		return nil
 	}

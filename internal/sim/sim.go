@@ -67,12 +67,23 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // engine clock set to the event's time and may schedule further events.
 type Handler func(now Time)
 
+// Caller is the allocation-free counterpart of Handler: a long-lived
+// object whose Call method fires when the event does. Scheduling a
+// method value (eng.After(d, h.onTick)) allocates a closure per event;
+// scheduling the object itself via AtCall/AfterCall does not, which is
+// what keeps periodic machinery (heartbeat ticks, message deliveries)
+// off the allocator.
+type Caller interface {
+	Call(now Time)
+}
+
 type event struct {
 	at      Time
 	seq     uint64 // insertion order; breaks time ties deterministically
 	gen     uint64 // recycle generation; invalidates stale EventIDs
 	handler Handler
-	index   int // heap index, -1 when cancelled or popped
+	caller  Caller // fires instead of handler when non-nil
+	index   int    // heap index, -1 when cancelled or popped
 }
 
 // EventID identifies a scheduled event so that it can be cancelled.
@@ -146,20 +157,41 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // At schedules h to run at absolute time at. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
 func (e *Engine) At(at Time, h Handler) EventID {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
-	}
 	if h == nil {
 		panic("sim: nil handler")
+	}
+	return e.schedule(at, h, nil)
+}
+
+// AtCall schedules c.Call to run at absolute time at. Unlike At with a
+// method value, it allocates nothing beyond the pooled event.
+func (e *Engine) AtCall(at Time, c Caller) EventID {
+	if c == nil {
+		panic("sim: nil caller")
+	}
+	return e.schedule(at, nil, c)
+}
+
+// AfterCall schedules c.Call to run d ticks from now (negative d is 0).
+func (e *Engine) AfterCall(d Duration, c Caller) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now.Add(d), c)
+}
+
+func (e *Engine) schedule(at Time, h Handler, c Caller) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
 	var ev *event
 	if n := len(e.pool); n > 0 {
 		ev = e.pool[n-1]
 		e.pool[n-1] = nil
 		e.pool = e.pool[:n-1]
-		ev.at, ev.handler = at, h
+		ev.at, ev.handler, ev.caller = at, h, c
 	} else {
-		ev = &event{at: at, handler: h}
+		ev = &event{at: at, handler: h, caller: c}
 	}
 	ev.seq = e.nextSeq
 	e.nextSeq++
@@ -173,6 +205,7 @@ func (e *Engine) At(at Time, h Handler) EventID {
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.handler = nil // release the closure promptly
+	ev.caller = nil
 	e.pool = append(e.pool, ev)
 	cntPooled.Inc()
 }
@@ -215,9 +248,13 @@ func (e *Engine) Step() bool {
 	cntFired.Inc()
 	// Capture the handler, then recycle before invoking it: the handler
 	// may schedule new events, which are welcome to reuse this slot.
-	h := ev.handler
+	h, c := ev.handler, ev.caller
 	e.recycle(ev)
-	h(e.now)
+	if c != nil {
+		c.Call(e.now)
+	} else {
+		h(e.now)
+	}
 	return true
 }
 
