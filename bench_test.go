@@ -33,6 +33,8 @@ import (
 	"hetgrid/internal/exec"
 	"hetgrid/internal/experiments"
 	"hetgrid/internal/geom"
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/metricsreg"
 	"hetgrid/internal/proto"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
@@ -347,6 +349,65 @@ func BenchmarkPlaceSteadyState(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPlaceSteadyStateMetricsOn repeats the steady-state walk with
+// a telemetry plane attached and a full sampling sweep every 64
+// placements — the densest realistic cadence (one sweep per virtual
+// heartbeat covers thousands of placements). The ISSUE's budget: the
+// probe-free Place stays 0 allocs/op, and the amortized sampling cost
+// must stay within the benchjson gate of the plain variant.
+func BenchmarkPlaceSteadyStateMetricsOn(b *testing.B) {
+	eng := sim.New()
+	space := resource.NewSpace(2)
+	ov := can.NewOverlay(space.Dims())
+	cl := exec.NewCluster(eng, exec.DefaultConfig())
+	gen := workload.NewNodeGen(space, 8)
+	redraw := rng.New(88)
+	for i := 0; i < 500; i++ {
+		caps := gen.One()
+		n, err := ov.Join(space.NodePoint(caps), caps)
+		for err != nil {
+			caps.Virtual = redraw.Float64() * 0.999999
+			n, err = ov.Join(space.NodePoint(caps), caps)
+		}
+		cl.AddNode(n.ID, caps)
+	}
+	jgen := workload.NewJobGen(space, 9)
+	jobs := make([]*exec.Job, 256)
+	for i := range jobs {
+		jobs[i], _ = jgen.Next()
+	}
+	for _, n := range ov.Nodes() {
+		ov.NeighborView(n.ID)
+		ov.OutwardView(n.ID)
+	}
+	ctx := sched.NewContext(eng, ov, cl, space, 8)
+	s := sched.NewCanHet(ctx)
+	plane := metrics.New(60*sim.Second, 0)
+	plane.Attach(eng)
+	metricsreg.RegisterGridGauges(plane, ov, cl, ctx.Agg, space.Dims(), 2)
+	if st := sched.StatsOf(s); st != nil {
+		metricsreg.RegisterSchedCounters(plane, st)
+	}
+	metricsreg.RegisterClusterCounters(plane, cl)
+	// Warm scratch buffers and the sampling rings before measuring.
+	for i := 0; i < 64; i++ {
+		if _, err := s.Place(jobs[i%len(jobs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plane.SampleNow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Place(jobs[i%len(jobs)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			plane.SampleNow()
+		}
 	}
 }
 

@@ -121,7 +121,7 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: gate passed (no entry regressed >%g%% ns/op)\n", *gate)
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed (no entry regressed >%g%% ns/op or allocs/op)\n", *gate)
 	}
 }
 
@@ -131,22 +131,75 @@ func main() {
 // protecting anything that matters.
 const gateMinNs = 1000.0
 
-// gateRegressions lists the entries whose ns/op regressed more than pct
-// percent against their embedded baseline. Entries without a baseline
-// (new benchmarks) and entries below the noise floor pass.
+// gateRegressions lists the entries whose ns/op or allocs/op regressed
+// more than pct percent against their embedded baseline. Entries
+// without a baseline (new benchmarks) pass. The ns/op check skips
+// baselines below the noise floor; the allocs/op check does not —
+// allocation counts are deterministic, so even a 0→1 step on a
+// sub-microsecond benchmark is a real regression (and the hot paths
+// this repo gates hold themselves to zero).
+//
+// Baselines are recorded in earlier sessions on whatever hardware CI
+// handed out, so a uniformly slower machine shifts *every* ratio up
+// without any code change. The ns/op gate therefore normalizes by the
+// median current/baseline ratio across gated entries (the drift): an
+// entry fails only when it regresses pct percent beyond the fleet-wide
+// drift. The drift divisor is clamped to ≥1 — on a *faster* machine the
+// gate stays absolute, so an entry that merely failed to speed up is
+// never flagged. Allocation counts are machine-independent and are
+// gated absolutely.
 func gateRegressions(doc *Doc, pct float64) []string {
+	drift := nsDrift(doc)
 	var out []string
+	for _, e := range doc.Entries {
+		if e.Baseline == nil {
+			continue
+		}
+		if e.Baseline.NsOp >= gateMinNs && e.NsOp > 0 {
+			limit := e.Baseline.NsOp * drift * (1 + pct/100)
+			if e.NsOp > limit {
+				out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit +%g%% over %+.1f%% median drift)",
+					e.Name, e.NsOp, e.Baseline.NsOp, 100*(e.NsOp/e.Baseline.NsOp-1), pct, 100*(drift-1)))
+			}
+		}
+		// Allocations: flag growth beyond pct with an absolute slack of
+		// one whole allocation, so a zero-alloc baseline fails on any new
+		// allocation while integer jitter on alloc-heavy benchmarks
+		// (map growth landing differently across -benchtime) passes.
+		if e.AllocsOp > e.Baseline.AllocsOp*(1+pct/100) && e.AllocsOp >= e.Baseline.AllocsOp+1 {
+			out = append(out, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (limit +%g%% and ≥1 alloc)",
+				e.Name, e.AllocsOp, e.Baseline.AllocsOp, pct))
+		}
+	}
+	return out
+}
+
+// nsDrift estimates the environment speed shift between the baseline
+// session and this one: the median current/baseline ns/op ratio over
+// gated entries, clamped to ≥1 (see gateRegressions). With fewer than
+// four comparable entries the median is too easily dominated by a real
+// regression, so the gate stays absolute.
+func nsDrift(doc *Doc) float64 {
+	var ratios []float64
 	for _, e := range doc.Entries {
 		if e.Baseline == nil || e.Baseline.NsOp < gateMinNs || e.NsOp <= 0 {
 			continue
 		}
-		limit := e.Baseline.NsOp * (1 + pct/100)
-		if e.NsOp > limit {
-			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit +%g%%)",
-				e.Name, e.NsOp, e.Baseline.NsOp, 100*(e.NsOp/e.Baseline.NsOp-1), pct))
-		}
+		ratios = append(ratios, e.NsOp/e.Baseline.NsOp)
 	}
-	return out
+	if len(ratios) < 4 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	m := ratios[mid]
+	if len(ratios)%2 == 0 {
+		m = (ratios[mid-1] + ratios[mid]) / 2
+	}
+	if m < 1 {
+		return 1
+	}
+	return m
 }
 
 // benchLine matches `BenchmarkName-8   30   123 ns/op   45 B/op ...`.

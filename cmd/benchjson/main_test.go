@@ -1,0 +1,145 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entry(name string, ns, allocs float64, baseNs, baseAllocs float64) Entry {
+	return Entry{
+		Name: name, NsOp: ns, AllocsOp: allocs,
+		Baseline: &Entry{Name: name, NsOp: baseNs, AllocsOp: baseAllocs},
+	}
+}
+
+func TestGateNsRegression(t *testing.T) {
+	doc := &Doc{Entries: []Entry{entry("Placement", 130000, 5, 100000, 5)}}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Fatalf("want one ns/op regression, got %v", got)
+	}
+}
+
+func TestGateAllocsRegression(t *testing.T) {
+	// ns/op fine, allocs/op up 50%.
+	doc := &Doc{Entries: []Entry{entry("AggRefresh", 100000, 6, 100000, 4)}}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", got)
+	}
+}
+
+func TestGateZeroAllocBaseline(t *testing.T) {
+	// A zero-alloc hot path gaining a single allocation must fail even
+	// though the benchmark sits below the ns/op noise floor.
+	doc := &Doc{Entries: []Entry{entry("PlaceSteadyState", 800, 1, 750, 0)}}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Fatalf("want the 0→1 alloc step flagged, got %v", got)
+	}
+	// ...but staying at zero passes regardless of ns jitter below the floor.
+	doc = &Doc{Entries: []Entry{entry("PlaceSteadyState", 950, 0, 750, 0)}}
+	if got := gateRegressions(doc, 15); len(got) != 0 {
+		t.Fatalf("sub-floor zero-alloc entry should pass, got %v", got)
+	}
+}
+
+func TestGateAllocSlack(t *testing.T) {
+	// Fractional alloc growth under one whole allocation is jitter
+	// (averaging artifacts across iterations), not a regression.
+	doc := &Doc{Entries: []Entry{entry("WorkloadGen", 100000, 3.4, 100000, 3)}}
+	if got := gateRegressions(doc, 10); len(got) != 0 {
+		t.Fatalf("sub-one-alloc growth should pass, got %v", got)
+	}
+}
+
+func TestGateNoiseFloorAndNoBaseline(t *testing.T) {
+	doc := &Doc{Entries: []Entry{
+		// Below gateMinNs: ns regression ignored.
+		entry("TinyOp", 900, 2, 500, 2),
+		// No baseline at all: passes.
+		{Name: "BrandNew", NsOp: 5e6, AllocsOp: 100},
+	}}
+	if got := gateRegressions(doc, 15); len(got) != 0 {
+		t.Fatalf("want no regressions, got %v", got)
+	}
+}
+
+func TestGateDriftNormalization(t *testing.T) {
+	// Five benchmarks, all ~20% slower (a slower machine), one 60%
+	// slower (a real regression). Only the outlier fails.
+	doc := &Doc{Entries: []Entry{
+		entry("A", 120000, 0, 100000, 0),
+		entry("B", 121000, 0, 100000, 0),
+		entry("C", 119000, 0, 100000, 0),
+		entry("D", 120500, 0, 100000, 0),
+		entry("Hot", 160000, 0, 100000, 0),
+	}}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "Hot") {
+		t.Fatalf("want only the outlier flagged, got %v", got)
+	}
+	if !strings.Contains(got[0], "drift") {
+		t.Fatalf("message should report the drift: %v", got)
+	}
+}
+
+func TestGateDriftClampedOnFasterMachine(t *testing.T) {
+	// Machine got 20% faster; one benchmark regressed 20% absolutely.
+	// The drift divisor clamps at 1, so the absolute regression is
+	// still caught and the merely-flat entries pass.
+	doc := &Doc{Entries: []Entry{
+		entry("A", 80000, 0, 100000, 0),
+		entry("B", 81000, 0, 100000, 0),
+		entry("C", 79000, 0, 100000, 0),
+		entry("D", 100000, 0, 100000, 0), // flat: passes
+		entry("Hot", 120000, 0, 100000, 0),
+	}}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "Hot") {
+		t.Fatalf("want only the absolute regression flagged, got %v", got)
+	}
+}
+
+func TestGateDriftNeedsQuorum(t *testing.T) {
+	// With under four comparable entries the gate stays absolute: two
+	// entries both +30% are both flagged, not normalized away.
+	doc := &Doc{Entries: []Entry{
+		entry("A", 130000, 0, 100000, 0),
+		entry("B", 130000, 0, 100000, 0),
+	}}
+	if got := gateRegressions(doc, 15); len(got) != 2 {
+		t.Fatalf("want both flagged without a drift quorum, got %v", got)
+	}
+}
+
+func TestParseAndGateEndToEnd(t *testing.T) {
+	out := `goos: linux
+cpu: Test CPU @ 2.00GHz
+BenchmarkPlacement-8   	    1000	    250000 ns/op	     128 B/op	       2 allocs/op
+BenchmarkPlacement-8   	    1000	    240000 ns/op	     128 B/op	       2 allocs/op
+BenchmarkFig5-8        	       3	 900000000 ns/op	       412 wait-mean-s
+`
+	doc, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Entries) != 2 {
+		t.Fatalf("entries = %+v", doc.Entries)
+	}
+	// minByName keeps the faster Placement run.
+	var place *Entry
+	for i := range doc.Entries {
+		if doc.Entries[i].Name == "Placement" {
+			place = &doc.Entries[i]
+		}
+	}
+	if place == nil || place.NsOp != 240000 || place.AllocsOp != 2 {
+		t.Fatalf("Placement entry = %+v", place)
+	}
+	place.Baseline = &Entry{Name: "Placement", NsOp: 240000, AllocsOp: 1}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Fatalf("want allocs/op regression from parsed doc, got %v", got)
+	}
+}

@@ -5,17 +5,27 @@
 //
 //	hetgridsim -scheme can-het -nodes 500 -jobs 5000 -arrival 3
 //	hetgridsim -scheme can-hom -constraint 0.6 -gpuslots 3
+//	hetgridsim -nodes 200 -jobs 2000 -metrics m.jsonl -trace t.jsonl
+//
+// -metrics samples per-node gauges and scheduler counters on the
+// virtual clock and writes them as JSONL; -trace records the job
+// lifecycle plus placement spans (route/push/match) for cmd/traceview.
+// Both are telemetry-only: the printed results are identical with or
+// without them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hetgrid/internal/experiments"
+	"hetgrid/internal/metrics"
 	"hetgrid/internal/perf"
 	"hetgrid/internal/sim"
 	"hetgrid/internal/stats"
+	"hetgrid/internal/trace"
 )
 
 func main() {
@@ -30,6 +40,9 @@ func main() {
 	gamma := flag.Float64("gamma", 0.3, "CPU contention coefficient")
 	seed := flag.Int64("seed", 1, "random seed")
 	seeds := flag.Int("seeds", 1, "replicate over this many consecutive seeds (parallel) and report mean±std")
+	metricsPath := flag.String("metrics", "", "write sampled telemetry (JSONL) to this file")
+	metricsEvery := flag.Float64("metrics-interval", 60, "telemetry sampling interval in virtual seconds")
+	tracePath := flag.String("trace", "", "write the event trace with placement spans (JSONL) to this file")
 	pprofPath := flag.String("pprof", "", "write a CPU profile to this file")
 	perfStats := flag.Bool("perfstats", false, "enable perf timers and print the counter report to stderr")
 	flag.Parse()
@@ -55,6 +68,9 @@ func main() {
 		Seed:             *seed,
 	}
 	if *seeds > 1 {
+		if *metricsPath != "" || *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "hetgridsim: -metrics/-trace apply to single runs only; ignored with -seeds > 1")
+		}
 		rep, err := experiments.ReplicateLB(cfg, *seeds, func(r *experiments.LBResult) float64 {
 			return r.WaitTimes.Mean()
 		})
@@ -68,10 +84,35 @@ func main() {
 		return
 	}
 
+	var plane *metrics.Plane
+	if *metricsPath != "" {
+		plane = metrics.New(sim.FromSeconds(*metricsEvery), 0)
+		cfg.Metrics = plane
+	}
+	var tbuf *trace.Buffer
+	if *tracePath != "" {
+		tbuf = &trace.Buffer{}
+		cfg.Trace = tbuf
+	}
+
 	res, err := experiments.RunLoadBalance(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetgridsim:", err)
 		os.Exit(1)
+	}
+	if plane != nil {
+		if err := writeJSONL(*metricsPath, func(w io.Writer) error { return plane.WriteJSONL(w, "") }); err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hetgridsim: wrote %d metric points to %s\n", plane.Len(), *metricsPath)
+	}
+	if tbuf != nil {
+		if err := writeJSONL(*tracePath, tbuf.WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hetgridsim: wrote %d trace events to %s\n", tbuf.Len(), *tracePath)
 	}
 
 	fmt.Printf("scheme=%s nodes=%d jobs=%d dims=%d arrival=%.1fs constraint=%.0f%%\n",
@@ -88,6 +129,18 @@ func main() {
 		tab.AddRow(fmt.Sprintf("%.0f", x), fmt.Sprintf("%.2f", 100*w.CDF(x)))
 	}
 	tab.Fprint(os.Stdout)
+}
+
+func writeJSONL(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fmtMeans(vs []float64) string {

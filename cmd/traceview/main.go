@@ -1,13 +1,17 @@
 // Command traceview summarizes a simulation trace exported with
 // hetgrid's TraceBuffer (JSONL, one event per line): event counts, the
-// job wait-time distribution, the busiest nodes, and the churn
-// timeline.
+// job wait-time distribution, the busiest nodes, the churn timeline,
+// and — when the trace carries placement spans — a causal tree of each
+// job's matchmaking walk (submit → routing hops → pushing hops →
+// dominant-CE match), indented by span depth.
 //
 //	traceview run.jsonl
+//	traceview -spans -top 5 run.jsonl
 //	some-simulation | traceview -
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -18,13 +22,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: traceview <trace.jsonl | ->")
+	spansFlag := flag.Bool("spans", false, "always print the placement-span section (default: only when span events exist)")
+	top := flag.Int("top", 10, "rows in the busiest-nodes table and jobs in the span tree")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-spans] [-top n] <trace.jsonl | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
 	var r io.Reader = os.Stdin
-	if os.Args[1] != "-" {
-		f, err := os.Open(os.Args[1])
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
 		if err != nil {
 			fatal(err)
 		}
@@ -40,9 +51,25 @@ func main() {
 		return
 	}
 
+	// The span tree needs the file's causal order (a job's hops share
+	// one timestamp), so sort a copy for the flat sections: stable by
+	// (time, kind, job) makes the summary independent of how the
+	// producer interleaved concurrent streams.
+	sorted := append([]trace.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Job < b.Job
+	})
+
 	// Event counts.
 	counts := map[trace.Kind]int{}
-	for _, e := range events {
+	for _, e := range sorted {
 		counts[e.Kind]++
 	}
 	kinds := make([]trace.Kind, 0, len(counts))
@@ -54,13 +81,13 @@ func main() {
 	for _, k := range kinds {
 		tab.AddRow(string(k), counts[k])
 	}
-	fmt.Printf("trace: %d events over %.0f virtual seconds\n\n", len(events), events[len(events)-1].T-events[0].T)
+	fmt.Printf("trace: %d events over %.0f virtual seconds\n\n", len(sorted), sorted[len(sorted)-1].T-sorted[0].T)
 	tab.Fprint(os.Stdout)
 
 	// Wait-time distribution from finish events.
 	var waits stats.Sample
 	perNode := map[int64]int{}
-	for _, e := range events {
+	for _, e := range sorted {
 		if e.Kind == trace.JobFinish {
 			waits.Add(e.Value)
 			perNode[e.Node]++
@@ -86,14 +113,14 @@ func main() {
 			return nodes[i].node < nodes[j].node
 		})
 		fmt.Println("\nbusiest nodes:")
-		top := stats.NewTable("node", "jobs finished")
+		topTab := stats.NewTable("node", "jobs finished")
 		for i, nc := range nodes {
-			if i >= 10 {
+			if i >= *top {
 				break
 			}
-			top.AddRow(nc.node, nc.jobs)
+			topTab.AddRow(nc.node, nc.jobs)
 		}
-		top.Fprint(os.Stdout)
+		topTab.Fprint(os.Stdout)
 
 		var work []float64
 		for _, nc := range nodes {
@@ -108,6 +135,96 @@ func main() {
 	if churn > 0 {
 		fmt.Printf("\nchurn: %d joins, %d departures, %d jobs requeued, %d lost\n",
 			counts[trace.NodeJoin], churn, counts[trace.JobRequeue], counts[trace.JobLost])
+	}
+
+	// Placement spans: one causal tree per job, from the file's record
+	// order (events of one placement share a timestamp, so the sorted
+	// view cannot reconstruct causality).
+	hasSpans := counts[trace.PlaceRoute]+counts[trace.PlacePush]+counts[trace.PlaceMatch] > 0
+	if hasSpans || *spansFlag {
+		printSpans(events, *top)
+	}
+}
+
+// printSpans renders the matchmaking walk of the first n spanned jobs
+// as an indented tree: submit at depth 0, each place.* event indented
+// two spaces per causal depth.
+func printSpans(events []trace.Event, n int) {
+	type span struct {
+		job    int64
+		events []trace.Event // file order = causal order
+	}
+	byJob := map[int64]*span{}
+	var order []*span
+	spanned := map[int64]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.PlaceRoute, trace.PlacePush, trace.PlaceMatch:
+			spanned[e.Job] = true
+		case trace.JobSubmit:
+		default:
+			continue
+		}
+		s := byJob[e.Job]
+		if s == nil {
+			s = &span{job: e.Job}
+			byJob[e.Job] = s
+			order = append(order, s)
+		}
+		s.events = append(s.events, e)
+	}
+	total := 0
+	for _, s := range order {
+		if spanned[s.job] {
+			total++
+		}
+	}
+	fmt.Printf("\nplacement spans: %d jobs with matchmaking detail", total)
+	if total > n {
+		fmt.Printf(" (showing first %d; -top widens)", n)
+	}
+	fmt.Println()
+	if total == 0 {
+		fmt.Println("  (no place.* events in this trace; enable spans in the producer)")
+		return
+	}
+	shown := 0
+	for _, s := range order {
+		if !spanned[s.job] {
+			continue
+		}
+		if shown >= n {
+			break
+		}
+		shown++
+		fmt.Printf("job %d\n", s.job)
+		for _, e := range s.events {
+			indent := 2 + 2*e.Depth
+			fmt.Printf("%*st=%.1fs %s", indent, "", e.T, describe(e))
+			fmt.Println()
+		}
+	}
+}
+
+// describe renders one span event as a phrase.
+func describe(e trace.Event) string {
+	switch e.Kind {
+	case trace.JobSubmit:
+		if e.Node >= 0 {
+			return fmt.Sprintf("submit -> node %d", e.Node)
+		}
+		return "submit"
+	case trace.PlaceRoute:
+		return fmt.Sprintf("route hop %.0f -> node %d", e.Value, e.Node)
+	case trace.PlacePush:
+		return fmt.Sprintf("push -> node %d", e.Node)
+	case trace.PlaceMatch:
+		if e.Node < 0 {
+			return "unmatched"
+		}
+		return fmt.Sprintf("match node %d (%s)", e.Node, e.Detail)
+	default:
+		return string(e.Kind)
 	}
 }
 

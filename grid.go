@@ -90,6 +90,7 @@ type Grid struct {
 	jobs      []*JobHandle
 	nextJob   exec.JobID
 	tracer    *TraceBuffer
+	metrics   *Metrics
 }
 
 // New creates an empty grid.
@@ -205,6 +206,7 @@ func (g *Grid) RemoveNode(id NodeID) (requeued, lost []*JobHandle, err error) {
 		}
 		requeued = append(requeued, h)
 	}
+	g.pokeMetrics()
 	return requeued, lost, nil
 }
 
@@ -249,6 +251,7 @@ func (g *Grid) Submit(spec JobSpec) (*JobHandle, error) {
 	}
 	h := &JobHandle{job: j}
 	g.jobs = append(g.jobs, h)
+	g.pokeMetrics()
 	return h, nil
 }
 

@@ -178,6 +178,20 @@ func (r *Runtime) DemandOn(t resource.CEType) (requiredCores, cores int, ok bool
 	return c.usedCor + r.queuedCoresOn(t), c.ce.Cores, true
 }
 
+// UtilizationOn reports the fraction of CE t's cores occupied by
+// running jobs (queued demand excluded). ok is false when the node has
+// no CE of that type.
+func (r *Runtime) UtilizationOn(t resource.CEType) (util float64, ok bool) {
+	c := r.ces[t]
+	if c == nil {
+		return 0, false
+	}
+	if c.ce.Cores == 0 {
+		return 0, true
+	}
+	return float64(c.usedCor) / float64(c.ce.Cores), true
+}
+
 // CE returns the capability record of the node's CE of type t, or nil.
 func (r *Runtime) CE(t resource.CEType) *resource.CE { return r.Caps.CE(t) }
 

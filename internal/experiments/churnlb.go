@@ -6,10 +6,12 @@ import (
 
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/metricsreg"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
 	"hetgrid/internal/sched"
 	"hetgrid/internal/sim"
+	"hetgrid/internal/spans"
 	"hetgrid/internal/stats"
 	"hetgrid/internal/workload"
 )
@@ -85,6 +87,18 @@ func RunChurnLB(cfg ChurnLBConfig) (*ChurnLBResult, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheme %q", lb.Scheme)
 	}
+	if lb.Trace != nil {
+		ctx.Probe = spans.New(eng, lb.Trace)
+	}
+	if m := lb.Metrics; m != nil {
+		m.Attach(eng)
+		metricsreg.RegisterGridGauges(m, ov, cluster, ctx.Agg, space.Dims(), lb.GPUSlots)
+		if st := sched.StatsOf(scheduler); st != nil {
+			metricsreg.RegisterSchedCounters(m, st)
+		}
+		metricsreg.RegisterClusterCounters(m, cluster)
+		m.Poke()
+	}
 
 	jgen := workload.NewJobGen(space, rng.Split(lb.Seed, "jobs"))
 	jgen.ConstraintRatio = lb.ConstraintRatio
@@ -154,8 +168,10 @@ func RunChurnLB(cfg ChurnLBConfig) (*ChurnLBResult, error) {
 			eng.After(gap, arrive)
 		}
 	}
+	var lastFinish sim.Time
 	cluster.OnFinish = func(j *exec.Job) {
 		res.WaitTimes.Add(j.WaitTime().Seconds())
+		lastFinish = eng.Now()
 		inFlight--
 		if remaining == 0 && inFlight == 0 {
 			jobsDone = true // stops the failure process; engine drains
@@ -167,7 +183,9 @@ func RunChurnLB(cfg ChurnLBConfig) (*ChurnLBResult, error) {
 	}
 	eng.Run()
 
-	res.Makespan = sim.Duration(eng.Now())
+	// Last completion, not eng.Now(): telemetry events may outlive the
+	// final finish (see RunLoadBalance).
+	res.Makespan = sim.Duration(lastFinish)
 	return res, nil
 }
 

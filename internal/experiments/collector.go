@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/sim"
+)
+
+// MetricsCollector hands out one metrics plane per experiment run and
+// exports them all as a single labeled JSONL stream. A nil collector is
+// valid everywhere and hands out nil planes, so figure drivers thread
+// one unconditionally. Plane creation is mutex-guarded (figure sweeps
+// run cells via ParallelMap); each plane itself is used only by its
+// run's single-threaded engine.
+type MetricsCollector struct {
+	// Interval is the sampling cadence handed to every plane (0 means
+	// the metrics package default of 60 virtual seconds).
+	Interval sim.Duration
+	// MaxPoints bounds each series ring (0 means the package default).
+	MaxPoints int
+
+	mu     sync.Mutex
+	planes []labeledPlane
+}
+
+type labeledPlane struct {
+	label string
+	plane *metrics.Plane
+}
+
+// Plane creates, registers, and returns a fresh plane labeled for one
+// run. Returns nil on a nil collector.
+func (mc *MetricsCollector) Plane(label string) *metrics.Plane {
+	if mc == nil {
+		return nil
+	}
+	p := metrics.New(mc.Interval, mc.MaxPoints)
+	mc.mu.Lock()
+	mc.planes = append(mc.planes, labeledPlane{label: label, plane: p})
+	mc.mu.Unlock()
+	return p
+}
+
+// Len returns the total number of retained points across all planes.
+func (mc *MetricsCollector) Len() int {
+	if mc == nil {
+		return 0
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	n := 0
+	for _, lp := range mc.planes {
+		n += lp.plane.Len()
+	}
+	return n
+}
+
+// WriteJSONL exports every plane's series, planes ordered by label so
+// the stream is independent of sweep scheduling order.
+func (mc *MetricsCollector) WriteJSONL(w io.Writer) error {
+	if mc == nil {
+		return nil
+	}
+	mc.mu.Lock()
+	planes := append([]labeledPlane(nil), mc.planes...)
+	mc.mu.Unlock()
+	sort.SliceStable(planes, func(i, j int) bool { return planes[i].label < planes[j].label })
+	for _, lp := range planes {
+		if err := lp.plane.WriteJSONL(w, lp.label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -23,18 +23,18 @@ const goldenScale = Scale(0.04)
 // byte stream. This is the paper's entire evaluation surface: any
 // optimization that changes a scheduling decision, an aggregate, or a
 // protocol message anywhere shows up here.
-func renderAllFigures(tb testing.TB) []byte {
+func renderAllFigures(tb testing.TB, mc *MetricsCollector) []byte {
 	var buf bytes.Buffer
-	if _, err := Figure5(&buf, goldenScale, 1); err != nil {
+	if _, err := Figure5(&buf, goldenScale, 1, mc); err != nil {
 		tb.Fatalf("Figure5: %v", err)
 	}
-	if _, err := Figure6(&buf, goldenScale, 1); err != nil {
+	if _, err := Figure6(&buf, goldenScale, 1, mc); err != nil {
 		tb.Fatalf("Figure6: %v", err)
 	}
-	if _, err := Figure7(&buf, goldenScale, 1); err != nil {
+	if _, err := Figure7(&buf, goldenScale, 1, mc); err != nil {
 		tb.Fatalf("Figure7: %v", err)
 	}
-	if _, err := Figure8(&buf, goldenScale, 1); err != nil {
+	if _, err := Figure8(&buf, goldenScale, 1, mc); err != nil {
 		tb.Fatalf("Figure8: %v", err)
 	}
 	return buf.Bytes()
@@ -47,7 +47,7 @@ func renderAllFigures(tb testing.TB) []byte {
 // Regenerate deliberately with: go test ./internal/experiments -run
 // Golden -update
 func TestGoldenFigureDeterminism(t *testing.T) {
-	got := renderAllFigures(t)
+	got := renderAllFigures(t, nil)
 	path := filepath.Join("testdata", "golden_figures.txt")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -71,8 +71,8 @@ func TestGoldenFigureDeterminism(t *testing.T) {
 // TestGoldenRunTwice guards against hidden global state: two renders in
 // the same process must agree byte for byte.
 func TestGoldenRunTwice(t *testing.T) {
-	a := renderAllFigures(t)
-	b := renderAllFigures(t)
+	a := renderAllFigures(t, nil)
+	b := renderAllFigures(t, nil)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("two in-process renders differ:\n%s", firstDiff(a, b))
 	}

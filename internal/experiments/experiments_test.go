@@ -176,7 +176,7 @@ func TestFigureRunnersRenderTables(t *testing.T) {
 		t.Skip("figure regeneration")
 	}
 	var b strings.Builder
-	if _, err := Figure5(&b, 0.03, 2); err != nil {
+	if _, err := Figure5(&b, 0.03, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -186,7 +186,7 @@ func TestFigureRunnersRenderTables(t *testing.T) {
 		}
 	}
 	b.Reset()
-	if _, err := Figure7(&b, 0.03, 2); err != nil {
+	if _, err := Figure7(&b, 0.03, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "vanilla") || !strings.Contains(b.String(), "time(s)") {

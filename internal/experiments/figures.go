@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"hetgrid/internal/metrics"
 	"hetgrid/internal/proto"
 	"hetgrid/internal/sim"
 	"hetgrid/internal/stats"
@@ -48,7 +49,7 @@ func waitGrid() []float64 { return stats.Grid(50000, 10) }
 // can-hom and central, varying the mean job inter-arrival time (2 s,
 // 3 s, 4 s at full scale). Returns the per-subfigure results keyed in
 // presentation order.
-func Figure5(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
+func Figure5(w io.Writer, scale Scale, seed int64, mc *MetricsCollector) ([][]*LBResult, error) {
 	arrivals := []sim.Duration{2 * sim.Second, 3 * sim.Second, 4 * sim.Second}
 	var all [][]*LBResult
 	for i, ia := range arrivals {
@@ -57,7 +58,7 @@ func Figure5(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
 		scaledIA := sim.Duration(float64(ia) / float64(scale))
 		fmt.Fprintf(w, "Figure 5(%c): CDF of job wait time, inter-arrival %v s (scaled %v ms)\n",
 			'a'+i, ia.Seconds(), int64(scaledIA))
-		results, err := runLBSet(w, scale, seed, func(cfg *LBConfig) {
+		results, err := runLBSet(w, scale, seed, fmt.Sprintf("fig5%c", 'a'+i), mc, func(cfg *LBConfig) {
 			cfg.MeanInterArrival = scaledIA
 		})
 		if err != nil {
@@ -71,12 +72,12 @@ func Figure5(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
 
 // Figure6 regenerates Figure 6: CDFs of job wait time varying the job
 // constraint ratio (80%, 60%, 40%) at the 3 s inter-arrival point.
-func Figure6(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
+func Figure6(w io.Writer, scale Scale, seed int64, mc *MetricsCollector) ([][]*LBResult, error) {
 	ratios := []float64{0.8, 0.6, 0.4}
 	var all [][]*LBResult
 	for i, q := range ratios {
 		fmt.Fprintf(w, "Figure 6(%c): CDF of job wait time, job constraint ratio %.0f%%\n", 'a'+i, q*100)
-		results, err := runLBSet(w, scale, seed, func(cfg *LBConfig) {
+		results, err := runLBSet(w, scale, seed, fmt.Sprintf("fig6%c", 'a'+i), mc, func(cfg *LBConfig) {
 			cfg.ConstraintRatio = q
 			cfg.MeanInterArrival = sim.Duration(float64(3*sim.Second) / float64(scale))
 		})
@@ -92,7 +93,7 @@ func Figure6(w io.Writer, scale Scale, seed int64) ([][]*LBResult, error) {
 // runLBSet runs the three schemes on one configuration and prints the
 // wait-time CDF table (percent of jobs with wait ≤ x, the paper's Y
 // axis starting at 80%).
-func runLBSet(w io.Writer, scale Scale, seed int64, tweak func(*LBConfig)) ([]*LBResult, error) {
+func runLBSet(w io.Writer, scale Scale, seed int64, label string, mc *MetricsCollector, tweak func(*LBConfig)) ([]*LBResult, error) {
 	grid := waitGrid()
 	tab := stats.NewTable(append([]string{"wait<=s"}, schemeNames()...)...)
 	var results []*LBResult
@@ -103,6 +104,7 @@ func runLBSet(w io.Writer, scale Scale, seed int64, tweak func(*LBConfig)) ([]*L
 		cfg.Jobs = scale.jobs(cfg.Jobs)
 		cfg.Seed = seed
 		tweak(&cfg)
+		cfg.Metrics = mc.Plane(fmt.Sprintf("%s-%s", label, scheme))
 		res, err := RunLoadBalance(cfg)
 		if err != nil {
 			return nil, err
@@ -138,7 +140,7 @@ func schemeNames() []string {
 
 // Figure7 regenerates Figure 7: broken links over time under high churn
 // in the 11-dimensional CAN, for the three heartbeat schemes.
-func Figure7(w io.Writer, scale Scale, seed int64) ([]*ResilienceResult, error) {
+func Figure7(w io.Writer, scale Scale, seed int64, mc *MetricsCollector) ([]*ResilienceResult, error) {
 	fmt.Fprintln(w, "Figure 7: broken links over time under high churn (11-dim CAN)")
 	var results []*ResilienceResult
 	for _, scheme := range MaintSchemes {
@@ -147,6 +149,7 @@ func Figure7(w io.Writer, scale Scale, seed int64) ([]*ResilienceResult, error) 
 		cfg.Horizon = scale.dur(cfg.Horizon)
 		cfg.SampleEvery = scale.dur(cfg.SampleEvery)
 		cfg.Seed = seed
+		cfg.Metrics = mc.Plane(fmt.Sprintf("fig7-%s", scheme))
 		results = append(results, RunResilience(cfg))
 	}
 	tab := stats.NewTable("time(s)", "vanilla", "compact", "adaptive")
@@ -179,7 +182,7 @@ var (
 // Figure8 regenerates Figure 8: average heartbeat cost per node per
 // minute versus CAN dimensionality, for each scheme and population
 // size. Sub-figure (a) is message count, (b) is message volume in KB.
-func Figure8(w io.Writer, scale Scale, seed int64) (map[string]*ScalabilityResult, error) {
+func Figure8(w io.Writer, scale Scale, seed int64, mc *MetricsCollector) (map[string]*ScalabilityResult, error) {
 	type cell struct {
 		scheme proto.Scheme
 		nodes  int
@@ -194,12 +197,19 @@ func Figure8(w io.Writer, scale Scale, seed int64) (map[string]*ScalabilityResul
 		}
 	}
 	// The 36 cells are independent simulations: fan out over all cores.
+	// Each cell gets its own plane up front so plane identity does not
+	// depend on worker scheduling.
+	planes := make([]*metrics.Plane, len(cells))
+	for i, c := range cells {
+		planes[i] = mc.Plane("fig8-" + fig8Key(c.scheme, c.nodes, c.dims))
+	}
 	runs := ParallelMap(len(cells), 0, func(i int) *ScalabilityResult {
 		c := cells[i]
 		cfg := DefaultScalabilityConfig(c.scheme, c.dims, scale.nodes(c.nodes))
 		cfg.Warmup = scale.dur(cfg.Warmup)
 		cfg.Measure = scale.dur(cfg.Measure)
 		cfg.Seed = seed
+		cfg.Metrics = planes[i]
 		return RunScalability(cfg)
 	})
 	results := make(map[string]*ScalabilityResult, len(cells))

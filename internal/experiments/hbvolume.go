@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/netsim"
+	"hetgrid/internal/proto"
+	"hetgrid/internal/stats"
+)
+
+// HBDims is the dimension axis of the heartbeat-volume figure. The
+// paper's Section IV claim is asymptotic in d, so the axis doubles d
+// rather than stepping linearly like Figure 8.
+var HBDims = []int{2, 4, 8, 16}
+
+// FigureHB measures the heartbeat-volume claim directly: per-node
+// per-minute message counts and byte volume for vanilla vs compact vs
+// adaptive heartbeats across CAN dimensionality, with a per-message-
+// kind breakdown and least-squares log-log growth exponents. Vanilla
+// sends each neighbor a full table whose size is itself proportional
+// to the neighbor count, so its volume grows ~quadratically in the
+// (dimension-driven) neighbor count; compact and adaptive send
+// fixed-size digests, so they stay near-linear — the figure reports
+// both as measured transport data, not wire-size arithmetic.
+func FigureHB(w io.Writer, scale Scale, seed int64, mc *MetricsCollector) ([]*ScalabilityResult, error) {
+	type cell struct {
+		scheme proto.Scheme
+		dims   int
+	}
+	var cells []cell
+	for _, scheme := range MaintSchemes {
+		for _, dims := range HBDims {
+			cells = append(cells, cell{scheme, dims})
+		}
+	}
+	nodes := scale.nodes(1000)
+	planes := make([]*metrics.Plane, len(cells))
+	for i, c := range cells {
+		planes[i] = mc.Plane(fmt.Sprintf("fighb-%s-d%d", c.scheme, c.dims))
+	}
+	results := ParallelMap(len(cells), 0, func(i int) *ScalabilityResult {
+		c := cells[i]
+		cfg := DefaultScalabilityConfig(c.scheme, c.dims, nodes)
+		cfg.Warmup = scale.dur(cfg.Warmup)
+		cfg.Measure = scale.dur(cfg.Measure)
+		cfg.Seed = seed
+		cfg.Metrics = planes[i]
+		return RunScalability(cfg)
+	})
+	byKey := make(map[string]*ScalabilityResult, len(cells))
+	for i, c := range cells {
+		byKey[fmt.Sprintf("%s-%d", c.scheme, c.dims)] = results[i]
+	}
+	at := func(scheme proto.Scheme, dims int) *ScalabilityResult {
+		return byKey[fmt.Sprintf("%s-%d", scheme, dims)]
+	}
+
+	fmt.Fprintf(w, "Figure HB: measured heartbeat cost per node per minute vs dimensionality (n=%d)\n", nodes)
+	for _, sub := range []struct {
+		title string
+		pick  func(*ScalabilityResult) float64
+	}{
+		{"Figure HB(a): messages per node per minute", func(r *ScalabilityResult) float64 { return r.MsgsPerNodeMin }},
+		{"Figure HB(b): message volume per node per minute (KB)", func(r *ScalabilityResult) float64 { return r.KBytesPerNodeMin }},
+	} {
+		fmt.Fprintln(w, sub.title)
+		headers := []string{"dims"}
+		for _, scheme := range MaintSchemes {
+			headers = append(headers, scheme.String())
+		}
+		headers = append(headers, "neighbors")
+		tab := stats.NewTable(headers...)
+		for _, dims := range HBDims {
+			row := []any{dims}
+			for _, scheme := range MaintSchemes {
+				row = append(row, fmt.Sprintf("%.1f", sub.pick(at(scheme, dims))))
+			}
+			row = append(row, fmt.Sprintf("%.1f", at(proto.Vanilla, dims).AvgNeighbors))
+			tab.AddRow(row...)
+		}
+		tab.Fprint(w)
+		fmt.Fprintln(w)
+	}
+
+	// Per-kind breakdown: where each scheme's volume actually goes.
+	fmt.Fprintln(w, "Figure HB(c): volume breakdown by message kind (KB/node/min)")
+	kinds := []netsim.Kind{netsim.KindFull, netsim.KindCompact, netsim.KindRequest, netsim.KindAnnounce}
+	headers := []string{"scheme-dims"}
+	for _, k := range kinds {
+		headers = append(headers, k.String())
+	}
+	tab := stats.NewTable(headers...)
+	for _, scheme := range MaintSchemes {
+		for _, dims := range HBDims {
+			r := at(scheme, dims)
+			row := []any{fmt.Sprintf("%s-%d", scheme, dims)}
+			for _, k := range kinds {
+				row = append(row, fmt.Sprintf("%.2f", r.ByKind[k].KBytesPerNodeMin))
+			}
+			tab.AddRow(row...)
+		}
+	}
+	tab.Fprint(w)
+	fmt.Fprintln(w)
+
+	// Growth exponents: slope of log(volume) against log(d). The claim
+	// is vanilla super-linear (toward the neighbor-count square) and
+	// compact/adaptive sub-quadratic, near-linear.
+	fmt.Fprintln(w, "# growth exponents (least-squares slope of log y vs log d)")
+	for _, sub := range []struct {
+		name string
+		pick func(*ScalabilityResult) float64
+	}{
+		{"msgs", func(r *ScalabilityResult) float64 { return r.MsgsPerNodeMin }},
+		{"KB", func(r *ScalabilityResult) float64 { return r.KBytesPerNodeMin }},
+	} {
+		for _, scheme := range MaintSchemes {
+			xs := make([]float64, 0, len(HBDims))
+			ys := make([]float64, 0, len(HBDims))
+			for _, dims := range HBDims {
+				xs = append(xs, float64(dims))
+				ys = append(ys, sub.pick(at(scheme, dims)))
+			}
+			fmt.Fprintf(w, "# %-4s %-8s exponent=%.2f\n", sub.name, scheme, fitLogLog(xs, ys))
+		}
+	}
+	return results, nil
+}
+
+// fitLogLog returns the least-squares slope of log(y) against log(x):
+// the growth exponent b of y ≈ a·x^b. Points with non-positive values
+// are skipped; fewer than two usable points yield 0.
+func fitLogLog(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (float64(n)*sxy - sx*sy) / den
+}

@@ -10,11 +10,15 @@ import (
 
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/metricsreg"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
 	"hetgrid/internal/sched"
 	"hetgrid/internal/sim"
+	"hetgrid/internal/spans"
 	"hetgrid/internal/stats"
+	"hetgrid/internal/trace"
 	"hetgrid/internal/workload"
 )
 
@@ -56,6 +60,13 @@ type LBConfig struct {
 	// error wrapping ErrCanceled. ReplicateLB wires this to the sweep's
 	// CancelFlag so a failing replica halts its in-flight siblings.
 	Cancel func() bool
+	// Metrics, when non-nil, is attached to the run's engine and samples
+	// the standard grid gauge/counter set on the virtual clock.
+	// Telemetry-only: results are byte-identical with or without it.
+	Metrics *metrics.Plane
+	// Trace, when non-nil, receives job lifecycle events and placement
+	// spans (place.route / place.push / place.match).
+	Trace trace.Recorder
 }
 
 // DefaultLBConfig returns the evaluation's setup: 1000 nodes, 20000
@@ -142,6 +153,18 @@ func RunLoadBalance(cfg LBConfig) (*LBResult, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheme %q", cfg.Scheme)
 	}
+	if cfg.Trace != nil {
+		ctx.Probe = spans.New(eng, cfg.Trace)
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Attach(eng)
+		metricsreg.RegisterGridGauges(m, ov, cluster, ctx.Agg, space.Dims(), cfg.GPUSlots)
+		if st := sched.StatsOf(scheduler); st != nil {
+			metricsreg.RegisterSchedCounters(m, st)
+		}
+		metricsreg.RegisterClusterCounters(m, cluster)
+		m.Poke()
+	}
 
 	// Job stream.
 	jgen := workload.NewJobGen(space, rng.Split(cfg.Seed, "jobs"))
@@ -159,6 +182,9 @@ func RunLoadBalance(cfg LBConfig) (*LBResult, error) {
 		remaining--
 		j, gap := jgen.Next()
 		j.Submitted = now
+		if cfg.Trace != nil {
+			cfg.Trace.Record(trace.Event{T: now.Seconds(), Kind: trace.JobSubmit, Node: -1, Job: int64(j.ID)})
+		}
 		node, err := scheduler.Place(j)
 		if err != nil {
 			res.Failed++
@@ -171,8 +197,26 @@ func RunLoadBalance(cfg LBConfig) (*LBResult, error) {
 			eng.After(gap, arrive)
 		}
 	}
+	if cfg.Trace != nil {
+		cluster.OnStart = func(j *exec.Job) {
+			cfg.Trace.Record(trace.Event{
+				T: eng.Now().Seconds(), Kind: trace.JobStart,
+				Node: int64(j.RunNode), Job: int64(j.ID),
+				Value: j.WaitTime().Seconds(),
+			})
+		}
+	}
+	var lastFinish sim.Time
 	cluster.OnFinish = func(j *exec.Job) {
 		res.WaitTimes.Add(j.WaitTime().Seconds())
+		lastFinish = eng.Now()
+		if cfg.Trace != nil {
+			cfg.Trace.Record(trace.Event{
+				T: eng.Now().Seconds(), Kind: trace.JobFinish,
+				Node: int64(j.RunNode), Job: int64(j.ID),
+				Value: j.WaitTime().Seconds(),
+			})
+		}
 	}
 	eng.At(0, arrive)
 	if cfg.Cancel == nil {
@@ -192,7 +236,11 @@ func RunLoadBalance(cfg LBConfig) (*LBResult, error) {
 		}
 	}
 
-	res.Makespan = sim.Duration(eng.Now())
+	// Makespan is the last job completion, not the drained-queue clock:
+	// telemetry sampling appends aligned events past the last finish, and
+	// eng.Now() would make the reported makespan depend on whether a
+	// sampler was attached.
+	res.Makespan = sim.Duration(lastFinish)
 	var work []float64
 	for _, n := range ov.Nodes() {
 		if rt := cluster.Runtime(n.ID); rt != nil {

@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/metricsreg"
+	"hetgrid/internal/netsim"
 	"hetgrid/internal/proto"
 	"hetgrid/internal/sim"
 )
@@ -26,6 +29,9 @@ type ResilienceConfig struct {
 	// SampleEvery sets the broken-link sampling cadence.
 	SampleEvery sim.Duration
 	Seed        int64
+	// Metrics, when non-nil, samples protocol health and per-kind
+	// traffic on the run's virtual clock (telemetry-only).
+	Metrics *metrics.Plane
 }
 
 // DefaultResilienceConfig mirrors the paper's Figure 7 setup: the
@@ -79,6 +85,7 @@ func RunResilience(cfg ResilienceConfig) *ResilienceResult {
 	cc.Seed = cfg.Seed
 	d := proto.NewChurnDriver(s, cc)
 	d.Start()
+	attachProtoMetrics(cfg.Metrics, s)
 
 	res := &ResilienceResult{Config: cfg}
 	proto.SampleBrokenLinks(s, d.ChurnStart, cfg.SampleEvery, &res.Samples)
@@ -107,6 +114,9 @@ type ScalabilityConfig struct {
 	// zero keeps the default.
 	MaxPerFace int
 	Seed       int64
+	// Metrics, when non-nil, samples protocol health and per-kind
+	// traffic on the run's virtual clock (telemetry-only).
+	Metrics *metrics.Plane
 }
 
 // DefaultScalabilityConfig returns one Figure 8 cell.
@@ -125,12 +135,20 @@ func DefaultScalabilityConfig(scheme proto.Scheme, dims, nodes int) ScalabilityC
 }
 
 // ScalabilityResult is one Figure 8 cell: average messages and volume
-// per node per minute.
+// per node per minute, in aggregate and split by message kind (indexed
+// by netsim.Kind).
 type ScalabilityResult struct {
 	Config           ScalabilityConfig
 	MsgsPerNodeMin   float64
 	KBytesPerNodeMin float64
 	AvgNeighbors     float64
+	ByKind           map[netsim.Kind]KindRate
+}
+
+// KindRate is one message kind's measured steady-state cost.
+type KindRate struct {
+	MsgsPerNodeMin   float64
+	KBytesPerNodeMin float64
 }
 
 // RunScalability executes one Figure 8 cell.
@@ -150,6 +168,7 @@ func RunScalability(cfg ScalabilityConfig) *ScalabilityResult {
 	cc.Seed = cfg.Seed
 	d := proto.NewChurnDriver(s, cc)
 	d.Start()
+	attachProtoMetrics(cfg.Metrics, s)
 
 	s.Eng.RunUntil(d.ChurnStart.Add(cfg.Warmup))
 	s.Net.ResetWindow()
@@ -163,8 +182,28 @@ func RunScalability(cfg ScalabilityConfig) *ScalabilityResult {
 	if nodes > 0 && minutes > 0 {
 		res.MsgsPerNodeMin = float64(w.MsgsSent) / nodes / minutes
 		res.KBytesPerNodeMin = float64(w.BytesSent) / 1024 / nodes / minutes
+		res.ByKind = make(map[netsim.Kind]KindRate, len(netsim.AllKinds))
+		for _, k := range netsim.AllKinds {
+			kw := s.Net.KindWindow(k)
+			res.ByKind[k] = KindRate{
+				MsgsPerNodeMin:   float64(kw.MsgsSent) / nodes / minutes,
+				KBytesPerNodeMin: float64(kw.BytesSent) / 1024 / nodes / minutes,
+			}
+		}
 	}
 	return res
+}
+
+// attachProtoMetrics wires a maintenance run's plane: protocol health
+// gauges plus per-kind transport counters.
+func attachProtoMetrics(m *metrics.Plane, s *proto.Sim) {
+	if m == nil {
+		return
+	}
+	m.Attach(s.Eng)
+	metricsreg.RegisterProtoGauges(m, s)
+	metricsreg.RegisterNetCounters(m, s.Net, "net")
+	m.Poke()
 }
 
 func (r *ScalabilityResult) String() string {

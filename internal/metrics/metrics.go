@@ -1,0 +1,332 @@
+// Package metrics is the deterministic telemetry plane of the
+// simulator: a virtual-clock-driven sampler that snapshots registered
+// per-node gauges and cumulative counters into ring-buffered time
+// series, exportable as JSONL or CSV.
+//
+// The plane is strictly read-only with respect to the simulation.
+// Gauge and counter callbacks must observe state without mutating it,
+// draw no randomness, and trigger no lazy recomputation that feeds
+// back into scheduling or protocol decisions — under that contract a
+// run with metrics enabled produces byte-identical figure output to a
+// run with metrics disabled (the sampler's events interleave into the
+// engine's queue, but the relative order of all other events is
+// preserved, and nothing the sampler reads changes behavior).
+//
+// Unlike internal/perf's process-global counters, a Plane is instance
+// scoped: parallel experiment sweeps attach one plane per simulation
+// engine, so concurrent cells never share telemetry state and a sweep
+// samples identically at any worker count.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"hetgrid/internal/sim"
+)
+
+// DefaultMaxPoints bounds each series' ring buffer when the caller does
+// not choose a capacity.
+const DefaultMaxPoints = 1 << 14
+
+// Point is one sample: virtual time in seconds, the node it describes
+// (-1 for plane-wide scalars), and the value.
+type Point struct {
+	T    float64
+	Node int64
+	V    float64
+}
+
+// Series is a named ring buffer of points. Once the ring is full the
+// oldest points are overwritten, so steady-state sampling allocates
+// nothing and memory stays bounded regardless of horizon.
+type Series struct {
+	Name string
+	pts  []Point // ring storage, capacity fixed at registration
+	head int     // next overwrite position once full
+	full bool
+}
+
+func (s *Series) record(p Point) {
+	if !s.full {
+		s.pts = append(s.pts, p)
+		if len(s.pts) == cap(s.pts) {
+			s.full = true
+		}
+		return
+	}
+	s.pts[s.head] = p
+	s.head++
+	if s.head == len(s.pts) {
+		s.head = 0
+	}
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int { return len(s.pts) }
+
+// Points returns the retained points in chronological order (a copy).
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, len(s.pts))
+	if s.full {
+		out = append(out, s.pts[s.head:]...)
+		return append(out, s.pts[:s.head]...)
+	}
+	return append(out, s.pts...)
+}
+
+// each visits the retained points in chronological order.
+func (s *Series) each(f func(Point) error) error {
+	if s.full {
+		for _, p := range s.pts[s.head:] {
+			if err := f(p); err != nil {
+				return err
+			}
+		}
+		for _, p := range s.pts[:s.head] {
+			if err := f(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, p := range s.pts {
+		if err := f(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sink receives gauge emissions during one sampling pass. It is reused
+// across passes so emitting costs no allocation.
+type Sink struct {
+	s *Series
+	t float64
+}
+
+// Emit records one per-node value at the current sample time.
+func (k *Sink) Emit(node int64, v float64) {
+	k.s.record(Point{T: k.t, Node: node, V: v})
+}
+
+// GaugeFunc reports instantaneous per-node values by calling
+// sink.Emit once per node (or once with node -1 for a scalar). It must
+// emit in a deterministic order and must not mutate simulation state.
+type GaugeFunc func(sink *Sink)
+
+// CounterFunc reports a cumulative count. The plane converts it to a
+// per-interval delta (the first interval is measured from Attach).
+type CounterFunc func() int64
+
+type gaugeReg struct {
+	series *Series
+	fn     GaugeFunc
+}
+
+type counterReg struct {
+	series *Series
+	fn     CounterFunc
+	last   int64
+}
+
+// Plane is one simulation's telemetry plane. Register gauges and
+// counters, Attach it to the engine, and it samples every interval
+// while the simulation has work pending. A Plane is single-threaded,
+// like the engine it watches.
+type Plane struct {
+	eng      *sim.Engine
+	interval sim.Duration
+	maxPts   int
+
+	series   []*Series
+	gauges   []gaugeReg
+	counters []counterReg
+
+	sink    Sink
+	armed   bool // a sampler event is currently scheduled
+	stopped bool // Stop called: ignore pending events, refuse re-arming
+	samples int
+}
+
+// New creates a plane sampling at the given interval. maxPoints bounds
+// each series' ring (0 means DefaultMaxPoints).
+func New(interval sim.Duration, maxPoints int) *Plane {
+	if interval <= 0 {
+		interval = 60 * sim.Second
+	}
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	return &Plane{interval: interval, maxPts: maxPoints}
+}
+
+// Interval returns the sampling cadence.
+func (p *Plane) Interval() sim.Duration { return p.interval }
+
+func (p *Plane) newSeries(name string) *Series {
+	s := &Series{Name: name, pts: make([]Point, 0, p.maxPts)}
+	p.series = append(p.series, s)
+	return s
+}
+
+// RegisterGauge adds a named gauge. Registration order is export order,
+// so callers must register deterministically.
+func (p *Plane) RegisterGauge(name string, fn GaugeFunc) {
+	p.gauges = append(p.gauges, gaugeReg{series: p.newSeries(name), fn: fn})
+}
+
+// RegisterCounter adds a named cumulative counter source; the plane
+// records the per-interval delta at each sample (node -1).
+func (p *Plane) RegisterCounter(name string, fn CounterFunc) {
+	p.counters = append(p.counters, counterReg{series: p.newSeries(name), fn: fn})
+}
+
+// Attach binds the plane to an engine and initializes counter baselines
+// so the first sample reports only post-Attach activity. It does not
+// schedule a sampler event: call Poke to arm it (this keeps an attached
+// but idle plane from pinning the event queue open).
+func (p *Plane) Attach(eng *sim.Engine) {
+	p.eng = eng
+	for i := range p.counters {
+		p.counters[i].last = p.counters[i].fn()
+	}
+}
+
+// Stop permanently silences the plane: pending and future sampler
+// events become no-ops and Poke stops re-arming. Recorded points are
+// kept and stay exportable.
+func (p *Plane) Stop() { p.stopped = true }
+
+// Poke arms the sampler if it is attached and dormant. Drivers call it
+// whenever new work enters the simulation; the sampler re-disarms
+// itself when it finds the event queue otherwise empty, so a draining
+// Run() terminates instead of ticking forever.
+func (p *Plane) Poke() {
+	if p.eng == nil || p.armed || p.stopped {
+		return
+	}
+	p.armed = true
+	now := p.eng.Now()
+	// Align samples to interval boundaries so the sample times are a
+	// function of the interval alone, not of when work arrived.
+	next := now - now%sim.Time(p.interval) + sim.Time(p.interval)
+	p.eng.AtCall(next, p)
+}
+
+// Call fires one sampling pass. Plane is its own sim.Caller so the
+// periodic reschedule allocates nothing.
+func (p *Plane) Call(now sim.Time) {
+	if p.stopped {
+		p.armed = false
+		return
+	}
+	p.sampleAt(now)
+	// Dormancy: if the sampler's own event was the last one, rearming
+	// would keep the queue non-empty forever and Run() would never
+	// drain. Go dormant instead; Poke re-arms on new work.
+	if p.eng.Pending() == 0 {
+		p.armed = false
+		return
+	}
+	p.eng.AfterCall(p.interval, p)
+}
+
+// SampleNow takes one sampling pass at the engine's current time,
+// outside the periodic schedule (benchmarks and smoke tests).
+func (p *Plane) SampleNow() {
+	if p.eng != nil {
+		p.sampleAt(p.eng.Now())
+	}
+}
+
+func (p *Plane) sampleAt(now sim.Time) {
+	p.samples++
+	t := now.Seconds()
+	for i := range p.gauges {
+		g := &p.gauges[i]
+		p.sink.s, p.sink.t = g.series, t
+		g.fn(&p.sink)
+	}
+	for i := range p.counters {
+		c := &p.counters[i]
+		cur := c.fn()
+		c.series.record(Point{T: t, Node: -1, V: float64(cur - c.last)})
+		c.last = cur
+	}
+}
+
+// Samples returns the number of sampling passes taken.
+func (p *Plane) Samples() int { return p.samples }
+
+// Len returns the total number of retained points across all series.
+func (p *Plane) Len() int {
+	n := 0
+	for _, s := range p.series {
+		n += s.Len()
+	}
+	return n
+}
+
+// Series returns the plane's series in registration order.
+func (p *Plane) Series() []*Series { return p.series }
+
+// SeriesByName returns the named series, or nil.
+func (p *Plane) SeriesByName(name string) *Series {
+	for _, s := range p.series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// exportPoint is the JSONL line schema.
+type exportPoint struct {
+	Run    string  `json:"run,omitempty"`
+	Series string  `json:"series"`
+	T      float64 `json:"t"`
+	Node   int64   `json:"node"`
+	V      float64 `json:"v"`
+}
+
+// WriteJSONL exports every series (registration order, chronological
+// points) as one JSON object per line. A non-empty run label is stamped
+// on every line so collected multi-run streams stay attributable.
+func (p *Plane) WriteJSONL(w io.Writer, run string) error {
+	enc := json.NewEncoder(w)
+	for _, s := range p.series {
+		name := s.Name
+		if err := s.each(func(pt Point) error {
+			return enc.Encode(exportPoint{Run: run, Series: name, T: pt.T, Node: pt.Node, V: pt.V})
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports every series as CSV with a header row.
+func (p *Plane) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "t", "node", "v"}); err != nil {
+		return err
+	}
+	for _, s := range p.series {
+		name := s.Name
+		if err := s.each(func(pt Point) error {
+			return cw.Write([]string{
+				name,
+				strconv.FormatFloat(pt.T, 'f', 3, 64),
+				strconv.FormatInt(pt.Node, 10),
+				strconv.FormatFloat(pt.V, 'g', -1, 64),
+			})
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+// TestRingWrap fills a series past capacity and checks the retained
+// window is the most recent points in chronological order.
+func TestRingWrap(t *testing.T) {
+	s := &Series{Name: "x", pts: make([]Point, 0, 4)}
+	for i := 0; i < 10; i++ {
+		s.record(Point{T: float64(i), Node: -1, V: float64(i)})
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	got := s.Points()
+	for i, p := range got {
+		want := float64(6 + i)
+		if p.T != want || p.V != want {
+			t.Fatalf("point %d = %+v, want T=V=%v", i, p, want)
+		}
+	}
+}
+
+// TestCounterDelta checks counters export per-interval deltas with the
+// baseline taken at Attach.
+func TestCounterDelta(t *testing.T) {
+	eng := sim.New()
+	var total int64 = 100 // pre-Attach activity must not appear
+	p := New(10*sim.Second, 0)
+	p.RegisterCounter("c", func() int64 { return total })
+	p.Attach(eng)
+
+	total += 7
+	p.SampleNow()
+	total += 5
+	p.SampleNow()
+	p.SampleNow()
+
+	pts := p.SeriesByName("c").Points()
+	want := []float64{7, 5, 0}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i, w := range want {
+		if pts[i].V != w || pts[i].Node != -1 {
+			t.Fatalf("point %d = %+v, want V=%v Node=-1", i, pts[i], w)
+		}
+	}
+}
+
+// nopCaller keeps the engine queue non-empty without doing anything.
+type nopCaller struct{}
+
+func (nopCaller) Call(sim.Time) {}
+
+// TestDormancy: the sampler ticks while other events are pending, then
+// goes dormant when it would be the only event left, so Run() drains.
+// Poke re-arms it on an interval boundary.
+func TestDormancy(t *testing.T) {
+	eng := sim.New()
+	p := New(10*sim.Second, 0)
+	p.RegisterGauge("g", func(k *Sink) { k.Emit(0, 1) })
+	p.Attach(eng)
+
+	// Work pending until t=35s: the sampler ticks at t=10,20,30, and at
+	// the t=40 tick it finds the queue otherwise empty, so it samples
+	// once more and disarms.
+	eng.AfterCall(35*sim.Second, nopCaller{})
+	p.Poke()
+	eng.Run() // must terminate
+
+	if got := p.Samples(); got != 4 {
+		t.Fatalf("samples = %d, want 4 (t=10,20,30,40)", got)
+	}
+	if p.armed {
+		t.Fatal("sampler still armed after drain")
+	}
+
+	// Re-poke at t=40s: next aligned boundary is t=50s.
+	eng.AfterCall(1*sim.Second, nopCaller{})
+	p.Poke()
+	eng.Run()
+	if got := p.Samples(); got != 5 {
+		t.Fatalf("samples after re-poke = %d, want 5", got)
+	}
+	pts := p.SeriesByName("g").Points()
+	if last := pts[len(pts)-1]; last.T != 50 {
+		t.Fatalf("last sample at t=%v, want 50", last.T)
+	}
+}
+
+// TestPokeIdempotent: double-Poke must not double-schedule.
+func TestPokeIdempotent(t *testing.T) {
+	eng := sim.New()
+	p := New(10*sim.Second, 0)
+	p.Attach(eng)
+	p.Poke()
+	p.Poke()
+	if got := eng.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+}
+
+// TestExportFormats checks JSONL and CSV shapes and ordering.
+func TestExportFormats(t *testing.T) {
+	eng := sim.New()
+	p := New(10*sim.Second, 0)
+	p.RegisterGauge("g", func(k *Sink) {
+		k.Emit(1, 2.5)
+		k.Emit(2, 3)
+	})
+	var c int64
+	p.RegisterCounter("c", func() int64 { return c })
+	p.Attach(eng)
+	c = 4
+	p.SampleNow()
+
+	var jb bytes.Buffer
+	if err := p.WriteJSONL(&jb, "run1"); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{"run":"run1","series":"g","t":0,"node":1,"v":2.5}
+{"run":"run1","series":"g","t":0,"node":2,"v":3}
+{"run":"run1","series":"c","t":0,"node":-1,"v":4}
+`
+	if jb.String() != wantJSON {
+		t.Fatalf("JSONL:\n%s\nwant:\n%s", jb.String(), wantJSON)
+	}
+
+	var cb bytes.Buffer
+	if err := p.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if lines[0] != "series,t,node,v" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want 4", len(lines))
+	}
+	if lines[1] != "g,0.000,1,2.5" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+// TestSamplingAllocs: a steady-state sampling pass over pre-warmed
+// rings must not allocate.
+func TestSamplingAllocs(t *testing.T) {
+	eng := sim.New()
+	p := New(10*sim.Second, 64)
+	p.RegisterGauge("g", func(k *Sink) {
+		for n := int64(0); n < 16; n++ {
+			k.Emit(n, float64(n))
+		}
+	})
+	var c int64
+	p.RegisterCounter("c", func() int64 { c++; return c })
+	p.Attach(eng)
+	// Warm the rings to full so record() never appends.
+	for i := 0; i < 8; i++ {
+		p.SampleNow()
+	}
+	avg := testing.AllocsPerRun(100, func() { p.SampleNow() })
+	if avg != 0 {
+		t.Fatalf("allocs per sampling pass = %v, want 0", avg)
+	}
+}

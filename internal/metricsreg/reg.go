@@ -1,0 +1,139 @@
+// Package metricsreg wires the simulator's subsystems into a metrics
+// plane. internal/metrics itself depends only on the event engine;
+// this package owns the gauge and counter definitions so that every
+// driver (the public Grid API, the experiment runners, the CLIs)
+// registers the same series under the same names.
+//
+// All gauges honor the telemetry-only contract: they read overlay,
+// cluster, aggregation and transport state through accessors that
+// never mutate, never trigger a lazy refresh, and iterate nodes in the
+// overlay's sorted snapshot order so exports are deterministic.
+package metricsreg
+
+import (
+	"fmt"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/netsim"
+	"hetgrid/internal/proto"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/sched"
+)
+
+// RegisterGridGauges registers the per-node gauges of a scheduling
+// grid: queue depth, running jobs, per-CE-type utilization, neighbor
+// count, and the per-dimension aggregated view (region node count and
+// dominant-load fraction) the pushing walk steers by. agg may be nil
+// when the caller has no aggregation table (central scheduler).
+func RegisterGridGauges(p *metrics.Plane, ov *can.Overlay, cl *exec.Cluster, agg *sched.AggTable, dims, gpuSlots int) {
+	p.RegisterGauge("node.queue", func(k *metrics.Sink) {
+		for _, n := range ov.Nodes() {
+			if rt := cl.Runtime(n.ID); rt != nil {
+				k.Emit(int64(n.ID), float64(rt.QueueLen()))
+			}
+		}
+	})
+	p.RegisterGauge("node.running", func(k *metrics.Sink) {
+		for _, n := range ov.Nodes() {
+			if rt := cl.Runtime(n.ID); rt != nil {
+				k.Emit(int64(n.ID), float64(rt.RunningJobs()))
+			}
+		}
+	})
+	for t := resource.CEType(0); int(t) <= gpuSlots; t++ {
+		ct := t
+		p.RegisterGauge("node.util."+ct.String(), func(k *metrics.Sink) {
+			for _, n := range ov.Nodes() {
+				rt := cl.Runtime(n.ID)
+				if rt == nil {
+					continue
+				}
+				if u, ok := rt.UtilizationOn(ct); ok {
+					k.Emit(int64(n.ID), u)
+				}
+			}
+		})
+	}
+	p.RegisterGauge("node.neighbors", func(k *metrics.Sink) {
+		for _, n := range ov.Nodes() {
+			k.Emit(int64(n.ID), float64(len(ov.NeighborView(n.ID))))
+		}
+	})
+	if agg == nil {
+		return
+	}
+	for d := 0; d < dims; d++ {
+		dim := d
+		p.RegisterGauge(fmt.Sprintf("node.aggnodes.d%d", dim), func(k *metrics.Sink) {
+			for _, n := range ov.Nodes() {
+				k.Emit(int64(n.ID), float64(agg.At(n.ID, dim).Nodes))
+			}
+		})
+		p.RegisterGauge(fmt.Sprintf("node.aggload.d%d", dim), func(k *metrics.Sink) {
+			for _, n := range ov.Nodes() {
+				var req, cores float64
+				da := agg.At(n.ID, dim)
+				for t := range da.ByType {
+					l := da.Load(resource.CEType(t))
+					req += l.SumRequiredCores
+					cores += l.SumCores
+				}
+				if cores > 0 {
+					k.Emit(int64(n.ID), req/cores)
+				} else {
+					k.Emit(int64(n.ID), 0)
+				}
+			}
+		})
+	}
+}
+
+// RegisterSchedCounters registers the matchmaking activity counters
+// (per-interval deltas of the scheduler's cumulative Stats).
+func RegisterSchedCounters(p *metrics.Plane, st *sched.Stats) {
+	p.RegisterCounter("sched.placed", func() int64 { return int64(st.Placed) })
+	p.RegisterCounter("sched.route_hops", func() int64 { return int64(st.RouteHops) })
+	p.RegisterCounter("sched.push_hops", func() int64 { return int64(st.PushHops) })
+	p.RegisterCounter("sched.free_picks", func() int64 { return int64(st.FreePicks) })
+	p.RegisterCounter("sched.accept_picks", func() int64 { return int64(st.AcceptPicks) })
+	p.RegisterCounter("sched.score_picks", func() int64 { return int64(st.ScorePicks) })
+	p.RegisterCounter("sched.fallbacks", func() int64 { return int64(st.Fallbacks) })
+	p.RegisterCounter("sched.unmatchable", func() int64 { return int64(st.Unmatchable) })
+}
+
+// RegisterClusterCounters registers job throughput counters.
+func RegisterClusterCounters(p *metrics.Plane, cl *exec.Cluster) {
+	p.RegisterCounter("jobs.submitted", func() int64 { return int64(cl.Submitted()) })
+	p.RegisterCounter("jobs.finished", func() int64 { return int64(cl.Finished()) })
+}
+
+// RegisterNetCounters registers transport volume counters split by
+// message kind, plus the aggregate. prefix namespaces the series (e.g.
+// "net" → "net.full.msgs_sent").
+func RegisterNetCounters(p *metrics.Plane, net *netsim.Net, prefix string) {
+	p.RegisterCounter(prefix+".msgs_sent", func() int64 { return net.Total().MsgsSent })
+	p.RegisterCounter(prefix+".bytes_sent", func() int64 { return net.Total().BytesSent })
+	p.RegisterCounter(prefix+".msgs_recv", func() int64 { return net.Total().MsgsRecv })
+	p.RegisterCounter(prefix+".bytes_recv", func() int64 { return net.Total().BytesRecv })
+	for _, k := range netsim.AllKinds {
+		kind := k
+		p.RegisterCounter(fmt.Sprintf("%s.%s.msgs_sent", prefix, kind), func() int64 {
+			return net.KindTotal(kind).MsgsSent
+		})
+		p.RegisterCounter(fmt.Sprintf("%s.%s.bytes_sent", prefix, kind), func() int64 {
+			return net.KindTotal(kind).BytesSent
+		})
+	}
+}
+
+// RegisterProtoGauges registers maintenance-protocol health gauges.
+func RegisterProtoGauges(p *metrics.Plane, s *proto.Sim) {
+	p.RegisterGauge("proto.alive_hosts", func(k *metrics.Sink) {
+		k.Emit(-1, float64(s.AliveHosts()))
+	})
+	p.RegisterGauge("proto.mean_view", func(k *metrics.Sink) {
+		k.Emit(-1, s.MeanViewSize())
+	})
+}

@@ -17,6 +17,39 @@ var (
 	cntDropped   = perf.NewCounter("net.msgs_dropped")
 )
 
+// Kind classifies a message for per-type traffic accounting, so the
+// heartbeat-volume figures can split maintenance cost by message shape
+// (full table vs compact digest vs request vs announce) rather than
+// reporting one aggregate.
+type Kind uint8
+
+const (
+	KindOther    Kind = iota // uncategorized (tests, future protocols)
+	KindFull                 // full neighbor-table heartbeat / handoff
+	KindCompact              // compact self-record digest
+	KindRequest              // adaptive on-demand table request
+	KindAnnounce             // join/leave announce intro
+	numKinds
+)
+
+// AllKinds lists the kinds in stable display order.
+var AllKinds = [...]Kind{KindOther, KindFull, KindCompact, KindRequest, KindAnnounce}
+
+func (k Kind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindCompact:
+		return "compact"
+	case KindRequest:
+		return "request"
+	case KindAnnounce:
+		return "announce"
+	default:
+		return "other"
+	}
+}
+
 // Counters accumulates traffic totals.
 type Counters struct {
 	MsgsSent  int64
@@ -32,9 +65,11 @@ type Net struct {
 	eng     *sim.Engine
 	latency sim.Duration
 
-	total   Counters
-	window  Counters
-	perNode map[can.NodeID]*Counters
+	total      Counters
+	window     Counters
+	kindTotal  [numKinds]Counters
+	kindWindow [numKinds]Counters
+	perNode    map[can.NodeID]*Counters
 
 	// deliverable reports whether dst can still receive messages;
 	// nil means always deliverable.
@@ -69,32 +104,48 @@ func (n *Net) node(id can.NodeID) *Counters {
 	return c
 }
 
-// Send transmits size bytes from src to dst and invokes deliver at
-// arrival (unless dst is gone by then). Sending is counted immediately;
-// receiving at delivery.
-func (n *Net) Send(src, dst can.NodeID, size int, deliver func(now sim.Time)) {
+func (n *Net) countSend(src can.NodeID, size int, kind Kind) {
 	cntMsgsSent.Inc()
 	cntBytesSent.Add(int64(size))
 	n.total.MsgsSent++
 	n.total.BytesSent += int64(size)
 	n.window.MsgsSent++
 	n.window.BytesSent += int64(size)
+	n.kindTotal[kind].MsgsSent++
+	n.kindTotal[kind].BytesSent += int64(size)
+	n.kindWindow[kind].MsgsSent++
+	n.kindWindow[kind].BytesSent += int64(size)
 	sc := n.node(src)
 	sc.MsgsSent++
 	sc.BytesSent += int64(size)
+}
+
+func (n *Net) countRecv(dst can.NodeID, size int, kind Kind) {
+	n.total.MsgsRecv++
+	n.total.BytesRecv += int64(size)
+	n.window.MsgsRecv++
+	n.window.BytesRecv += int64(size)
+	n.kindTotal[kind].MsgsRecv++
+	n.kindTotal[kind].BytesRecv += int64(size)
+	n.kindWindow[kind].MsgsRecv++
+	n.kindWindow[kind].BytesRecv += int64(size)
+	dc := n.node(dst)
+	dc.MsgsRecv++
+	dc.BytesRecv += int64(size)
+}
+
+// Send transmits size bytes from src to dst and invokes deliver at
+// arrival (unless dst is gone by then). Sending is counted immediately;
+// receiving at delivery.
+func (n *Net) Send(src, dst can.NodeID, size int, kind Kind, deliver func(now sim.Time)) {
+	n.countSend(src, size, kind)
 
 	n.eng.After(n.latency, func(now sim.Time) {
 		if n.deliverable != nil && !n.deliverable(dst) {
 			cntDropped.Inc()
 			return
 		}
-		n.total.MsgsRecv++
-		n.total.BytesRecv += int64(size)
-		n.window.MsgsRecv++
-		n.window.BytesRecv += int64(size)
-		dc := n.node(dst)
-		dc.MsgsRecv++
-		dc.BytesRecv += int64(size)
+		n.countRecv(dst, size, kind)
 		deliver(now)
 	})
 }
@@ -114,40 +165,27 @@ type envelope struct {
 	net  *Net
 	dst  can.NodeID
 	size int
+	kind Kind
 	msg  Deliverable
 }
 
 func (e *envelope) Call(now sim.Time) {
-	n, dst, size, msg := e.net, e.dst, e.size, e.msg
+	n, dst, size, kind, msg := e.net, e.dst, e.size, e.kind, e.msg
 	e.msg = nil
 	n.envPool = append(n.envPool, e)
 	if n.deliverable != nil && !n.deliverable(dst) {
 		cntDropped.Inc()
 		return
 	}
-	n.total.MsgsRecv++
-	n.total.BytesRecv += int64(size)
-	n.window.MsgsRecv++
-	n.window.BytesRecv += int64(size)
-	dc := n.node(dst)
-	dc.MsgsRecv++
-	dc.BytesRecv += int64(size)
+	n.countRecv(dst, size, kind)
 	msg.Deliver(now)
 }
 
 // SendMsg is Send for Deliverable messages: identical counting, drop
 // semantics and delivery timing, with the closure replaced by a pooled
 // envelope so steady-state traffic does not allocate.
-func (n *Net) SendMsg(src, dst can.NodeID, size int, msg Deliverable) {
-	cntMsgsSent.Inc()
-	cntBytesSent.Add(int64(size))
-	n.total.MsgsSent++
-	n.total.BytesSent += int64(size)
-	n.window.MsgsSent++
-	n.window.BytesSent += int64(size)
-	sc := n.node(src)
-	sc.MsgsSent++
-	sc.BytesSent += int64(size)
+func (n *Net) SendMsg(src, dst can.NodeID, size int, kind Kind, msg Deliverable) {
+	n.countSend(src, size, kind)
 
 	var env *envelope
 	if k := len(n.envPool); k > 0 {
@@ -157,7 +195,7 @@ func (n *Net) SendMsg(src, dst can.NodeID, size int, msg Deliverable) {
 	} else {
 		env = &envelope{net: n}
 	}
-	env.dst, env.size, env.msg = dst, size, msg
+	env.dst, env.size, env.kind, env.msg = dst, size, kind, msg
 	n.eng.AfterCall(n.latency, env)
 }
 
@@ -167,9 +205,18 @@ func (n *Net) Total() Counters { return n.total }
 // Window returns counters accumulated since the last ResetWindow.
 func (n *Net) Window() Counters { return n.window }
 
+// KindTotal returns cumulative counters for one message kind.
+func (n *Net) KindTotal(k Kind) Counters { return n.kindTotal[k] }
+
+// KindWindow returns one kind's counters since the last ResetWindow.
+func (n *Net) KindWindow(k Kind) Counters { return n.kindWindow[k] }
+
 // ResetWindow zeroes the measurement window (used to exclude the
 // initial-join warmup from steady-state cost measurements).
-func (n *Net) ResetWindow() { n.window = Counters{} }
+func (n *Net) ResetWindow() {
+	n.window = Counters{}
+	n.kindWindow = [numKinds]Counters{}
+}
 
 // Node returns the cumulative counters for one node (zero counters if it
 // never communicated).

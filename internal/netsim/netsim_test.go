@@ -12,7 +12,7 @@ func TestSendDeliversAfterLatency(t *testing.T) {
 	n := New(eng, 100*sim.Millisecond)
 	var deliveredAt sim.Time = -1
 	eng.At(1000, func(sim.Time) {
-		n.Send(1, 2, 64, func(now sim.Time) { deliveredAt = now })
+		n.Send(1, 2, 64, KindOther, func(now sim.Time) { deliveredAt = now })
 	})
 	eng.Run()
 	if deliveredAt != 1100 {
@@ -26,7 +26,7 @@ func TestSendDeliversAfterLatency(t *testing.T) {
 func TestCountersSplitSendReceive(t *testing.T) {
 	eng := sim.New()
 	n := New(eng, 10)
-	n.Send(1, 2, 100, func(sim.Time) {})
+	n.Send(1, 2, 100, KindOther, func(sim.Time) {})
 	// Before delivery: sent counted, received not.
 	tot := n.Total()
 	if tot.MsgsSent != 1 || tot.BytesSent != 100 {
@@ -45,9 +45,9 @@ func TestCountersSplitSendReceive(t *testing.T) {
 func TestPerNodeCounters(t *testing.T) {
 	eng := sim.New()
 	n := New(eng, 1)
-	n.Send(1, 2, 10, func(sim.Time) {})
-	n.Send(1, 3, 20, func(sim.Time) {})
-	n.Send(2, 1, 5, func(sim.Time) {})
+	n.Send(1, 2, 10, KindOther, func(sim.Time) {})
+	n.Send(1, 3, 20, KindOther, func(sim.Time) {})
+	n.Send(2, 1, 5, KindOther, func(sim.Time) {})
 	eng.Run()
 	if c := n.Node(1); c.MsgsSent != 2 || c.BytesSent != 30 || c.MsgsRecv != 1 || c.BytesRecv != 5 {
 		t.Fatalf("node 1 counters: %+v", c)
@@ -60,7 +60,7 @@ func TestPerNodeCounters(t *testing.T) {
 func TestWindowReset(t *testing.T) {
 	eng := sim.New()
 	n := New(eng, 1)
-	n.Send(1, 2, 10, func(sim.Time) {})
+	n.Send(1, 2, 10, KindOther, func(sim.Time) {})
 	eng.Run()
 	if n.Window().MsgsSent != 1 {
 		t.Fatal("window missing traffic")
@@ -69,7 +69,7 @@ func TestWindowReset(t *testing.T) {
 	if n.Window() != (Counters{}) {
 		t.Fatal("window not zeroed")
 	}
-	n.Send(1, 2, 10, func(sim.Time) {})
+	n.Send(1, 2, 10, KindOther, func(sim.Time) {})
 	eng.Run()
 	if n.Window().MsgsSent != 1 || n.Total().MsgsSent != 2 {
 		t.Fatal("window/total divergence after reset")
@@ -82,8 +82,8 @@ func TestUndeliverableDropped(t *testing.T) {
 	alive := map[can.NodeID]bool{2: true}
 	n.SetDeliverable(func(dst can.NodeID) bool { return alive[dst] })
 	delivered := 0
-	n.Send(1, 2, 10, func(sim.Time) { delivered++ })
-	n.Send(1, 3, 10, func(sim.Time) { delivered++ }) // 3 is dead
+	n.Send(1, 2, 10, KindOther, func(sim.Time) { delivered++ })
+	n.Send(1, 3, 10, KindOther, func(sim.Time) { delivered++ }) // 3 is dead
 	eng.Run()
 	if delivered != 1 {
 		t.Fatalf("delivered = %d, want 1", delivered)
@@ -96,13 +96,53 @@ func TestUndeliverableDropped(t *testing.T) {
 	}
 }
 
+func TestKindCounters(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 1)
+	n.Send(1, 2, 100, KindFull, func(sim.Time) {})
+	n.Send(1, 2, 10, KindCompact, func(sim.Time) {})
+	n.Send(1, 2, 10, KindCompact, func(sim.Time) {})
+	eng.Run()
+	if c := n.KindTotal(KindFull); c.MsgsSent != 1 || c.BytesSent != 100 || c.MsgsRecv != 1 {
+		t.Fatalf("full counters: %+v", c)
+	}
+	if c := n.KindTotal(KindCompact); c.MsgsSent != 2 || c.BytesSent != 20 {
+		t.Fatalf("compact counters: %+v", c)
+	}
+	if c := n.KindTotal(KindRequest); c != (Counters{}) {
+		t.Fatalf("request counters should be zero: %+v", c)
+	}
+	if c := n.KindWindow(KindFull); c.MsgsSent != 1 {
+		t.Fatalf("full window: %+v", c)
+	}
+	n.ResetWindow()
+	if c := n.KindWindow(KindFull); c != (Counters{}) {
+		t.Fatal("kind window not zeroed by ResetWindow")
+	}
+	if c := n.KindTotal(KindFull); c.MsgsSent != 1 {
+		t.Fatal("kind total lost by ResetWindow")
+	}
+	// Per-kind counters partition the aggregate.
+	var sum Counters
+	for _, k := range AllKinds {
+		c := n.KindTotal(k)
+		sum.MsgsSent += c.MsgsSent
+		sum.BytesSent += c.BytesSent
+		sum.MsgsRecv += c.MsgsRecv
+		sum.BytesRecv += c.BytesRecv
+	}
+	if sum != n.Total() {
+		t.Fatalf("kind sum %+v != total %+v", sum, n.Total())
+	}
+}
+
 func TestDeathInFlight(t *testing.T) {
 	eng := sim.New()
 	n := New(eng, 100)
 	alive := true
 	n.SetDeliverable(func(can.NodeID) bool { return alive })
 	delivered := false
-	n.Send(1, 2, 10, func(sim.Time) { delivered = true })
+	n.Send(1, 2, 10, KindOther, func(sim.Time) { delivered = true })
 	eng.At(50, func(sim.Time) { alive = false }) // dies mid-flight
 	eng.Run()
 	if delivered {

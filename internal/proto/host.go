@@ -330,7 +330,7 @@ func (h *Host) receiveRequest(now sim.Time, from Record) {
 		return
 	}
 	h.integrateSender(now, from)
-	h.s.sendFull(h.id, from.ID, h.selfRecord(), h.view.records(), false)
+	h.s.sendFull(h.id, from.ID, h.selfRecord(), h.s.replyTable(now, h.view), false)
 }
 
 // adoptZone switches the host to a new zone (join split, take-over or

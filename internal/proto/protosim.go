@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"hetgrid/internal/can"
@@ -28,6 +29,13 @@ type Sim struct {
 	fullPool    []*fullMsg
 	compactPool []*compactMsg
 	requestPool []*requestMsg
+
+	// Recycled on-demand reply tables: a FIFO queue ordered by
+	// busyUntil, with replyHead marking the consumed prefix (see
+	// replyTable below).
+	replyPool []*replyBuf
+	replyHead int
+	replyIDs  []can.NodeID // sorted-id scratch shared across replies
 }
 
 // NewSim creates a protocol simulation over a d-dimensional CAN.
@@ -105,7 +113,7 @@ func (s *Sim) Join(p geom.Point) (*can.Node, error) {
 	for _, rec := range initial {
 		h.view.direct(rec, now)
 	}
-	s.Net.Send(owner.ID, node.ID, FullMessageBytes(s.Ov.Dims(), len(initial)), func(sim.Time) {})
+	s.Net.Send(owner.ID, node.ID, FullMessageBytes(s.Ov.Dims(), len(initial)), netsim.KindFull, func(sim.Time) {})
 
 	// Per-face neighbor discovery: a joining CAN node contacts the
 	// owner of each face of its new zone (routing a short query along
@@ -120,8 +128,8 @@ func (s *Sim) Join(p geom.Point) (*can.Node, error) {
 		if nb == nil || h.view.has(nbID) {
 			continue
 		}
-		s.Net.Send(node.ID, nbID, RequestBytes(s.Ov.Dims()), func(sim.Time) {})
-		s.Net.Send(nbID, node.ID, AnnounceBytes(s.Ov.Dims()), func(sim.Time) {})
+		s.Net.Send(node.ID, nbID, RequestBytes(s.Ov.Dims()), netsim.KindRequest, func(sim.Time) {})
+		s.Net.Send(nbID, node.ID, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, func(sim.Time) {})
 		h.view.direct(Record{ID: nbID, Zone: nb.Zone.Clone()}, now)
 		// The discovered neighbor learns the newcomer symmetrically.
 		if nh := s.hosts[nbID]; nh != nil && nh.alive {
@@ -167,7 +175,7 @@ func (s *Sim) LeaveVoluntary(id can.NodeID) error {
 		mergedID = plan.Merged.ID
 	}
 	// Handoff message: the departing node's record plus its table.
-	s.Net.Send(id, takerID, FullMessageBytes(s.Ov.Dims(), len(table)), func(now sim.Time) {
+	s.Net.Send(id, takerID, FullMessageBytes(s.Ov.Dims(), len(table)), netsim.KindFull, func(now sim.Time) {
 		taker := s.hosts[takerID]
 		if taker == nil || !taker.alive {
 			return
@@ -235,7 +243,7 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 	if mergedID >= 0 {
 		if mh := s.hosts[mergedID]; mh != nil && mh.alive {
 			recs := taker.view.records()
-			s.Net.Send(taker.id, mergedID, FullMessageBytes(s.Ov.Dims(), len(recs)), func(now2 sim.Time) {
+			s.Net.Send(taker.id, mergedID, FullMessageBytes(s.Ov.Dims(), len(recs)), netsim.KindFull, func(now2 sim.Time) {
 				m := s.hosts[mergedID]
 				gm := s.Ov.Node(mergedID)
 				if m == nil || !m.alive || gm == nil {
@@ -304,6 +312,80 @@ func unionIDs(a, b []can.NodeID) []can.NodeID {
 // handoffs) keep plain closures — they are rare and often capture
 // freshly built tables anyway.
 
+// replyBuf is one reusable table for adaptive receiveRequest replies.
+//
+// Retention analysis (mirrors the heartbeat tableBuf double buffer): a
+// reply's record slice is aliased by its in-flight fullMsg from send
+// until delivery, i.e. for exactly one network latency. At delivery,
+// receiveFull copies the table into the receiver-owned savedTable and
+// fullMsg.table is nilled, so nothing references the buffer afterwards.
+// Unlike the heartbeat path, replies are demand-driven — several can be
+// in flight at once — so instead of two alternating buffers we keep a
+// pool stamped with busyUntil = send time + latency. A buffer is
+// reusable only when strictly now > busyUntil: at now == busyUntil the
+// event queue's seq ordering may run an incoming request BEFORE an
+// in-flight reply delivery at the same timestamp, and rebuilding the
+// buffer then would corrupt the not-yet-delivered payload.
+type replyBuf struct {
+	recs      []Record
+	busyUntil sim.Time
+}
+
+// replyTable builds the full-table payload for an on-demand reply into
+// a pooled buffer, preserving the ascending-id record order that
+// view.records() produces so reply payloads are byte-for-byte the same
+// as before pooling. The pool grows to the peak number of replies in
+// flight within one latency window and is reused thereafter.
+func (s *Sim) replyTable(now sim.Time, v *view) []Record {
+	// The pool is a FIFO queue: virtual time never decreases and the
+	// latency is constant, so buffers are enqueued with non-decreasing
+	// busyUntil and the head is always the earliest to free. One head
+	// check per call replaces a free-slot scan that went quadratic in
+	// bursts — a synchronized heartbeat round issues all its replies
+	// inside one latency window, while every buffer is still busy.
+	var buf *replyBuf
+	if s.replyHead < len(s.replyPool) && now > s.replyPool[s.replyHead].busyUntil {
+		buf = s.replyPool[s.replyHead]
+		s.replyHead++
+		// Compact once the consumed prefix outgrows the live tail;
+		// each compaction copies at most as many entries as were
+		// consumed since the last one, so the queue stays amortized
+		// O(1) and the backing array stops growing at the peak number
+		// of replies in flight within one latency window.
+		if s.replyHead*2 >= len(s.replyPool) {
+			n := copy(s.replyPool, s.replyPool[s.replyHead:])
+			s.replyPool = s.replyPool[:n]
+			s.replyHead = 0
+		}
+	} else {
+		buf = &replyBuf{}
+	}
+	ids := s.replyIDs[:0]
+	for id := range v.entries {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids) // generic sort: no reflect, no allocation
+	s.replyIDs = ids
+	buf.recs = v.recordsOfInto(buf.recs[:0], ids)
+	buf.busyUntil = now.Add(s.Net.Latency())
+	s.replyPool = append(s.replyPool, buf)
+	return buf.recs
+}
+
+// MeanViewSize reports the mean believed-neighbor count across live
+// hosts (0 with no hosts). Order-independent, so it is safe as a
+// telemetry gauge.
+func (s *Sim) MeanViewSize() float64 {
+	if len(s.hosts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, h := range s.hosts {
+		total += len(h.view.entries)
+	}
+	return float64(total) / float64(len(s.hosts))
+}
+
 type fullMsg struct {
 	s      *Sim
 	self   Record
@@ -331,7 +413,7 @@ func (s *Sim) sendFull(src, dst can.NodeID, self Record, table []Record, ranked 
 		m = &fullMsg{s: s}
 	}
 	m.self, m.table, m.ranked, m.dst = self, table, ranked, dst
-	s.Net.SendMsg(src, dst, FullMessageBytes(s.Ov.Dims(), len(table)), m)
+	s.Net.SendMsg(src, dst, FullMessageBytes(s.Ov.Dims(), len(table)), netsim.KindFull, m)
 }
 
 type compactMsg struct {
@@ -359,7 +441,7 @@ func (s *Sim) sendCompact(src, dst can.NodeID, self Record, dims int, ranked boo
 		m = &compactMsg{s: s}
 	}
 	m.self, m.ranked, m.dst = self, ranked, dst
-	s.Net.SendMsg(src, dst, CompactMessageBytes(dims), m)
+	s.Net.SendMsg(src, dst, CompactMessageBytes(dims), netsim.KindCompact, m)
 }
 
 type requestMsg struct {
@@ -377,7 +459,7 @@ func (m *requestMsg) Deliver(now sim.Time) {
 }
 
 func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
-	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), func(now sim.Time) {
+	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, func(now sim.Time) {
 		if h := s.hosts[dst]; h != nil {
 			h.receiveAnnounce(now, gone, owner)
 		}
@@ -385,7 +467,7 @@ func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
 }
 
 func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
-	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), func(now sim.Time) {
+	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, func(now sim.Time) {
 		if h := s.hosts[dst]; h != nil {
 			h.receiveAnnounce(now, -1, splitter)
 			h.receiveAnnounce(now, -1, newbie)
@@ -403,7 +485,7 @@ func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {
 		m = &requestMsg{s: s}
 	}
 	m.self, m.dst = self, dst
-	s.Net.SendMsg(src, dst, RequestBytes(s.Ov.Dims()), m)
+	s.Net.SendMsg(src, dst, RequestBytes(s.Ov.Dims()), netsim.KindRequest, m)
 }
 
 // BrokenLinks counts, across all live nodes, ground-truth neighbor

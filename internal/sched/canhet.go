@@ -28,8 +28,10 @@ func (s *CanHet) Name() string { return "can-het" }
 func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 	c := s.ctx
 	c.maybeRefresh()
+	c.probeBegin(j)
 	entry := c.randomEntry()
 	if entry == nil {
+		c.probeUnmatched()
 		return 0, ErrUnmatchable
 	}
 	jobPt := c.jobPoint(j.Req)
@@ -40,6 +42,7 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 		return 0, err
 	}
 	s.Stats.RouteHops += len(path) - 1
+	c.probeRoute(path)
 	cur := path[len(path)-1]
 
 	// If the landing region cannot satisfy the job at all, climb toward
@@ -48,9 +51,11 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 	if err != nil {
 		if n := c.fallback(j.Req, j.Dominant, &s.Stats); n != nil {
 			s.Stats.Placed++
+			c.probeMatch(n.ID, "fallback")
 			return n.ID, nil
 		}
 		s.Stats.Unmatchable++
+		c.probeUnmatched()
 		return 0, ErrUnmatchable
 	}
 
@@ -75,12 +80,16 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 		if len(free) > 0 {
 			s.Stats.FreePicks++
 			s.Stats.Placed++
-			return pickFastest(free, dom).ID, nil
+			id := pickFastest(free, dom).ID
+			c.probeMatch(id, "free")
+			return id, nil
 		}
 		if len(acceptable) > 0 {
 			s.Stats.AcceptPicks++
 			s.Stats.Placed++
-			return pickFastest(acceptable, dom).ID, nil
+			id := pickFastest(acceptable, dom).ID
+			c.probeMatch(id, "accept")
+			return id, nil
 		}
 
 		// Step 11: choose the push target minimizing Equation 3 over
@@ -114,11 +123,14 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 			// Step 14: the minimum-score node among neighbors (Eq 1/2).
 			s.Stats.ScorePicks++
 			s.Stats.Placed++
-			return c.pickMinScore(cands, dom).ID, nil
+			id := c.pickMinScore(cands, dom).ID
+			c.probeMatch(id, "score")
+			return id, nil
 		}
 
 		cur = target.Node
 		s.Stats.PushHops++
+		c.probePush(cur)
 	}
 
 	// Walk exhausted without a candidate: place at the best scoring
@@ -126,12 +138,16 @@ func (s *CanHet) Place(j *exec.Job) (can.NodeID, error) {
 	if cands := c.satisfying(cur, j.Req); len(cands) > 0 {
 		s.Stats.ScorePicks++
 		s.Stats.Placed++
-		return c.pickMinScore(cands, dom).ID, nil
+		id := c.pickMinScore(cands, dom).ID
+		c.probeMatch(id, "score")
+		return id, nil
 	}
 	if n := c.fallback(j.Req, dom, &s.Stats); n != nil {
 		s.Stats.Placed++
+		c.probeMatch(n.ID, "fallback")
 		return n.ID, nil
 	}
 	s.Stats.Unmatchable++
+	c.probeUnmatched()
 	return 0, ErrUnmatchable
 }

@@ -29,8 +29,10 @@ func (s *CanHom) Name() string { return "can-hom" }
 func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 	c := s.ctx
 	c.maybeRefresh()
+	c.probeBegin(j)
 	entry := c.randomEntry()
 	if entry == nil {
+		c.probeUnmatched()
 		return 0, ErrUnmatchable
 	}
 	jobPt := c.jobPoint(j.Req)
@@ -40,15 +42,18 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 		return 0, err
 	}
 	s.Stats.RouteHops += len(path) - 1
+	c.probeRoute(path)
 	cur := path[len(path)-1]
 
 	cur, err = c.boost(cur, j.Req, jobPt, &s.Stats)
 	if err != nil {
 		if n := c.fallback(j.Req, resource.TypeCPU, &s.Stats); n != nil {
 			s.Stats.Placed++
+			c.probeMatch(n.ID, "fallback")
 			return n.ID, nil
 		}
 		s.Stats.Unmatchable++
+		c.probeUnmatched()
 		return 0, ErrUnmatchable
 	}
 
@@ -67,7 +72,9 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 		if len(free) > 0 {
 			s.Stats.FreePicks++
 			s.Stats.Placed++
-			return pickFastest(free, resource.TypeCPU).ID, nil
+			id := pickFastest(free, resource.TypeCPU).ID
+			c.probeMatch(id, "free")
+			return id, nil
 		}
 
 		// Push on CPU aggregates regardless of what the job needs.
@@ -97,22 +104,29 @@ func (s *CanHom) Place(j *exec.Job) (can.NodeID, error) {
 			}
 			s.Stats.ScorePicks++
 			s.Stats.Placed++
-			return c.pickMinScore(cands, resource.TypeCPU).ID, nil
+			id := c.pickMinScore(cands, resource.TypeCPU).ID
+			c.probeMatch(id, "score")
+			return id, nil
 		}
 
 		cur = target.Node
 		s.Stats.PushHops++
+		c.probePush(cur)
 	}
 
 	if cands := c.satisfying(cur, j.Req); len(cands) > 0 {
 		s.Stats.ScorePicks++
 		s.Stats.Placed++
-		return c.pickMinScore(cands, resource.TypeCPU).ID, nil
+		id := c.pickMinScore(cands, resource.TypeCPU).ID
+		c.probeMatch(id, "score")
+		return id, nil
 	}
 	if n := c.fallback(j.Req, resource.TypeCPU, &s.Stats); n != nil {
 		s.Stats.Placed++
+		c.probeMatch(n.ID, "fallback")
 		return n.ID, nil
 	}
 	s.Stats.Unmatchable++
+	c.probeUnmatched()
 	return 0, ErrUnmatchable
 }

@@ -52,16 +52,19 @@ func (s *Central) Name() string { return "central" }
 func (s *Central) Place(j *exec.Job) (can.NodeID, error) {
 	ix := s.idx
 	ix.ensure()
+	s.ctx.probeBegin(j)
 	if id, ok := ix.bestFree(j.Req, j.Dominant); ok {
 		cntCentralFastPath.Inc()
 		s.Stats.FreePicks++
 		s.Stats.Placed++
+		s.ctx.probeMatch(id, "free")
 		return id, nil
 	}
 	if id, ok := ix.bestAcceptable(j.Req, j.Dominant); ok {
 		cntCentralFastPath.Inc()
 		s.Stats.AcceptPicks++
 		s.Stats.Placed++
+		s.ctx.probeMatch(id, "accept")
 		return id, nil
 	}
 	cntCentralFullScans.Inc()
@@ -69,9 +72,12 @@ func (s *Central) Place(j *exec.Job) (can.NodeID, error) {
 	if len(sat) > 0 {
 		s.Stats.ScorePicks++
 		s.Stats.Placed++
-		return s.ctx.pickMinScore(sat, j.Dominant).ID, nil
+		id := s.ctx.pickMinScore(sat, j.Dominant).ID
+		s.ctx.probeMatch(id, "score")
+		return id, nil
 	}
 	s.Stats.Unmatchable++
+	s.ctx.probeUnmatched()
 	return 0, ErrUnmatchable
 }
 

@@ -51,6 +51,69 @@ func (s Stats) String() string {
 		s.Placed, s.RouteHops, s.PushHops, s.FreePicks, s.AcceptPicks, s.ScorePicks, s.Fallbacks, s.Unmatchable)
 }
 
+// StatsOf exposes a scheduler's Stats for telemetry, or nil for
+// scheduler types that keep none.
+func StatsOf(s Scheduler) *Stats {
+	switch t := s.(type) {
+	case *CanHet:
+		return &t.Stats
+	case *CanHom:
+		return &t.Stats
+	case *Central:
+		return &t.Stats
+	}
+	return nil
+}
+
+// Probe observes the causal steps of one placement — submit, route
+// path, push hops, and the final match — for span tracing. Probes are
+// telemetry-only: they must not mutate scheduling state, and a nil
+// Context.Probe costs nothing on the placement hot path.
+type Probe interface {
+	// PlaceBegin opens a span for the job about to be placed.
+	PlaceBegin(j *exec.Job)
+	// RoutePath reports the CAN routing path (entry first). The slice
+	// aliases scheduler scratch and is valid only during the call.
+	RoutePath(path []*can.Node)
+	// PushHop reports one pushing (or boosting) hop to n.
+	PushHop(n *can.Node)
+	// Match closes the span with the chosen node and the pick kind:
+	// "free", "accept", "score", or "fallback".
+	Match(node can.NodeID, kind string)
+	// Unmatched closes the span with no placement.
+	Unmatched()
+}
+
+func (c *Context) probeBegin(j *exec.Job) {
+	if c.Probe != nil {
+		c.Probe.PlaceBegin(j)
+	}
+}
+
+func (c *Context) probeRoute(path []*can.Node) {
+	if c.Probe != nil {
+		c.Probe.RoutePath(path)
+	}
+}
+
+func (c *Context) probePush(n *can.Node) {
+	if c.Probe != nil {
+		c.Probe.PushHop(n)
+	}
+}
+
+func (c *Context) probeMatch(node can.NodeID, kind string) {
+	if c.Probe != nil {
+		c.Probe.Match(node, kind)
+	}
+}
+
+func (c *Context) probeUnmatched() {
+	if c.Probe != nil {
+		c.Probe.Unmatched()
+	}
+}
+
 // Context bundles what every decentralized scheduler needs.
 type Context struct {
 	Eng     *sim.Engine
@@ -67,6 +130,10 @@ type Context struct {
 	// instead of a random draw — the ablation for the virtual
 	// dimension's load-spreading role (Section II-B).
 	DisableVirtualSpread bool
+
+	// Probe, when non-nil, observes each placement's causal steps for
+	// span tracing. Telemetry-only: it never alters decisions.
+	Probe Probe
 
 	rnd         *rng.Stream
 	lastRefresh sim.Time
@@ -259,6 +326,7 @@ func (c *Context) boost(cur *can.Node, req resource.JobReq, jobPt []float64, st 
 		}
 		cur = best.Node
 		st.BoostedWalks++
+		c.probePush(cur)
 	}
 	return nil, ErrUnmatchable
 }

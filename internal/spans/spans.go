@@ -1,0 +1,77 @@
+// Package spans turns scheduler placement probes into trace events: a
+// job's submit, the CAN routing walk, the pushing hops, and the final
+// dominant-CE match become one causal tree keyed by the job id, with
+// Depth giving each step's nesting under the submit. cmd/traceview
+// renders the tree.
+package spans
+
+import (
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/sim"
+	"hetgrid/internal/trace"
+)
+
+// Causal depths of span events under a job's submit (depth 0).
+const (
+	DepthRoute = 1
+	DepthPush  = 2
+	DepthMatch = 3
+)
+
+// Probe implements sched.Probe, recording placement spans into a trace
+// recorder. It is telemetry-only: it reads the engine clock and the
+// arguments it is handed, and mutates nothing.
+type Probe struct {
+	eng *sim.Engine
+	rec trace.Recorder
+	job int64 // job currently being placed
+}
+
+// New builds a probe recording into rec with timestamps from eng.
+func New(eng *sim.Engine, rec trace.Recorder) *Probe {
+	return &Probe{eng: eng, rec: rec, job: -1}
+}
+
+// PlaceBegin opens the span for j.
+func (p *Probe) PlaceBegin(j *exec.Job) { p.job = int64(j.ID) }
+
+// RoutePath records one place.route event per routing hop (the entry
+// node itself is not a hop). Value carries the hop index.
+func (p *Probe) RoutePath(path []*can.Node) {
+	t := p.eng.Now().Seconds()
+	for i := 1; i < len(path); i++ {
+		p.rec.Record(trace.Event{
+			T: t, Kind: trace.PlaceRoute,
+			Node: int64(path[i].ID), Job: p.job,
+			Value: float64(i), Depth: DepthRoute,
+		})
+	}
+}
+
+// PushHop records one place.push event.
+func (p *Probe) PushHop(n *can.Node) {
+	p.rec.Record(trace.Event{
+		T: p.eng.Now().Seconds(), Kind: trace.PlacePush,
+		Node: int64(n.ID), Job: p.job, Depth: DepthPush,
+	})
+}
+
+// Match closes the span with the chosen node; Detail is the pick kind
+// ("free", "accept", "score", "fallback").
+func (p *Probe) Match(node can.NodeID, kind string) {
+	p.rec.Record(trace.Event{
+		T: p.eng.Now().Seconds(), Kind: trace.PlaceMatch,
+		Node: int64(node), Job: p.job, Depth: DepthMatch, Detail: kind,
+	})
+	p.job = -1
+}
+
+// Unmatched closes the span with no placement.
+func (p *Probe) Unmatched() {
+	p.rec.Record(trace.Event{
+		T: p.eng.Now().Seconds(), Kind: trace.PlaceMatch,
+		Node: -1, Job: p.job, Depth: DepthMatch, Detail: "unmatched",
+	})
+	p.job = -1
+}

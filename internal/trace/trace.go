@@ -30,17 +30,28 @@ const (
 	NodeLeave  Kind = "node.leave"
 	NodeFail   Kind = "node.fail"
 	Sample     Kind = "sample"
+
+	// Placement-span kinds: the causal steps between a job's submit and
+	// its start/requeue. Node is the overlay node reached at that step,
+	// Depth its causal depth under the submit, and Detail a kind-specific
+	// tag (the match strategy, e.g. "free"/"accept"/"score").
+	PlaceRoute Kind = "place.route"
+	PlacePush  Kind = "place.push"
+	PlaceMatch Kind = "place.match"
 )
 
 // Event is one recorded occurrence. Node and Job are -1 when not
 // applicable; Value carries a kind-specific number (wait seconds,
-// broken-link count, ...).
+// broken-link count, ...). Depth nests placement-span events under
+// their job's submit; Detail carries a short kind-specific tag.
 type Event struct {
-	T     float64 `json:"t"` // virtual seconds
-	Kind  Kind    `json:"kind"`
-	Node  int64   `json:"node,omitempty"`
-	Job   int64   `json:"job,omitempty"`
-	Value float64 `json:"value,omitempty"`
+	T      float64 `json:"t"` // virtual seconds
+	Kind   Kind    `json:"kind"`
+	Node   int64   `json:"node,omitempty"`
+	Job    int64   `json:"job,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Depth  int     `json:"depth,omitempty"`
+	Detail string  `json:"detail,omitempty"`
 }
 
 // Recorder consumes events.
@@ -119,7 +130,7 @@ func (b *Buffer) WriteJSONL(w io.Writer) error {
 // WriteCSV streams the buffer as CSV with a header row.
 func (b *Buffer) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"t", "kind", "node", "job", "value"}); err != nil {
+	if err := cw.Write([]string{"t", "kind", "node", "job", "value", "depth", "detail"}); err != nil {
 		return err
 	}
 	for _, e := range b.Events() {
@@ -129,6 +140,8 @@ func (b *Buffer) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(e.Node, 10),
 			strconv.FormatInt(e.Job, 10),
 			strconv.FormatFloat(e.Value, 'f', 3, 64),
+			strconv.Itoa(e.Depth),
+			e.Detail,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -98,7 +98,7 @@ func TestCSVExport(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("CSV has %d lines, want header + 4", len(lines))
 	}
-	if lines[0] != "t,kind,node,job,value" {
+	if lines[0] != "t,kind,node,job,value,depth,detail" {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if !strings.Contains(lines[4], "job.finish") {

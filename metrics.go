@@ -1,0 +1,88 @@
+package hetgrid
+
+import (
+	"io"
+
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/metricsreg"
+	"hetgrid/internal/sched"
+	"hetgrid/internal/sim"
+)
+
+// Metrics is a virtual-clock telemetry plane for one Grid: per-node
+// gauges (queue depth, per-CE utilization, neighbor count, aggregated
+// load per dimension) and per-interval counters (placements, routing
+// and pushing hops, jobs submitted/finished) sampled on the simulation
+// clock. Telemetry is passive — attaching a plane never changes what
+// the grid computes, only what it reports.
+//
+// Samples live in fixed-size rings, so memory is bounded regardless of
+// how long the simulation runs; once a series wraps, the oldest points
+// are dropped first.
+type Metrics struct {
+	plane *metrics.Plane
+}
+
+// NewMetrics creates a telemetry plane sampling every sampleSeconds of
+// virtual time (0 means the 60 s default, matching the heartbeat
+// period).
+func NewMetrics(sampleSeconds float64) *Metrics {
+	return &Metrics{plane: metrics.New(sim.FromSeconds(sampleSeconds), 0)}
+}
+
+// Len returns the total number of retained points across all series.
+func (m *Metrics) Len() int { return m.plane.Len() }
+
+// Samples returns how many sampling sweeps have run.
+func (m *Metrics) Samples() int { return m.plane.Samples() }
+
+// SeriesNames lists the registered series in registration order.
+func (m *Metrics) SeriesNames() []string {
+	ss := m.plane.Series()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// WriteJSONL exports every series as one JSON object per line:
+// {"series":...,"t":...,"node":...,"v":...}. Counter series use node
+// -1.
+func (m *Metrics) WriteJSONL(w io.Writer) error { return m.plane.WriteJSONL(w, "") }
+
+// WriteCSV exports every series as CSV with a "series,t,node,v" header.
+func (m *Metrics) WriteCSV(w io.Writer) error { return m.plane.WriteCSV(w) }
+
+// SetMetrics attaches a telemetry plane to the grid. Call it once,
+// after New and before submitting work; the plane samples the live
+// node set, so nodes added later are picked up automatically. Passing
+// nil permanently stops sampling (points already recorded are kept and
+// stay exportable).
+func (g *Grid) SetMetrics(m *Metrics) {
+	if m == nil {
+		if g.metrics != nil {
+			g.metrics.plane.Stop()
+		}
+		g.metrics = nil
+		return
+	}
+	g.metrics = m
+	p := m.plane
+	p.Attach(g.eng)
+	metricsreg.RegisterGridGauges(p, g.ov, g.cluster, g.ctx.Agg, g.space.Dims(), g.opts.GPUSlots)
+	if st := sched.StatsOf(g.scheduler); st != nil {
+		metricsreg.RegisterSchedCounters(p, st)
+	}
+	metricsreg.RegisterClusterCounters(p, g.cluster)
+	g.pokeMetrics()
+}
+
+// pokeMetrics re-arms the sampler. The sampler disarms itself whenever
+// the event queue drains (otherwise Grid.Run would never return), so
+// every entry point that creates new future work pokes it.
+func (g *Grid) pokeMetrics() {
+	if g.metrics != nil {
+		g.metrics.plane.Poke()
+	}
+}

@@ -1,0 +1,155 @@
+package hetgrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildSmallGrid runs a fixed tiny workload and returns the grid plus
+// the finish times of its jobs (the observable outcome).
+func buildSmallGrid(t *testing.T, m *Metrics) (*Grid, []float64) {
+	t.Helper()
+	g, err := New(Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		g.SetMetrics(m)
+	}
+	if _, err := g.AddRandomNodes(12); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		g.RunFor(600)
+	}
+	g.Run()
+	var finishes []float64
+	for _, h := range g.Jobs() {
+		finishes = append(finishes, h.WaitSeconds())
+	}
+	return g, finishes
+}
+
+func TestGridMetrics(t *testing.T) {
+	m := NewMetrics(30)
+	_, metered := buildSmallGrid(t, m)
+	_, plain := buildSmallGrid(t, nil)
+
+	// Telemetry must not change outcomes.
+	if len(metered) != len(plain) {
+		t.Fatalf("job counts differ: %d vs %d", len(metered), len(plain))
+	}
+	for i := range plain {
+		if metered[i] != plain[i] {
+			t.Fatalf("job %d wait differs with metrics attached: %v vs %v", i, metered[i], plain[i])
+		}
+	}
+
+	if m.Samples() == 0 || m.Len() == 0 {
+		t.Fatalf("no telemetry collected: samples=%d points=%d", m.Samples(), m.Len())
+	}
+	names := strings.Join(m.SeriesNames(), " ")
+	for _, want := range []string{"node.queue", "node.neighbors", "sched.placed", "jobs.finished"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("series %q missing from %s", want, names)
+		}
+	}
+	var jsonl, csv bytes.Buffer
+	if err := m.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"series":"node.queue"`) {
+		t.Fatal("JSONL missing node.queue points")
+	}
+	if !strings.HasPrefix(csv.String(), "series,t,node,v\n") {
+		t.Fatal("CSV missing header")
+	}
+}
+
+func TestGridMetricsStop(t *testing.T) {
+	g, err := New(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(30)
+	g.SetMetrics(m)
+	if _, err := g.AddRandomNodes(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g.RunFor(120)
+	n := m.Samples()
+	if n == 0 {
+		t.Fatal("no samples before stop")
+	}
+	g.SetMetrics(nil)
+	if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if m.Samples() != n {
+		t.Fatalf("sampling continued after stop: %d -> %d", n, m.Samples())
+	}
+}
+
+func TestGridPlacementSpans(t *testing.T) {
+	g, err := New(Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb TraceBuffer
+	g.SetTraceBuffer(&tb)
+	g.SetPlacementSpans(true)
+	if _, err := g.AddRandomNodes(16); err != nil {
+		t.Fatal(err)
+	}
+	h, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+
+	var matches, spans int
+	for _, e := range tb.Events() {
+		switch e.Kind {
+		case TracePlaceRoute, TracePlacePush:
+			spans++
+			if e.Job != h.ID() {
+				t.Fatalf("span event for wrong job: %+v", e)
+			}
+		case TracePlaceMatch:
+			matches++
+			if e.Job != h.ID() || e.Node != int64(h.RunNode()) {
+				t.Fatalf("match event disagrees with handle: %+v (want node %d)", e, h.RunNode())
+			}
+			if e.Detail == "" || e.Depth == 0 {
+				t.Fatalf("match event missing detail/depth: %+v", e)
+			}
+		}
+	}
+	if matches != 1 {
+		t.Fatalf("want exactly one place.match, got %d (%d other span events)", matches, spans)
+	}
+
+	// Disabling spans stops the stream; lifecycle events continue.
+	g.SetPlacementSpans(false)
+	before := tb.Len()
+	if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	for _, e := range tb.Events()[before:] {
+		if e.Kind == TracePlaceRoute || e.Kind == TracePlacePush || e.Kind == TracePlaceMatch {
+			t.Fatalf("span event after disable: %+v", e)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"hetgrid/internal/exec"
+	"hetgrid/internal/spans"
 	"hetgrid/internal/trace"
 )
 
@@ -19,6 +20,15 @@ const (
 	TraceJobLost    = trace.JobLost
 	TraceNodeJoin   = trace.NodeJoin
 	TraceNodeLeave  = trace.NodeLeave
+)
+
+// Placement-span kinds, recorded only when SetPlacementSpans is on.
+// Together with job.submit they form one causal tree per job (Depth
+// gives the nesting level); cmd/traceview renders it.
+const (
+	TracePlaceRoute = trace.PlaceRoute // one per CAN routing hop (value = hop index)
+	TracePlacePush  = trace.PlacePush  // one per load-balancing push hop
+	TracePlaceMatch = trace.PlaceMatch // final dominant-CE match (detail = pick kind)
 )
 
 // TraceBuffer accumulates events in memory and exports them as JSONL or
@@ -48,7 +58,11 @@ func (g *Grid) SetTraceBuffer(t *TraceBuffer) {
 	if t == nil {
 		g.cluster.OnStart = nil
 		g.cluster.OnFinish = nil
+		g.ctx.Probe = nil // spans cannot outlive their buffer
 		return
+	}
+	if g.ctx.Probe != nil {
+		g.ctx.Probe = spans.New(g.eng, &t.buf) // re-point spans at the new buffer
 	}
 	g.cluster.OnStart = func(j *exec.Job) {
 		t.buf.Record(trace.Event{
@@ -64,6 +78,21 @@ func (g *Grid) SetTraceBuffer(t *TraceBuffer) {
 			Value: j.WaitTime().Seconds(),
 		})
 	}
+}
+
+// SetPlacementSpans toggles recording of matchmaking internals into the
+// installed trace buffer: place.route (each CAN routing hop toward the
+// job's point), place.push (each hop of Algorithm 1's pushing phase)
+// and place.match (the chosen node, with the pick kind — "free",
+// "accept", "score" or "fallback" — in Detail, or "unmatched" with node
+// -1). Spans are off by default so plain lifecycle traces stay compact;
+// enabling them requires a trace buffer (SetTraceBuffer first).
+func (g *Grid) SetPlacementSpans(enabled bool) {
+	if !enabled || g.tracer == nil {
+		g.ctx.Probe = nil
+		return
+	}
+	g.ctx.Probe = spans.New(g.eng, &g.tracer.buf)
 }
 
 // record emits an event when a tracer is installed.
