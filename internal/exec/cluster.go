@@ -45,6 +45,16 @@ type Cluster struct {
 	// Schedulers use it to maintain incremental candidate indexes.
 	loadObserver func(r *Runtime, removed bool)
 
+	// dirty is the delta channel for incremental load aggregation: the
+	// runtimes whose DemandOn-relevant state (queue contents, running
+	// occupancy, membership) changed since the last DrainDirty, in
+	// event order, each listed at most once (Runtime.dirty dedupes).
+	// allDirty marks the set as not enumerable — set at construction
+	// (events before the first drain predate any consumer) and by
+	// MarkAllDirty — forcing the consumer onto its full-recompute path.
+	dirty    []*Runtime
+	allDirty bool
+
 	submitted int
 	finished  int
 }
@@ -54,14 +64,51 @@ type Cluster struct {
 func (c *Cluster) SetLoadObserver(f func(r *Runtime, removed bool)) { c.loadObserver = f }
 
 func (c *Cluster) notifyLoad(r *Runtime, removed bool) {
+	if !r.dirty {
+		r.dirty = true
+		c.dirty = append(c.dirty, r)
+	}
 	if c.loadObserver != nil {
 		c.loadObserver(r, removed)
 	}
 }
 
+// DrainDirty empties the dirty set, invoking fn for each node whose
+// load-relevant execution state (queue contents, running occupancy,
+// membership) changed since the previous drain, in event order. It
+// returns false when the set is not enumerable — on first use, and
+// after MarkAllDirty — in which case fn is never called and the caller
+// must treat every node as dirty. Either way the set is cleared.
+//
+// The channel is single-consumer: draining is destructive, so exactly
+// one component (the scheduler's aggregation table) may rely on it.
+// Job start events are deliberately not tracked on their own: a
+// queue→running transition moves cores between the queued tally and
+// the running occupancy of the same CE, leaving DemandOn unchanged,
+// and the submit/finish notifications around it already mark the node.
+func (c *Cluster) DrainDirty(fn func(can.NodeID)) bool {
+	enumerable := !c.allDirty
+	c.allDirty = false
+	for i, r := range c.dirty {
+		r.dirty = false
+		c.dirty[i] = nil
+		if enumerable {
+			fn(r.ID)
+		}
+	}
+	c.dirty = c.dirty[:0]
+	return enumerable
+}
+
+// MarkAllDirty poisons the dirty set: the next DrainDirty reports it as
+// not enumerable. For consumers that bypassed the notification channel
+// (bulk mutations, external state restores) — and for benchmarking the
+// all-dirty fallback.
+func (c *Cluster) MarkAllDirty() { c.allDirty = true }
+
 // NewCluster creates an empty cluster on the engine.
 func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
-	return &Cluster{eng: eng, cfg: cfg, nodes: make(map[can.NodeID]*Runtime)}
+	return &Cluster{eng: eng, cfg: cfg, nodes: make(map[can.NodeID]*Runtime), allDirty: true}
 }
 
 // AddNode registers a node's capabilities. It panics on duplicate ids —

@@ -41,7 +41,11 @@ type Runtime struct {
 	// per score evaluation) are O(1) instead of O(queue length).
 	queuedJobs  []int
 	queuedCores []int
-	done        int
+	// dirty marks membership in the cluster's dirty list (the delta
+	// channel consumed by the scheduler's incremental aggregation);
+	// maintained by Cluster.notifyLoad / Cluster.DrainDirty only.
+	dirty bool
+	done  int
 	// busyCoreSeconds accumulates, over completed jobs, execution
 	// wall-time × cores occupied — the per-node work metric used by
 	// the load-imbalance statistics.

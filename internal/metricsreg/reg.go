@@ -5,9 +5,13 @@
 // registers the same series under the same names.
 //
 // All gauges honor the telemetry-only contract: they read overlay,
-// cluster, aggregation and transport state through accessors that
-// never mutate, never trigger a lazy refresh, and iterate nodes in the
-// overlay's sorted snapshot order so exports are deterministic.
+// cluster, aggregation and transport state without perturbing results,
+// and iterate nodes in the overlay's sorted snapshot order so exports
+// are deterministic. The aggregation gauges may fill a lazily
+// materialized AggTable row on first read in an epoch; that is pure
+// value memoization — the fill computes exactly what any later reader
+// would compute — so attaching metrics still cannot change a run's
+// outputs (the byte-identity determinism tests cover this).
 package metricsreg
 
 import (
@@ -64,6 +68,19 @@ func RegisterGridGauges(p *metrics.Plane, ov *can.Overlay, cl *exec.Cluster, agg
 	if agg == nil {
 		return
 	}
+	// Aggregation refresh-cost series: cumulative counters from
+	// AggTable.Stats (the plane emits per-interval deltas), showing the
+	// incremental plane at work — how many dirty nodes each interval
+	// drained, the Fenwick updates they cost, and how often the table
+	// fell back to a full rebuild.
+	p.RegisterCounter("agg.refreshes", func() int64 { return agg.Stats().Refreshes })
+	p.RegisterCounter("agg.incremental_refreshes", func() int64 { return agg.Stats().IncRefreshes })
+	p.RegisterCounter("agg.full_rebuilds", func() int64 { return agg.Stats().FullRebuilds })
+	p.RegisterCounter("agg.dirty_drained", func() int64 { return agg.Stats().DirtyDrained })
+	p.RegisterCounter("agg.fenwick_updates", func() int64 { return agg.Stats().FenwickUpdates })
+	p.RegisterGauge("agg.last_dirty", func(k *metrics.Sink) {
+		k.Emit(-1, float64(agg.Stats().LastDirty))
+	})
 	for d := 0; d < dims; d++ {
 		dim := d
 		p.RegisterGauge(fmt.Sprintf("node.aggnodes.d%d", dim), func(k *metrics.Sink) {

@@ -338,10 +338,12 @@ func (h *Host) receiveRequest(now sim.Time, from Record) {
 func (h *Host) adoptZone(z geom.Zone) {
 	h.zone = z.Clone()
 	h.selfRec = Record{ID: h.id, Zone: h.zone}
-	for _, id := range h.view.ids() {
-		e := h.view.entries[id]
+	// A pure filter is order-independent, so iterate the map directly
+	// (deleting during range is defined) instead of materializing a
+	// sorted id list — adoptZone runs on every join and take-over.
+	for id, e := range h.view.entries {
 		if _, _, ok := h.zone.Abuts(e.rec.Zone); !ok {
-			h.view.remove(id)
+			delete(h.view.entries, id)
 		}
 	}
 }

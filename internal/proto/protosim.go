@@ -36,6 +36,16 @@ type Sim struct {
 	replyPool []*replyBuf
 	replyHead int
 	replyIDs  []can.NodeID // sorted-id scratch shared across replies
+
+	// Recycled churn-path messages and scratch. The pools mirror the
+	// heartbeat-plane message pools; the scratch slices are consumed
+	// synchronously within a single join/takeover procedure (views store
+	// Records by value, so nothing retains the backing arrays).
+	announcePool []*announceMsg
+	introPool    []*introMsg
+	unionScratch []can.NodeID
+	recScratch   []Record
+	introScratch []Record
 }
 
 // NewSim creates a protocol simulation over a d-dimensional CAN.
@@ -95,8 +105,17 @@ func (s *Sim) Join(p geom.Point) (*can.Node, error) {
 	}
 
 	oh := s.hosts[owner.ID]
-	preRecs := oh.view.records()
-	preIDs := oh.view.ids()
+	// Snapshot the owner's pre-split table into scratch (the announce
+	// loop below still needs it after the view mutates; Records are
+	// stored by value everywhere, so the backing array is reusable).
+	ids := s.replyIDs[:0]
+	for id := range oh.view.entries {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	s.replyIDs = ids
+	preRecs := oh.view.recordsOfInto(s.recScratch[:0], ids)
+	s.recScratch = preRecs
 
 	// The splitter knows its own new zone and its new neighbor.
 	oh.adoptZone(owner.Zone)
@@ -104,12 +123,13 @@ func (s *Sim) Join(p geom.Point) (*can.Node, error) {
 
 	// Hand the newcomer the owner's record plus the slice of the
 	// owner's table abutting the new zone (one full-style message).
-	initial := []Record{oh.selfRecord()}
+	initial := append(s.introScratch[:0], oh.selfRecord())
 	for _, rec := range preRecs {
 		if _, _, ok := node.Zone.Abuts(rec.Zone); ok {
 			initial = append(initial, rec)
 		}
 	}
+	s.introScratch = initial
 	for _, rec := range initial {
 		h.view.direct(rec, now)
 	}
@@ -140,8 +160,8 @@ func (s *Sim) Join(p geom.Point) (*can.Node, error) {
 	// Announce the split to the owner's former neighborhood.
 	newbie := h.selfRecord()
 	splitter := oh.selfRecord()
-	for _, nb := range preIDs {
-		s.sendJoinIntro(owner.ID, nb, splitter, newbie)
+	for _, rec := range preRecs {
+		s.sendJoinIntro(owner.ID, rec.ID, splitter, newbie)
 	}
 
 	h.scheduleFirstTick(sim.Duration(s.phase.Float64() * float64(s.Cfg.HeartbeatPeriod)))
@@ -155,8 +175,12 @@ func (s *Sim) LeaveVoluntary(id can.NodeID) error {
 	if h == nil {
 		return fmt.Errorf("proto: leave of unknown node %d", id)
 	}
+	now := s.Eng.Now()
 	plan, hasPlan := s.Ov.Takeover(id)
-	table := h.view.records()
+	// The handoff payload lives in a pooled reply buffer: it is aliased
+	// only by the in-flight message below and consumed (by-value absorbs
+	// and id copies) at delivery, exactly the replyBuf retention window.
+	table := s.replyTable(now, h.view)
 
 	h.alive = false
 	s.Eng.Cancel(h.tick)
@@ -242,14 +266,14 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 	// hands its current zone to its pair partner, which merges.
 	if mergedID >= 0 {
 		if mh := s.hosts[mergedID]; mh != nil && mh.alive {
-			recs := taker.view.records()
+			recs := s.replyTable(now, taker.view) // pooled: consumed at delivery
 			s.Net.Send(taker.id, mergedID, FullMessageBytes(s.Ov.Dims(), len(recs)), netsim.KindFull, func(now2 sim.Time) {
 				m := s.hosts[mergedID]
 				gm := s.Ov.Node(mergedID)
 				if m == nil || !m.alive || gm == nil {
 					return
 				}
-				targets := unionIDs(m.view.ids(), recordIDs(recs))
+				targets := s.unionTargets(m.view, recs)
 				m.adoptZone(gm.Zone)
 				m.absorb(now2, recs)
 				self := m.selfRecord()
@@ -266,11 +290,10 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 	if gt == nil {
 		return
 	}
-	oldIDs := taker.view.ids()
+	targets := s.unionTargets(taker.view, goneTable)
 	taker.adoptZone(gt.Zone)
 	taker.absorb(now, goneTable)
 
-	targets := unionIDs(oldIDs, recordIDs(goneTable))
 	self := taker.selfRecord()
 	for _, t := range targets {
 		if t == taker.id || t == gone {
@@ -280,29 +303,22 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 	}
 }
 
-func recordIDs(recs []Record) []can.NodeID {
-	ids := make([]can.NodeID, len(recs))
-	for i, r := range recs {
-		ids[i] = r.ID
+// unionTargets merges a view's believed-neighbor ids with a record
+// list's ids into a sorted, deduplicated scratch slice — the
+// announcement fan-out of a take-over. The result is valid until the
+// next call; callers finish iterating before anything else can run one.
+func (s *Sim) unionTargets(v *view, recs []Record) []can.NodeID {
+	ids := s.unionScratch[:0]
+	for id := range v.entries {
+		ids = append(ids, id)
 	}
+	for _, r := range recs {
+		ids = append(ids, r.ID)
+	}
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	s.unionScratch = ids
 	return ids
-}
-
-// unionIDs merges two id lists into a sorted, deduplicated slice.
-func unionIDs(a, b []can.NodeID) []can.NodeID {
-	set := make(map[can.NodeID]struct{}, len(a)+len(b))
-	for _, id := range a {
-		set[id] = struct{}{}
-	}
-	for _, id := range b {
-		set[id] = struct{}{}
-	}
-	out := make([]can.NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // Message send helpers. Payloads are captured by value at send time.
@@ -458,21 +474,67 @@ func (m *requestMsg) Deliver(now sim.Time) {
 	}
 }
 
+// announceMsg is a pooled take-over/merge announcement (the churn-path
+// analogue of the heartbeat message pools: the struct recycles itself
+// on delivery, so announcement storms under churn allocate nothing
+// steady-state).
+type announceMsg struct {
+	s     *Sim
+	dst   can.NodeID
+	gone  can.NodeID
+	owner Record
+}
+
+func (m *announceMsg) Deliver(now sim.Time) {
+	s, dst, gone, owner := m.s, m.dst, m.gone, m.owner
+	s.announcePool = append(s.announcePool, m)
+	if h := s.hosts[dst]; h != nil {
+		h.receiveAnnounce(now, gone, owner)
+	}
+}
+
 func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
-	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, func(now sim.Time) {
-		if h := s.hosts[dst]; h != nil {
-			h.receiveAnnounce(now, gone, owner)
-		}
-	})
+	var m *announceMsg
+	if k := len(s.announcePool); k > 0 {
+		m = s.announcePool[k-1]
+		s.announcePool[k-1] = nil
+		s.announcePool = s.announcePool[:k-1]
+	} else {
+		m = &announceMsg{s: s}
+	}
+	m.dst, m.gone, m.owner = dst, gone, owner
+	s.Net.SendMsg(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
+}
+
+// introMsg is a pooled join introduction: one wire message carrying the
+// splitter's shrunk zone and the newcomer's record.
+type introMsg struct {
+	s        *Sim
+	dst      can.NodeID
+	splitter Record
+	newbie   Record
+}
+
+func (m *introMsg) Deliver(now sim.Time) {
+	s, dst, splitter, newbie := m.s, m.dst, m.splitter, m.newbie
+	s.introPool = append(s.introPool, m)
+	if h := s.hosts[dst]; h != nil {
+		h.receiveAnnounce(now, -1, splitter)
+		h.receiveAnnounce(now, -1, newbie)
+	}
 }
 
 func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
-	s.Net.Send(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, func(now sim.Time) {
-		if h := s.hosts[dst]; h != nil {
-			h.receiveAnnounce(now, -1, splitter)
-			h.receiveAnnounce(now, -1, newbie)
-		}
-	})
+	var m *introMsg
+	if k := len(s.introPool); k > 0 {
+		m = s.introPool[k-1]
+		s.introPool[k-1] = nil
+		s.introPool = s.introPool[:k-1]
+	} else {
+		m = &introMsg{s: s}
+	}
+	m.dst, m.splitter, m.newbie = dst, splitter, newbie
+	s.Net.SendMsg(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
 }
 
 func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {

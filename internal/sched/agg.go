@@ -15,9 +15,12 @@ import (
 )
 
 var (
-	cntAggRefresh = perf.NewCounter("sched.agg_refreshes")
-	cntAggRebuild = perf.NewCounter("sched.agg_topology_rebuilds")
-	tmrAggRefresh = perf.NewTimer("sched.agg_refresh")
+	cntAggRefresh    = perf.NewCounter("sched.agg_refreshes")
+	cntAggRebuild    = perf.NewCounter("sched.agg_topology_rebuilds")
+	cntAggInc        = perf.NewCounter("sched.agg_incremental_refreshes")
+	cntAggDirty      = perf.NewCounter("sched.agg_dirty_nodes")
+	cntAggFenUpdates = perf.NewCounter("sched.agg_fenwick_updates")
+	tmrAggRefresh    = perf.NewTimer("sched.agg_refresh")
 )
 
 // CELoad is the aggregated load information for one CE type in a region
@@ -29,6 +32,10 @@ type CELoad struct {
 
 func (a CELoad) add(b CELoad) CELoad {
 	return CELoad{a.SumRequiredCores + b.SumRequiredCores, a.SumCores + b.SumCores}
+}
+
+func (a CELoad) sub(b CELoad) CELoad {
+	return CELoad{a.SumRequiredCores - b.SumRequiredCores, a.SumCores - b.SumCores}
 }
 
 // DimAgg is the aggregate over the region beyond a node along one
@@ -47,51 +54,133 @@ func (d DimAgg) Load(t resource.CEType) CELoad {
 	return CELoad{}
 }
 
+// AggStats counts the aggregation plane's refresh work, so drivers and
+// the metrics plane can show the incremental path operating: how often
+// the table fell back to a full recompute, how many dirty nodes each
+// delta refresh consumed, and how many Fenwick node updates they cost.
+type AggStats struct {
+	Refreshes      int64 // Refresh + RefreshFull calls
+	FullRebuilds   int64 // refreshes that recomputed every node (first use, churn, all-dirty)
+	IncRefreshes   int64 // refreshes served by the delta path
+	DirtyDrained   int64 // cumulative dirty-node notifications processed
+	FenwickUpdates int64 // cumulative Fenwick tree-node updates applied
+	LastDirty      int   // dirty nodes consumed by the most recent refresh
+}
+
 // AggTable holds, for every node and dimension, the aggregated load
 // information over the outer region. In the real system this data rides
 // on heartbeats, one hop per period; the simulator recomputes it exactly
 // on the heartbeat cadence, which preserves the staleness the paper's
 // scheme lives with (decisions between refreshes use old data).
 //
-// All per-refresh storage lives in flat backing arrays owned by the
-// table and reused across refreshes, so a steady-state Refresh is
-// allocation-free; the per-dimension sort orders are additionally cached
-// against the overlay's membership version, so they are only recomputed
-// after churn. The aggregated sums are exact (integer-valued float64s),
-// which makes them independent of summation order — reordering tied
-// zone coordinates cannot perturb a single output bit.
+// The table is maintained incrementally (delta-propagating, in the
+// spirit of diffusion-based schedulers): the cluster records which
+// nodes had a job start, finish or queue change since the last refresh
+// (exec.Cluster.DrainDirty), and a steady-state Refresh applies only
+// those nodes' load deltas as point updates to per-dimension Fenwick
+// (binary-indexed) trees over the cached sorted orders — O(k·d·log n)
+// for k dirty nodes instead of the former O(n·d) sweep. The sorted
+// orders themselves are keyed on the overlay's membership version and
+// rebuilt only after churn, at which point the table falls back to a
+// full recompute so correctness never depends on the dirty set
+// surviving membership changes.
+//
+// Per-(node, dimension) results are materialized lazily: Refresh bumps
+// an epoch, and At fills a row from the Fenwick trees (one O(log n)
+// suffix query) the first time it is read in an epoch. The placement
+// walk touches a handful of rows per job, so reads keep their O(1)
+// amortized map-lookup profile and a steady-state refresh-plus-reads
+// cycle allocates nothing.
+//
+// All sums are exact: loads are integer-valued float64s, far below the
+// 2^53 exactness horizon, so every Fenwick tree node, every delta and
+// every total-minus-prefix difference is the exact integer it denotes.
+// The accumulation order therefore cannot perturb a single output bit,
+// and the incremental table is bit-identical to a from-scratch rebuild
+// (the differential tests assert both properties).
 type AggTable struct {
 	dims   int
 	ntypes int
-	agg    map[can.NodeID][]DimAgg
 
 	// Topology cache, valid while ov/version match the overlay.
 	ov      *can.Overlay
 	version uint64
-	nodes   []*can.Node // ov.Nodes() snapshot
-	order   [][]int     // per dim: node indexes sorted by (Zone.Lo[d], ID)
-	los     [][]float64 // per dim: the sorted zone starts
+	nodes   []*can.Node         // ov.Nodes() snapshot
+	order   [][]int             // per dim: node indexes sorted by (Zone.Lo[d], ID)
+	los     [][]float64         // per dim: the sorted zone starts
+	idx     map[can.NodeID]int32 // node ID → index into nodes
+	pos     []int32             // dims×n: sorted position of node i along d at [d*n+i]
+	cut     []int32             // n×dims: first sorted position at/past node i's zone end
 
-	// Flat per-refresh buffers.
-	loads   []CELoad // n×ntypes per-node loads
-	suf     []CELoad // dims×(n+1)×ntypes suffix sums; DimAgg.ByType points here
-	dimAggs []DimAgg // n×dims backing for the map values
+	// Load state, incrementally maintained between full rebuilds.
+	loads []CELoad // n×ntypes current per-node loads
+	tot   []CELoad // ntypes grid-wide totals
+	fen   []CELoad // dims×(n+1)×ntypes Fenwick trees (1-indexed; entry 0 unused)
+
+	// Lazily materialized results. dimAggs[r].ByType points into the
+	// byTypes backing; rowEpoch[r] says which epoch filled it.
+	epoch    uint64
+	rowEpoch []uint64 // n×dims
+	dimAggs  []DimAgg // n×dims
+	byTypes  []CELoad // n×dims×ntypes
+
+	onDirty func(can.NodeID) // applyDirty, bound once so Refresh allocates no closure
+	cl      *exec.Cluster    // the cluster being drained, valid during Refresh only
+	changed bool             // a drained delta was nonzero (epoch must advance)
+
+	stats AggStats
 }
 
 // NewAggTable creates an empty table for a d-dimensional CAN with CE
 // types 0..gpuSlots.
 func NewAggTable(dims int, gpuSlots int) *AggTable {
-	return &AggTable{dims: dims, ntypes: gpuSlots + 1, agg: make(map[can.NodeID][]DimAgg)}
+	a := &AggTable{dims: dims, ntypes: gpuSlots + 1, idx: make(map[can.NodeID]int32)}
+	a.onDirty = a.applyDirty
+	return a
 }
 
+// Stats returns cumulative refresh-cost counters (see AggStats).
+func (a *AggTable) Stats() AggStats { return a.stats }
+
 // At returns the aggregate beyond node id along dim. Missing entries
-// (before the first refresh) return an empty aggregate. The returned
-// aggregate is valid until the next Refresh, which reuses its storage.
+// (before the first refresh, or for departed nodes) return an empty
+// aggregate.
+//
+// Aliasing contract: the returned DimAgg.ByType aliases table-owned
+// storage that the next Refresh invalidates — the same backing row is
+// refilled in place, so a retained DimAgg silently starts showing the
+// new epoch's values. Callers must consume the row (or copy it) before
+// the next refresh; TestAggAtAliasing pins this contract.
 func (a *AggTable) At(id can.NodeID, dim int) DimAgg {
-	if rows := a.agg[id]; rows != nil && dim < len(rows) {
-		return rows[dim]
+	i, ok := a.idx[id]
+	if !ok || dim < 0 || dim >= a.dims {
+		return DimAgg{}
 	}
-	return DimAgg{}
+	r := int(i)*a.dims + dim
+	if a.rowEpoch[r] != a.epoch {
+		a.fillRow(r, dim)
+	}
+	return a.dimAggs[r]
+}
+
+// fillRow materializes one (node, dim) aggregate from the Fenwick tree:
+// the region's load is the grid total minus the prefix before the
+// node's cut position. Totals, tree nodes and the subtraction chain are
+// all exact integers, so the result equals a direct suffix sum bit for
+// bit.
+func (a *AggTable) fillRow(r, dim int) {
+	n := len(a.nodes)
+	nt := a.ntypes
+	row := a.byTypes[r*nt : (r+1)*nt]
+	copy(row, a.tot)
+	fen := a.fen[dim*(n+1)*nt:]
+	for p := int(a.cut[r]); p > 0; p &= p - 1 {
+		node := fen[p*nt : (p+1)*nt]
+		for t := 0; t < nt; t++ {
+			row[t] = row[t].sub(node[t])
+		}
+	}
+	a.rowEpoch[r] = a.epoch
 }
 
 // grow returns s resized to n elements, reusing its backing array when
@@ -103,10 +192,14 @@ func grow[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-// rebuildTopology re-sorts the per-dimension orders after churn. Ties on
-// the (tie-prone, float-valued) zone starts break by node ID, the same
-// discipline as can/bounded.go, so the permutation is a pure function of
-// the overlay state rather than of sort.Slice's unstable internals.
+// rebuildTopology re-sorts the per-dimension orders after churn and
+// derives everything that depends on membership alone: the id→index
+// map, each node's sorted position per dimension, the region cut
+// positions (zone.Lo[d] ≥ zone.Hi[d] boundaries) and the per-row result
+// backing with its topology-determined Nodes counts. Ties on the
+// (tie-prone, float-valued) zone starts break by node ID, the same
+// discipline as can/bounded.go, so the permutation is a pure function
+// of the overlay state rather than of sort.Slice's unstable internals.
 func (a *AggTable) rebuildTopology(ov *can.Overlay) {
 	cntAggRebuild.Inc()
 	a.ov, a.version = ov, ov.Version()
@@ -117,6 +210,11 @@ func (a *AggTable) rebuildTopology(ov *can.Overlay) {
 		a.order = make([][]int, a.dims)
 		a.los = make([][]float64, a.dims)
 	}
+	clear(a.idx)
+	for i, nd := range nodes {
+		a.idx[nd.ID] = int32(i)
+	}
+	a.pos = grow(a.pos, a.dims*n)
 	for d := 0; d < a.dims; d++ {
 		idx := grow(a.order[d], n)
 		for i := range idx {
@@ -130,31 +228,44 @@ func (a *AggTable) rebuildTopology(ov *can.Overlay) {
 			return nodes[idx[x]].ID < nodes[idx[y]].ID
 		})
 		los := grow(a.los[d], n)
-		for i := range los {
-			los[i] = nodes[idx[i]].Zone.Lo[d]
+		pos := a.pos[d*n : (d+1)*n]
+		for p, i := range idx {
+			los[p] = nodes[i].Zone.Lo[d]
+			pos[i] = int32(p)
 		}
 		a.order[d], a.los[d] = idx, los
 	}
+
+	a.cut = grow(a.cut, n*a.dims)
+	a.rowEpoch = grow(a.rowEpoch, n*a.dims)
+	a.dimAggs = grow(a.dimAggs, n*a.dims)
+	a.byTypes = grow(a.byTypes, n*a.dims*a.ntypes)
+	for i, nd := range nodes {
+		for d := 0; d < a.dims; d++ {
+			r := i*a.dims + d
+			c := sort.SearchFloat64s(a.los[d], nd.Zone.Hi[d])
+			a.cut[r] = int32(c)
+			a.dimAggs[r] = DimAgg{Nodes: n - c, ByType: a.byTypes[r*a.ntypes : (r+1)*a.ntypes]}
+		}
+	}
+	// rowEpoch entries (reused or zeroed) all predate the epoch bump in
+	// rebuildLoads, so every row reads as stale afterwards.
 }
 
-// Refresh recomputes the table: for each dimension D, the region beyond
-// node N is the set of nodes whose zone starts at or past N's zone end
-// (zone.Lo[D] ≥ N.zone.Hi[D]) — the nodes reachable by pushing further
-// out along D. Computed with suffix sums over the cached sorted orders:
-// O(d·n) per refresh between churn events, O(d·n log n) after churn.
-func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
-	defer tmrAggRefresh.Start()()
-	cntAggRefresh.Inc()
-	if a.ov != ov || a.version != ov.Version() {
-		a.rebuildTopology(ov)
-	}
+// rebuildLoads recomputes every node's load, the grid totals and the
+// per-dimension Fenwick trees from scratch against the cached topology,
+// then advances the epoch. O(n·d) — the fallback for first use, churn
+// and a non-enumerable dirty set.
+func (a *AggTable) rebuildLoads(cl *exec.Cluster) {
 	nodes := a.nodes
 	n := len(nodes)
 	nt := a.ntypes
 
-	// Per-node loads, gathered once into the flat buffer. The row for
-	// node index i is loads[i·nt : (i+1)·nt], indexed by CE type.
 	a.loads = grow(a.loads, n*nt)
+	a.tot = grow(a.tot, nt)
+	for t := range a.tot {
+		a.tot[t] = CELoad{}
+	}
 	for i, nd := range nodes {
 		row := a.loads[i*nt : (i+1)*nt]
 		for t := range row {
@@ -167,38 +278,138 @@ func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
 				}
 			}
 		}
-	}
-
-	// Rebind the map values to the (reused) result backing array.
-	a.dimAggs = grow(a.dimAggs, n*a.dims)
-	clear(a.agg)
-	for i, nd := range nodes {
-		a.agg[nd.ID] = a.dimAggs[i*a.dims : (i+1)*a.dims]
-	}
-
-	a.suf = grow(a.suf, a.dims*(n+1)*nt)
-	for d := 0; d < a.dims; d++ {
-		order, los := a.order[d], a.los[d]
-		// Suffix sums over the sorted order: row i aggregates sorted
-		// positions i..n-1; row n is the zero sentinel.
-		suf := a.suf[d*(n+1)*nt : (d+1)*(n+1)*nt]
-		top := suf[n*nt:]
-		for t := range top {
-			top[t] = CELoad{}
+		for t := 0; t < nt; t++ {
+			a.tot[t] = a.tot[t].add(row[t])
 		}
-		for i := n - 1; i >= 0; i-- {
-			row := suf[i*nt : (i+1)*nt]
-			next := suf[(i+1)*nt : (i+2)*nt]
-			load := a.loads[order[i]*nt : (order[i]+1)*nt]
-			for t := 0; t < nt; t++ {
-				row[t] = next[t].add(load[t])
+	}
+
+	// Linear Fenwick construction per dimension: seed each tree node
+	// with its position's load, then fold every node into its parent.
+	a.fen = grow(a.fen, a.dims*(n+1)*nt)
+	for d := 0; d < a.dims; d++ {
+		fen := a.fen[d*(n+1)*nt : (d+1)*(n+1)*nt]
+		for t := 0; t < nt; t++ {
+			fen[t] = CELoad{}
+		}
+		order := a.order[d]
+		for p := 1; p <= n; p++ {
+			i := order[p-1]
+			copy(fen[p*nt:(p+1)*nt], a.loads[i*nt:(i+1)*nt])
+		}
+		for p := 1; p <= n; p++ {
+			if q := p + p&-p; q <= n {
+				fq := fen[q*nt : (q+1)*nt]
+				fp := fen[p*nt : (p+1)*nt]
+				for t := 0; t < nt; t++ {
+					fq[t] = fq[t].add(fp[t])
+				}
 			}
 		}
-		for i, nd := range nodes {
-			pos := sort.SearchFloat64s(los, nd.Zone.Hi[d])
-			a.dimAggs[i*a.dims+d] = DimAgg{Nodes: n - pos, ByType: suf[pos*nt : (pos+1)*nt]}
-		}
 	}
+	a.epoch++
+}
+
+// applyDirty folds one drained node's load change into the table: the
+// delta against the stored load goes to the totals and, per dimension,
+// to the Fenwick tree at the node's sorted position — O(d·log n) per
+// changed node, nothing at all when the net change is zero.
+func (a *AggTable) applyDirty(id can.NodeID) {
+	a.stats.LastDirty++
+	a.stats.DirtyDrained++
+	cntAggDirty.Inc()
+	i, ok := a.idx[id]
+	if !ok {
+		// Not in the cached snapshot: either removed from the cluster
+		// ahead of an overlay change (the coming version bump forces a
+		// full rebuild) or never part of the overlay.
+		return
+	}
+	n := len(a.nodes)
+	nt := a.ntypes
+	row := a.loads[int(i)*nt : (int(i)+1)*nt]
+	rt := a.cl.Runtime(id)
+	for t := 0; t < nt; t++ {
+		var nl CELoad
+		if rt != nil {
+			if req, cores, ok := rt.DemandOn(resource.CEType(t)); ok {
+				nl = CELoad{SumRequiredCores: float64(req), SumCores: float64(cores)}
+			}
+		}
+		if nl == row[t] {
+			continue
+		}
+		d := nl.sub(row[t])
+		row[t] = nl
+		a.tot[t] = a.tot[t].add(d)
+		for dim := 0; dim < a.dims; dim++ {
+			fen := a.fen[dim*(n+1)*nt:]
+			for p := int(a.pos[dim*n+int(i)]) + 1; p <= n; p += p & -p {
+				fen[p*nt+t] = fen[p*nt+t].add(d)
+				a.stats.FenwickUpdates++
+				cntAggFenUpdates.Inc()
+			}
+		}
+		a.changed = true
+	}
+}
+
+// Refresh brings the table up to date: for each dimension D, the region
+// beyond node N is the set of nodes whose zone starts at or past N's
+// zone end (zone.Lo[D] ≥ N.zone.Hi[D]) — the nodes reachable by pushing
+// further out along D.
+//
+// Between churn events the refresh is incremental: it drains the
+// cluster's dirty set and point-updates the Fenwick trees, O(k·d·log n)
+// for k dirty nodes. On a membership version change — or when the dirty
+// set is not enumerable — it falls back to the full O(d·n) rebuild
+// (plus O(d·n·log n) re-sorting after churn). Refresh is the dirty
+// set's single consumer; a second table over the same cluster must use
+// RefreshFull.
+func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
+	defer tmrAggRefresh.Start()()
+	cntAggRefresh.Inc()
+	a.stats.Refreshes++
+	a.stats.LastDirty = 0
+	if a.ov != ov || a.version != ov.Version() {
+		a.rebuildTopology(ov)
+		a.rebuildLoads(cl)
+		a.stats.FullRebuilds++
+		return
+	}
+	a.cl = cl
+	a.changed = false
+	enumerable := cl.DrainDirty(a.onDirty)
+	a.cl = nil
+	if !enumerable {
+		a.rebuildLoads(cl)
+		a.stats.FullRebuilds++
+		return
+	}
+	a.stats.IncRefreshes++
+	cntAggInc.Inc()
+	if a.changed {
+		// Invalidate materialized rows; At refills on demand. When every
+		// delta was net zero the old rows are still exact, so the epoch
+		// (and with it the whole read cache) is left alone.
+		a.epoch++
+	}
+}
+
+// RefreshFull recomputes the table entirely from current cluster state,
+// ignoring — and never consuming — the dirty set. It is the reference
+// path the differential tests compare the incremental table against,
+// and the safe choice for any additional table sharing a cluster whose
+// dirty channel is already claimed.
+func (a *AggTable) RefreshFull(ov *can.Overlay, cl *exec.Cluster) {
+	defer tmrAggRefresh.Start()()
+	cntAggRefresh.Inc()
+	a.stats.Refreshes++
+	a.stats.LastDirty = 0
+	if a.ov != ov || a.version != ov.Version() {
+		a.rebuildTopology(ov)
+	}
+	a.rebuildLoads(cl)
+	a.stats.FullRebuilds++
 }
 
 // Objective evaluates Equation 3 for the region beyond node id along

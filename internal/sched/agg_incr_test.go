@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sim"
+)
+
+// exactInt fails the test when v is not an exact integer — the property
+// the whole incremental design leans on: integer-valued float64 sums
+// make Fenwick accumulation order incapable of perturbing output bits.
+func exactInt(tb testing.TB, what string, v float64) {
+	tb.Helper()
+	if math.Trunc(v) != v {
+		tb.Fatalf("%s = %v is not an exact integer", what, v)
+	}
+}
+
+// compareAggTables asserts the incrementally maintained table equals
+// the from-scratch reference bit for bit, for every node and dimension.
+func compareAggTables(tb testing.TB, ov *can.Overlay, inc, ref *AggTable, dims int) {
+	tb.Helper()
+	for _, nd := range ov.Nodes() {
+		for d := 0; d < dims; d++ {
+			gi, gr := inc.At(nd.ID, d), ref.At(nd.ID, d)
+			if gi.Nodes != gr.Nodes {
+				tb.Fatalf("node %d dim %d: Nodes = %d, want %d", nd.ID, d, gi.Nodes, gr.Nodes)
+			}
+			if len(gi.ByType) != len(gr.ByType) {
+				tb.Fatalf("node %d dim %d: %d types, want %d", nd.ID, d, len(gi.ByType), len(gr.ByType))
+			}
+			for t := range gi.ByType {
+				if gi.ByType[t] != gr.ByType[t] {
+					tb.Fatalf("node %d dim %d type %d: incremental %+v, full %+v",
+						nd.ID, d, t, gi.ByType[t], gr.ByType[t])
+				}
+				exactInt(tb, "SumRequiredCores", gi.ByType[t].SumRequiredCores)
+				exactInt(tb, "SumCores", gi.ByType[t].SumCores)
+			}
+		}
+	}
+}
+
+// runAggScript interprets a byte script as an interleaving of job
+// submissions, time advances (job finishes), departures and joins on a
+// small grid, refreshing an incremental table and a full-recompute
+// reference after every operation and asserting exact equality — the
+// Validate()-after-mutation discipline applied to the aggregation
+// plane. The same interpreter backs the differential test (random
+// scripts) and the fuzz target (adversarial scripts).
+func runAggScript(tb testing.TB, data []byte) {
+	const dims = 2
+	eng := sim.New()
+	ov := can.NewOverlay(dims)
+	cl := exec.NewCluster(eng, exec.DefaultConfig())
+	for i := 0; i < 9; i++ {
+		caps := &resource.NodeCaps{
+			CEs:  []resource.CE{{Type: resource.TypeCPU, Clock: 1, Cores: 1 + i%4}},
+			Disk: 100,
+		}
+		p := geom.Point{(float64(i%3) + 0.5) / 3, (float64(i/3) + 0.5) / 3}
+		n, err := ov.Join(p, caps)
+		if err != nil {
+			tb.Fatalf("seed join %v: %v", p, err)
+		}
+		cl.AddNode(n.ID, caps)
+	}
+
+	inc := NewAggTable(dims, 0)
+	ref := NewAggTable(dims, 0)
+	nextJob := exec.JobID(1)
+	for k, op := range data {
+		nodes := ov.Nodes()
+		switch op % 4 {
+		case 0: // submit a job somewhere (may exceed the node: skipped)
+			j := &exec.Job{
+				ID:           nextJob,
+				Req:          cpuReq(1 + int(op>>4)%3),
+				Dominant:     resource.TypeCPU,
+				BaseDuration: sim.Duration(1+int(op>>2)%8) * 10 * sim.Second,
+			}
+			if err := cl.Submit(j, nodes[int(op>>2)%len(nodes)].ID); err == nil {
+				nextJob++
+			}
+		case 1: // let time pass: running jobs finish, queues drain
+			eng.RunUntil(eng.Now().Add(sim.Duration(1+int(op>>2)) * 5 * sim.Second))
+		case 2: // departure (keep a minimum population)
+			if len(nodes) > 4 {
+				victim := nodes[int(op>>2)%len(nodes)].ID
+				if _, err := ov.Leave(victim); err == nil {
+					cl.RemoveNode(victim) // orphans dropped: load must vanish
+				}
+			}
+		case 3: // join at a script-chosen point
+			caps := &resource.NodeCaps{
+				CEs:  []resource.CE{{Type: resource.TypeCPU, Clock: 1, Cores: 1 + k%4}},
+				Disk: 100,
+			}
+			p := geom.Point{
+				(float64(op>>2&7) + 0.37) / 8,
+				(float64(op>>5&7) + 0.61) / 8,
+			}
+			if n, err := ov.Join(p, caps); err == nil {
+				cl.AddNode(n.ID, caps)
+			}
+		}
+		inc.Refresh(ov, cl)
+		ref.RefreshFull(ov, cl)
+		compareAggTables(tb, ov, inc, ref, dims)
+	}
+}
+
+// TestAggIncrementalDifferential drives randomized interleavings of job
+// start/finish and join/leave events through the script interpreter:
+// after every step the incremental table must equal a from-scratch
+// recompute exactly.
+func TestAggIncrementalDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r := rng.NewSplit(seed, "agg-differential")
+		data := make([]byte, 160)
+		for i := range data {
+			data[i] = byte(r.Intn(256))
+		}
+		runAggScript(t, data)
+	}
+}
+
+// FuzzAggIncremental lets the fuzzer search for an operation
+// interleaving where the incremental table diverges from the full
+// recompute. Seed corpus in testdata/fuzz/FuzzAggIncremental.
+func FuzzAggIncremental(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x0e, 0x93, 0x27, 0xfc, 0x58, 0x05, 0xb2, 0x6a, 0x11, 0xd7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		runAggScript(t, data)
+	})
+}
+
+// TestAggAtAliasing pins the documented At aliasing contract: the
+// returned DimAgg.ByType aliases table-owned storage, so the next
+// Refresh clobbers a retained row in place. A caller holding a row
+// across refreshes observes the new epoch's values, not a snapshot.
+func TestAggAtAliasing(t *testing.T) {
+	ov, cl, _ := buildTiedGrid(t, 2, 3)
+	agg := NewAggTable(2, 0)
+	agg.Refresh(ov, cl)
+
+	// Find an (observer, target) pair where the target sits in the
+	// observer's outer region along dim 0, so loading the target moves
+	// the observer's aggregate.
+	var obs, tgt can.NodeID
+	nodes := ov.Nodes()
+search:
+	for _, o := range nodes {
+		for _, c := range nodes {
+			if c.Zone.Lo[0] >= o.Zone.Hi[0] {
+				obs, tgt = o.ID, c.ID
+				break search
+			}
+		}
+	}
+	if obs == tgt {
+		t.Fatal("lattice yielded no observer/target pair")
+	}
+
+	row := agg.At(obs, 0)
+	if row.ByType == nil {
+		t.Fatal("observer row not materialized")
+	}
+	before := row.Load(0)
+
+	j := &exec.Job{ID: 1, Req: cpuReq(1), Dominant: resource.TypeCPU, BaseDuration: 1000 * sim.Second}
+	if err := cl.Submit(j, tgt); err != nil {
+		t.Fatal(err)
+	}
+	agg.Refresh(ov, cl)
+	fresh := agg.At(obs, 0)
+
+	if &row.ByType[0] != &fresh.ByType[0] {
+		t.Fatalf("At no longer aliases table storage across Refresh — update the documented contract")
+	}
+	if row.Load(0) == before {
+		t.Fatalf("retained row survived Refresh unchanged (%+v); aliasing contract expects in-place clobber", before)
+	}
+	if fresh.Load(0).SumRequiredCores != before.SumRequiredCores+1 {
+		t.Fatalf("aggregate did not absorb the new job: %+v -> %+v", before, fresh.Load(0))
+	}
+}
