@@ -507,8 +507,10 @@ func BenchmarkAggRefresh(b *testing.B) {
 //	  nothing (b.ReportAllocs).
 //	alldirty — the full O(n·d) load rebuild at identical size: the
 //	  pre-incremental baseline the speedup is measured against.
-//	churn — a refresh right after a leave+join pair, paying the
-//	  membership re-sort plus the full rebuild (the fallback path).
+//	churn — a refresh right after a leave+join pair: a two-event
+//	  journal splice plus the linear Fenwick reconstruction (the
+//	  membership-delta path; BenchmarkChurnStorm measures it against
+//	  the full-rebuild baseline it replaced).
 func BenchmarkAggRefreshIncremental(b *testing.B) {
 	const (
 		dims = 4
@@ -604,6 +606,120 @@ func BenchmarkAggRefreshIncremental(b *testing.B) {
 			agg.Refresh(ov, cl)
 		}
 	})
+}
+
+// benchChurnStorm measures what one sustained-churn round costs the
+// aggregation plane at population n: every iteration departs one node
+// and admits another (two overlay versions), then brings a table up to
+// date. The incremental sub-bench takes the journal-splice path —
+// O(d·log n) search plus tail memmove per event and one linear Fenwick
+// reconstruction — while fullrebuild pays the per-dimension re-sort
+// plus load sweep the splice replaced. The mutation itself runs outside
+// the timer, so the two sub-benches compare exactly the refresh cost.
+func benchChurnStorm(b *testing.B, n int) {
+	const dims = 4
+	eng := sim.New()
+	ov := can.NewOverlay(dims)
+	cl := exec.NewCluster(eng, exec.DefaultConfig())
+	pts := rng.New(11)
+	randomPt := func() geom.Point {
+		p := make(geom.Point, dims)
+		for d := range p {
+			p[d] = pts.Float64() * 0.999999
+		}
+		return p
+	}
+	newCaps := func(i int) *resource.NodeCaps {
+		return &resource.NodeCaps{CEs: []resource.CE{{Type: resource.TypeCPU, Clock: 1, Cores: 1 + i%4}}}
+	}
+	for i := 0; i < n; i++ {
+		caps := newCaps(i)
+		nd, err := ov.Join(randomPt(), caps)
+		for err != nil {
+			nd, err = ov.Join(randomPt(), caps)
+		}
+		cl.AddNode(nd.ID, caps)
+	}
+	churnRound := func(i int) {
+		nodes := ov.Nodes()
+		victim := nodes[pts.Intn(len(nodes))]
+		cl.RemoveNode(victim.ID)
+		if _, err := ov.Leave(victim.ID); err != nil {
+			b.Fatal(err)
+		}
+		caps := newCaps(i)
+		nd, err := ov.Join(randomPt(), caps)
+		for err != nil {
+			nd, err = ov.Join(randomPt(), caps)
+		}
+		cl.AddNode(nd.ID, caps)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		agg := sched.NewAggTable(dims, 0)
+		agg.Refresh(ov, cl)
+		agg.Refresh(ov, cl)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnRound(i)
+			b.StartTimer()
+			agg.Refresh(ov, cl)
+		}
+		b.StopTimer()
+		if st := agg.Stats(); st.ChurnRefreshes < int64(b.N) {
+			b.Fatalf("only %d of %d refreshes took the splice path", st.ChurnRefreshes, b.N)
+		}
+	})
+	b.Run("fullrebuild", func(b *testing.B) {
+		agg := sched.NewAggTable(dims, 0)
+		agg.RefreshFull(ov, cl)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnRound(i)
+			b.StartTimer()
+			agg.RefreshFull(ov, cl)
+		}
+	})
+}
+
+// BenchmarkChurnStorm is the gated steady-churn benchmark at the
+// 10,000-node population (d = 4): the acceptance bar is incremental ≥
+// 10× faster than fullrebuild per churn round.
+func BenchmarkChurnStorm(b *testing.B) {
+	benchChurnStorm(b, 10000)
+}
+
+// BenchmarkChurnStormXXL repeats the churn-storm comparison at the
+// 100,000-node ScaleXXL population. Run via `make bench-xxl`; at this
+// size the full-rebuild baseline is two decimal orders slower than the
+// splice, so the benchmark is ungated and excluded from the default
+// `make bench` wall-clock budget.
+func BenchmarkChurnStormXXL(b *testing.B) {
+	benchChurnStorm(b, experiments.ScaleXXLNodes)
+}
+
+// BenchmarkScaleXXLLoadBalance runs the 100,000-node ScaleXXL
+// configuration end to end with a reduced job count: the CI smoke
+// proving that a six-figure grid — join storm, placement walks,
+// incremental aggregation and candidate indexes — completes inside the
+// bench-xxl timeout. One iteration is a full run.
+func BenchmarkScaleXXLLoadBalance(b *testing.B) {
+	cfg := experiments.ScaleXXLLBConfig(experiments.CanHet)
+	cfg.Jobs = 2000
+	var wait float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunLoadBalance(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait = res.WaitTimes.Mean()
+	}
+	b.ReportMetric(wait, "wait-s")
+	reportJobsPerSec(b, cfg.Jobs)
 }
 
 // BenchmarkWorkloadGen measures job-stream generation.

@@ -126,10 +126,16 @@ func main() {
 }
 
 // gateMinNs is the baseline floor below which the gate ignores an
-// entry: sub-microsecond benchmarks jitter by tens of percent from
-// scheduling noise alone, and gating them would make CI flaky without
-// protecting anything that matters.
-const gateMinNs = 1000.0
+// entry: low-microsecond benchmarks jitter by tens of percent from
+// scheduling noise alone, and drift by as much across sessions — the
+// same binary has measured the same ~1.5 µs placement entry 50% apart
+// in two container sessions (host frequency/turbo state) while its
+// 20 µs+ siblings moved single-digit percent, so the fleet-median
+// drift correction cannot rescue them. Gating them would make CI
+// flaky without protecting anything that matters: the property such
+// hot paths actually promise — zero allocations — is gated absolutely
+// below.
+const gateMinNs = 2500.0
 
 // gateRegressions lists the entries whose ns/op or allocs/op regressed
 // more than pct percent against their embedded baseline. Entries

@@ -57,6 +57,9 @@ func TestGateNoiseFloorAndNoBaseline(t *testing.T) {
 	doc := &Doc{Entries: []Entry{
 		// Below gateMinNs: ns regression ignored.
 		entry("TinyOp", 900, 2, 500, 2),
+		// Low-microsecond baselines sit below the floor too — their
+		// session-to-session drift swamps any honest ns/op signal.
+		entry("MicroOp", 2400, 2, 1600, 2),
 		// No baseline at all: passes.
 		{Name: "BrandNew", NsOp: 5e6, AllocsOp: 100},
 	}}

@@ -55,9 +55,12 @@ func TestOutwardViewSemantics(t *testing.T) {
 	}
 }
 
-// TestNodesSnapshotSharing checks that Nodes() returns the same backing
-// snapshot while the version is unchanged, and a freshly allocated one
-// after churn — old snapshots held by callers must stay intact.
+// TestNodesSnapshotSharing pins the delta-maintained snapshot contract:
+// Nodes() returns the same backing slice while the version is
+// unchanged; a join appends to the shared backing (so a previously
+// returned slice header still shows its old, unmutated prefix); a leave
+// splices the shared backing in place, so slices held across a leave go
+// stale and callers must re-fetch once Version() moves.
 func TestNodesSnapshotSharing(t *testing.T) {
 	o := buildOverlay(t, 3, 20, 13)
 	a := o.Nodes()
@@ -73,9 +76,37 @@ func TestNodesSnapshotSharing(t *testing.T) {
 	if len(c) != len(a)+1 {
 		t.Fatalf("snapshot has %d nodes after join, want %d", len(c), len(a)+1)
 	}
+	// Joins append: the pre-join slice header still sees its old
+	// contents (the shared prefix is untouched).
 	for i := range held {
 		if a[i] != held[i] {
 			t.Fatalf("old snapshot mutated at index %d after join", i)
+		}
+	}
+	// The post-join snapshot shares the same backing array, maintained by
+	// delta rather than rebuilt.
+	if &c[0] != &a[0] && cap(a) > len(a) {
+		t.Fatal("join reallocated the snapshot despite spare capacity")
+	}
+	// Leaves splice in place: the shared backing mutates, and a fresh
+	// fetch sees the departed node gone with ID order preserved.
+	victim := c[len(c)/2].ID
+	if _, err := o.Leave(victim); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	d := o.Nodes()
+	if len(d) != len(c)-1 {
+		t.Fatalf("snapshot has %d nodes after leave, want %d", len(d), len(c)-1)
+	}
+	if &d[0] != &c[0] {
+		t.Fatal("leave reallocated the snapshot instead of splicing in place")
+	}
+	for i, n := range d {
+		if n.ID == victim {
+			t.Fatalf("departed node %d still in snapshot", victim)
+		}
+		if i > 0 && d[i-1].ID >= n.ID {
+			t.Fatalf("snapshot order broken at index %d after splice", i)
 		}
 	}
 }

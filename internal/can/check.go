@@ -69,6 +69,12 @@ func (o *Overlay) Validate() error {
 		}
 	}
 
+	// Direct (tree-independent) zone cover/disjointness over the live
+	// node set.
+	if err := o.CheckZoneCover(); err != nil {
+		return err
+	}
+
 	// Brute-force adjacency.
 	nodes := o.Nodes()
 	for i, a := range nodes {
@@ -88,26 +94,75 @@ func (o *Overlay) Validate() error {
 	return o.validateCaches()
 }
 
+// CheckSnapshot verifies the delta-maintained Nodes() snapshot against
+// the membership ground truth: when the snapshot is marked valid it
+// must be stamped with the current version and hold exactly the live
+// nodes in strictly ascending ID order. Those three properties pin the
+// slice bit-for-bit to what a from-scratch rebuild (map sweep + sort
+// by ID) would produce, since the sorted order of a fixed node set is
+// unique. Exported as a reusable oracle for property tests in other
+// packages; a stale (invalid) snapshot carries no claim.
+func (o *Overlay) CheckSnapshot() error {
+	if !o.snapValid {
+		return nil
+	}
+	if o.snapVersion != o.Version() {
+		return fmt.Errorf("snapshot marked valid at version %d, overlay at %d", o.snapVersion, o.Version())
+	}
+	if len(o.snap) != len(o.nodes) {
+		return fmt.Errorf("snapshot has %d nodes, overlay has %d", len(o.snap), len(o.nodes))
+	}
+	for i, n := range o.snap {
+		if i > 0 && o.snap[i-1].ID >= n.ID {
+			return fmt.Errorf("snapshot not strictly ID-sorted at index %d", i)
+		}
+		if o.nodes[n.ID] != n {
+			return fmt.Errorf("snapshot entry %d is not the live node", n.ID)
+		}
+	}
+	return nil
+}
+
+// CheckZoneCover verifies the space-partition invariant directly on the
+// live node set, independent of the split tree: the zones' volumes sum
+// to the unit volume (within float tolerance) and no two zones overlap.
+// O(n²); exported as a reusable oracle for churn property tests.
+func (o *Overlay) CheckZoneCover() error {
+	if len(o.nodes) == 0 {
+		return nil
+	}
+	nodes := o.Nodes()
+	total := 0.0
+	for _, n := range nodes {
+		total += n.Zone.Volume()
+	}
+	if total < 0.999999 || total > 1.000001 {
+		return fmt.Errorf("zone volumes sum to %v, want 1", total)
+	}
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			overlap := true
+			for d := 0; d < o.dims; d++ {
+				if a.Zone.Lo[d] >= b.Zone.Hi[d] || b.Zone.Lo[d] >= a.Zone.Hi[d] {
+					overlap = false
+					break
+				}
+			}
+			if overlap {
+				return fmt.Errorf("zones of nodes %d and %d overlap (%v / %v)", a.ID, b.ID, a.Zone, b.Zone)
+			}
+		}
+	}
+	return nil
+}
+
 // validateCaches cross-checks the version-keyed read caches against
 // brute-force recomputation: the shared membership snapshot, and every
 // cached per-node view that is currently marked valid (stale entries are
 // rebuilt lazily, so their contents carry no claim).
 func (o *Overlay) validateCaches() error {
-	if o.snapValid {
-		if o.snapVersion != o.Version() {
-			return fmt.Errorf("snapshot marked valid at version %d, overlay at %d", o.snapVersion, o.Version())
-		}
-		if len(o.snap) != len(o.nodes) {
-			return fmt.Errorf("snapshot has %d nodes, overlay has %d", len(o.snap), len(o.nodes))
-		}
-		for i, n := range o.snap {
-			if i > 0 && o.snap[i-1].ID >= n.ID {
-				return fmt.Errorf("snapshot not strictly ID-sorted at index %d", i)
-			}
-			if o.nodes[n.ID] != n {
-				return fmt.Errorf("snapshot entry %d is not the live node", n.ID)
-			}
-		}
+	if err := o.CheckSnapshot(); err != nil {
+		return err
 	}
 
 	for id, v := range o.views {

@@ -1,0 +1,311 @@
+package can
+
+import (
+	"sort"
+	"testing"
+
+	"hetgrid/internal/geom"
+	"hetgrid/internal/rng"
+)
+
+// TestSnapshotDeltaProperty drives random churn and, after every single
+// mutation, compares the delta-maintained Nodes() snapshot against a
+// from-scratch rebuild of the membership (map sweep + ID sort) and
+// checks the zone cover/disjointness invariants through the exported
+// oracles. This is the satellite property test for the append/splice
+// maintenance: a missed splice, a broken sort order or a stale pointer
+// shows up on the very next comparison.
+func TestSnapshotDeltaProperty(t *testing.T) {
+	const dims = 3
+	for _, seed := range []int64{11, 12, 13} {
+		o := NewOverlay(dims)
+		s := rng.New(seed)
+		var live []NodeID
+		// Materialize the snapshot up front so every subsequent churn
+		// event exercises the delta maintenance rather than the first
+		// lazy build.
+		_ = o.Nodes()
+		for step := 0; step < 200; step++ {
+			if len(live) < 2 || s.Float64() < 0.55 {
+				n, err := o.Join(randomPoint(s, dims), nil)
+				if err != nil {
+					continue
+				}
+				live = append(live, n.ID)
+			} else {
+				i := s.Intn(len(live))
+				id := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if _, err := o.Leave(id); err != nil {
+					t.Fatalf("seed %d step %d: leave(%d): %v", seed, step, id, err)
+				}
+			}
+			got := o.Nodes()
+			want := make([]*Node, 0, o.Len())
+			for _, n := range o.nodes {
+				want = append(want, n)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i].ID < want[j].ID })
+			if len(got) != len(want) {
+				t.Fatalf("seed %d step %d: snapshot has %d nodes, rebuild has %d", seed, step, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d step %d: snapshot[%d] = node %d, rebuild has %d",
+						seed, step, i, got[i].ID, want[i].ID)
+				}
+			}
+			if err := o.CheckSnapshot(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if err := o.CheckZoneCover(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+	}
+}
+
+// replayMembership folds a churn event into an id set, the way a
+// journal consumer tracks membership.
+func replayMembership(set map[NodeID]struct{}, ev ChurnEvent) {
+	if ev.Left != NoneID {
+		delete(set, ev.Left)
+	}
+	if ev.Joined != NoneID {
+		set[ev.Joined] = struct{}{}
+	}
+}
+
+// TestChurnJournalReplay checks that replaying ChurnSince deltas
+// reconstructs the live membership exactly, that every zone-changed
+// reference in an event pointed at a node alive immediately after that
+// event, and that the joined/left slots are mutually exclusive.
+func TestChurnJournalReplay(t *testing.T) {
+	const dims = 2
+	o := NewOverlay(dims)
+	s := rng.New(42)
+	have := make(map[NodeID]struct{})
+	synced := uint64(0)
+	var live []NodeID
+	for step := 0; step < 300; step++ {
+		if len(live) == 0 || s.Float64() < 0.55 {
+			if n, err := o.Join(randomPoint(s, dims), nil); err == nil {
+				live = append(live, n.ID)
+			}
+		} else {
+			i := s.Intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if _, err := o.Leave(id); err != nil {
+				t.Fatalf("step %d: leave(%d): %v", step, id, err)
+			}
+		}
+		if step%3 != 0 {
+			continue // let deltas batch up across several versions
+		}
+		ok := o.ChurnSince(synced, func(ev ChurnEvent) {
+			if ev.Joined != NoneID && ev.Left != NoneID {
+				t.Fatalf("event claims both a join (%d) and a leave (%d)", ev.Joined, ev.Left)
+			}
+			if ev.Joined == NoneID && ev.Left == NoneID {
+				t.Fatal("event with neither join nor leave")
+			}
+			replayMembership(have, ev)
+			for _, zid := range ev.ZoneChanged {
+				if zid == NoneID {
+					continue
+				}
+				if _, alive := have[zid]; !alive {
+					t.Fatalf("event reports zone change of node %d not in replayed membership", zid)
+				}
+			}
+		})
+		if !ok {
+			t.Fatalf("step %d: journal gap within %d-step window", step, 3)
+		}
+		synced = o.Version()
+		if len(have) != o.Len() {
+			t.Fatalf("step %d: replayed membership has %d nodes, overlay has %d", step, len(have), o.Len())
+		}
+		for _, n := range o.Nodes() {
+			if _, okm := have[n.ID]; !okm {
+				t.Fatalf("step %d: live node %d missing from replayed membership", step, n.ID)
+			}
+		}
+	}
+}
+
+// TestChurnJournalGap checks the all-or-nothing fallback contract: a
+// consumer further behind than the retained window gets false and no
+// callbacks; a consumer exactly at the current version gets a
+// successful no-op; a future version is rejected.
+func TestChurnJournalGap(t *testing.T) {
+	o := NewOverlay(2)
+	s := rng.New(7)
+	for i := 0; i < journalCap+50; i++ {
+		for try := 0; try < 4; try++ {
+			if _, err := o.Join(randomPoint(s, 2), nil); err == nil {
+				break
+			}
+		}
+	}
+	v := o.Version()
+	calls := 0
+	if o.ChurnSince(0, func(ChurnEvent) { calls++ }) {
+		t.Fatal("gap beyond the retained window reported success")
+	}
+	if calls != 0 {
+		t.Fatalf("failed ChurnSince invoked the callback %d times", calls)
+	}
+	if !o.ChurnSince(v, func(ChurnEvent) { calls++ }) || calls != 0 {
+		t.Fatal("ChurnSince at the current version must be a successful no-op")
+	}
+	if o.ChurnSince(v+1, func(ChurnEvent) {}) {
+		t.Fatal("ChurnSince from a future version reported success")
+	}
+	if !o.ChurnSince(v-5, func(ChurnEvent) { calls++ }) || calls != 5 {
+		t.Fatalf("in-window replay delivered %d events, want 5", calls)
+	}
+}
+
+// TestLeaveRootNeverSplit is the regression test for leaving nodes
+// whose leaf has no parent — the root/never-split geometry: a
+// single-node overlay empties, accepts a fresh join, and the journal
+// and snapshot stay coherent through the empty state.
+func TestLeaveRootNeverSplit(t *testing.T) {
+	o := NewOverlay(2)
+	_ = o.Nodes() // force delta maintenance from the start
+	n, err := o.Join(geom.Point{0.5, 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.leaf.parent != nil {
+		t.Fatal("single node's leaf must be the root")
+	}
+	plan, err := o.Leave(n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Taker != nil || plan.Merged != nil {
+		t.Fatalf("last-node leave returned a non-empty plan %+v", plan)
+	}
+	if len(o.Nodes()) != 0 {
+		t.Fatal("snapshot not empty after last leave")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Journal must carry the drain and the rebirth.
+	var events []ChurnEvent
+	if !o.ChurnSince(0, func(ev ChurnEvent) { events = append(events, ev) }) {
+		t.Fatal("journal gap after two events")
+	}
+	if len(events) != 2 || events[0].Joined != n.ID || events[1].Left != n.ID {
+		t.Fatalf("journal = %+v, want join then leave of node %d", events, n.ID)
+	}
+	m, err := o.Join(geom.Point{0.25, 0.75}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Nodes(); len(got) != 1 || got[0] != m {
+		t.Fatalf("snapshot after rebirth = %v", got)
+	}
+	if !m.Zone.Equal(geom.UnitZone(2)) {
+		t.Fatal("reborn overlay's first node must own the whole space")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaveDuringMergeChain drains a deep one-sided overlay node by
+// node. Chained point geometry keeps producing deepest-pair take-overs
+// (plan.Merged != nil), so consecutive leaves repeatedly hit the
+// merge-then-move path — including leaves of nodes that were themselves
+// just relocated by a previous merge — down through the two-node
+// direct-sibling case and the final root leave.
+func TestLeaveDuringMergeChain(t *testing.T) {
+	o := NewOverlay(2)
+	_ = o.Nodes()
+	pts := []geom.Point{
+		{0.05, 0.5}, {0.95, 0.5}, {0.55, 0.5}, {0.75, 0.5},
+		{0.65, 0.5}, {0.85, 0.5}, {0.60, 0.5}, {0.70, 0.5},
+	}
+	var ids []NodeID
+	for _, p := range pts {
+		n, err := o.Join(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, n.ID)
+	}
+	mergedLeaves := 0
+	// Leave shallowest-first (node 0 sits across the first split from
+	// everyone else), so take-overs keep coming from the deep chain.
+	for _, id := range ids {
+		predicted, hadPlan := o.Takeover(id)
+		plan, err := o.Leave(id)
+		if err != nil {
+			t.Fatalf("leave(%d): %v", id, err)
+		}
+		if hadPlan && (plan.Taker != predicted.Taker || plan.Merged != predicted.Merged) {
+			t.Fatalf("leave(%d) executed %+v, Takeover predicted %+v", id, plan, predicted)
+		}
+		if plan.Merged != nil {
+			mergedLeaves++
+			if plan.Merged == plan.Taker {
+				t.Fatalf("leave(%d): merge partner equals taker", id)
+			}
+			if o.Node(plan.Merged.ID) == nil || o.Node(plan.Taker.ID) == nil {
+				t.Fatalf("leave(%d): plan references departed nodes", id)
+			}
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("after leave(%d): %v", id, err)
+		}
+	}
+	if mergedLeaves == 0 {
+		t.Fatal("chain geometry produced no deepest-pair take-over; regression target unexercised")
+	}
+	if o.Len() != 0 {
+		t.Fatalf("%d nodes left after full drain", o.Len())
+	}
+}
+
+// TestTakeoverOfTakerAfterMerge pins the edge where the node departing
+// next is the taker that just moved in a deepest-pair take-over: its
+// leaf pointer was rewritten to the vacated leaf, and a stale pointer
+// would derail the second plan.
+func TestTakeoverOfTakerAfterMerge(t *testing.T) {
+	o := NewOverlay(2)
+	pts := []geom.Point{
+		{0.1, 0.5}, {0.9, 0.5}, {0.6, 0.5}, {0.75, 0.5},
+	}
+	var nodes []*Node
+	for _, p := range pts {
+		n, err := o.Join(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	plan, err := o.Leave(nodes[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Merged == nil {
+		t.Fatalf("geometry no longer yields a deepest-pair move: %+v", plan)
+	}
+	// Immediately remove the relocated taker.
+	if _, err := o.Leave(plan.Taker.ID); err != nil {
+		t.Fatalf("leave of relocated taker: %v", err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CheckZoneCover(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package can
+
+// Churn journal: a bounded ring of per-version membership deltas.
+//
+// Every Join and Leave advances Version() by exactly one and appends one
+// ChurnEvent describing what that version changed: which node appeared,
+// which disappeared, and which surviving nodes had their zones rewritten
+// by the split or take-over. Consumers that cache membership-derived
+// state (the aggregation table's per-dimension sorted orders, the
+// delta-maintained Nodes() snapshot's external mirrors) replay the
+// events since their last synchronized version and splice, instead of
+// rebuilding from scratch on every churn event.
+//
+// The ring holds the last journalCap events. ChurnSince is
+// all-or-nothing: when the caller's version gap exceeds the retained
+// window it reports false without invoking the callback, and the caller
+// falls back to its full rebuild — the same fallback that covers a
+// table seeing an overlay for the first time. Correctness therefore
+// never depends on the journal's capacity; only the cost of catching up
+// does.
+
+// NoneID marks an absent node reference in a ChurnEvent.
+const NoneID NodeID = -1
+
+// ChurnEvent is the membership delta of one overlay version step.
+// Unused slots hold NoneID.
+type ChurnEvent struct {
+	// Joined is the node admitted by this version (a Join), else NoneID.
+	Joined NodeID
+	// Left is the node removed by this version (a Leave), else NoneID.
+	Left NodeID
+	// ZoneChanged lists surviving nodes whose zone was rewritten: on a
+	// join, the owner whose zone was split; on a leave, the taker that
+	// assumed the vacated zone and, for a deepest-pair take-over, the
+	// merge partner that absorbed the taker's former zone.
+	ZoneChanged [2]NodeID
+}
+
+// journalCap bounds the retained churn window. Consumers that poll on
+// the heartbeat cadence see at most a few events per refresh; anything
+// slower than journalCap events behind is cheaper to rebuild anyway.
+const journalCap = 1024
+
+// recordChurn files the event for the version step that was just
+// completed (o.Version() already reflects it).
+func (o *Overlay) recordChurn(ev ChurnEvent) {
+	if o.journal == nil {
+		o.journal = make([]ChurnEvent, journalCap)
+	}
+	o.journal[(o.Version()-1)%journalCap] = ev
+}
+
+// ChurnSince replays, in version order, the membership deltas that
+// advanced the overlay from version `from` to the current version,
+// invoking fn once per event. It reports false — without calling fn at
+// all — when the gap exceeds the retained window (or `from` is from the
+// future), in which case the caller must rebuild from scratch. A call
+// with from == Version() is a successful no-op.
+func (o *Overlay) ChurnSince(from uint64, fn func(ChurnEvent)) bool {
+	v := o.Version()
+	if from > v || v-from > journalCap || (v-from > 0 && o.journal == nil) {
+		return false
+	}
+	for ver := from + 1; ver <= v; ver++ {
+		fn(o.journal[(ver-1)%journalCap])
+	}
+	return true
+}

@@ -104,11 +104,17 @@ type Overlay struct {
 
 	// Version-keyed read caches (cache.go): per-node neighbor/outward
 	// views, invalidated selectively by the rewire paths, and the shared
-	// membership snapshot served by Nodes().
+	// membership snapshot served by Nodes(). Once built, the snapshot is
+	// maintained by delta — appended on join, spliced on leave — so it
+	// never needs an O(n log n) rebuild (snapJoin/snapLeave).
 	views       map[NodeID]*nodeView
 	snap        []*Node
 	snapVersion uint64
 	snapValid   bool
+
+	// Churn journal (journal.go): ring of per-version membership deltas
+	// replayed by ChurnSince.
+	journal []ChurnEvent
 
 	// Counters for diagnostics.
 	joins, leaves, takeoverMoves int
@@ -145,16 +151,23 @@ func (o *Overlay) Node(id NodeID) *Node { return o.nodes[id] }
 
 // Nodes returns all live nodes sorted by ID as a shared, version-keyed
 // snapshot: repeated calls between churn events return the same slice
-// without allocating. The slice must not be modified. A snapshot stays
-// intact after churn (each version gets a fresh backing array), but it
-// then describes the older membership; callers that cache it should
-// revalidate against Version().
+// without allocating. The slice must not be modified, and it is only
+// guaranteed intact until the next Join or Leave: the snapshot is
+// maintained by delta — a join appends (IDs are assigned monotonically,
+// so the sort order is preserved and a previously returned prefix is
+// untouched), a leave splices the departed entry out of the shared
+// backing array in place. Callers that hold a snapshot across churn
+// must re-fetch it once Version() moves; the old slice header may then
+// show shifted or truncated contents. This trades the former
+// fresh-array-per-version guarantee for O(1)/O(n) allocation-free
+// maintenance instead of an O(n log n) rebuild per churn event — every
+// in-tree consumer either re-fetches per use or revalidates against
+// Version() (the ID order itself is load-bearing: scheduler entry-point
+// and churn-victim draws index this slice with seeded RNG streams).
 func (o *Overlay) Nodes() []*Node {
 	if o.snapValid && o.snapVersion == o.Version() {
 		return o.snap
 	}
-	// Allocate fresh rather than reuse the old backing array: callers
-	// may still hold the previous snapshot.
 	ns := make([]*Node, 0, len(o.nodes))
 	for _, n := range o.nodes {
 		ns = append(ns, n)
@@ -162,6 +175,38 @@ func (o *Overlay) Nodes() []*Node {
 	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
 	o.snap, o.snapVersion, o.snapValid = ns, o.Version(), true
 	return ns
+}
+
+// snapJoin folds a just-admitted node into the shared snapshot. IDs are
+// assigned monotonically and never reused, so appending preserves the
+// strict ID sort. Before the first Nodes() call there is nothing to
+// maintain; the first call builds the snapshot from the map.
+func (o *Overlay) snapJoin(n *Node) {
+	if !o.snapValid {
+		return
+	}
+	o.snap = append(o.snap, n)
+	o.snapVersion = o.Version()
+}
+
+// snapLeave splices a departed node out of the shared snapshot in
+// place: binary search by ID, then one memmove. Allocation-free; the
+// vacated tail slot is nil-ed so the departed node can be collected.
+func (o *Overlay) snapLeave(id NodeID) {
+	if !o.snapValid {
+		return
+	}
+	i := sort.Search(len(o.snap), func(k int) bool { return o.snap[k].ID >= id })
+	if i >= len(o.snap) || o.snap[i].ID != id {
+		// Unreachable while the snapshot invariant holds; fall back to a
+		// rebuild rather than corrupt the slice.
+		o.snapValid = false
+		return
+	}
+	copy(o.snap[i:], o.snap[i+1:])
+	o.snap[len(o.snap)-1] = nil
+	o.snap = o.snap[:len(o.snap)-1]
+	o.snapVersion = o.Version()
 }
 
 // ErrDuplicatePoint is returned by Join when the joining coordinate
@@ -191,6 +236,8 @@ func (o *Overlay) Join(p geom.Point, caps *resource.NodeCaps) (*Node, error) {
 		o.nodes[n.ID] = n
 		o.neighbors[n.ID] = make(map[NodeID]struct{})
 		o.joins++
+		o.snapJoin(n)
+		o.recordChurn(ChurnEvent{Joined: n.ID, Left: NoneID, ZoneChanged: [2]NodeID{NoneID, NoneID}})
 		return n, nil
 	}
 
@@ -224,6 +271,8 @@ func (o *Overlay) Join(p geom.Point, caps *resource.NodeCaps) (*Node, error) {
 	o.neighbors[n.ID] = make(map[NodeID]struct{})
 	o.rewireAfterJoin(owner, n)
 	o.joins++
+	o.snapJoin(n)
+	o.recordChurn(ChurnEvent{Joined: n.ID, Left: NoneID, ZoneChanged: [2]NodeID{owner.ID, NoneID}})
 	return n, nil
 }
 
@@ -343,6 +392,7 @@ func (o *Overlay) Leave(id NodeID) (TakeoverPlan, error) {
 		// Last node: the overlay becomes empty.
 		o.root = nil
 		o.removeNodeState(id)
+		o.recordChurn(ChurnEvent{Joined: NoneID, Left: id, ZoneChanged: [2]NodeID{NoneID, NoneID}})
 		return TakeoverPlan{}, nil
 	}
 
@@ -366,6 +416,7 @@ func (o *Overlay) Leave(id NodeID) (TakeoverPlan, error) {
 		plan.Taker.leaf = parent
 		o.removeNodeState(id)
 		o.rewireAfterLeave(affectedBefore, plan)
+		o.recordChurn(ChurnEvent{Joined: NoneID, Left: id, ZoneChanged: [2]NodeID{plan.Taker.ID, NoneID}})
 		return plan, nil
 	}
 
@@ -376,6 +427,7 @@ func (o *Overlay) Leave(id NodeID) (TakeoverPlan, error) {
 	plan.Taker.leaf = vacated
 	o.removeNodeState(id)
 	o.rewireAfterLeave(affectedBefore, plan)
+	o.recordChurn(ChurnEvent{Joined: NoneID, Left: id, ZoneChanged: [2]NodeID{plan.Taker.ID, plan.Merged.ID}})
 	return plan, nil
 }
 
@@ -424,6 +476,7 @@ func (o *Overlay) removeNodeState(id NodeID) {
 	delete(o.neighbors, id)
 	delete(o.nodes, id)
 	o.dropView(id)
+	o.snapLeave(id)
 }
 
 // SplitHistory returns the sequence of splits that carved node id's

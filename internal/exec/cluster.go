@@ -55,9 +55,34 @@ type Cluster struct {
 	dirty    []*Runtime
 	allDirty bool
 
+	// membership is the companion delta channel for incremental
+	// membership-keyed indexes: every AddNode/RemoveNode appends one
+	// entry in event order (a node can legitimately appear several
+	// times — removed then re-added — so the log is replayed in order
+	// rather than deduplicated). memAll marks the log as not
+	// enumerable, set at construction, by MarkAllDirty, and when the
+	// undrained log outgrows memLogCap (a run whose scheduler never
+	// consumes membership deltas must not accumulate them forever).
+	membership []MembershipEvent
+	memAll     bool
+
 	submitted int
 	finished  int
 }
+
+// MembershipEvent is one entry of the cluster's membership delta log:
+// the runtime that was added to or removed from the cluster. Removed
+// runtimes retain their Caps, so consumers can unindex them without a
+// live lookup.
+type MembershipEvent struct {
+	Runtime *Runtime
+	Removed bool
+}
+
+// memLogCap bounds the undrained membership log. A consumer polling on
+// the scheduling cadence drains long before this; hitting the cap means
+// nobody is listening, so the log collapses to the all-changed state.
+const memLogCap = 1024
 
 // SetLoadObserver installs the single load-change observer (the
 // scheduler's candidate index). Passing nil removes it.
@@ -100,15 +125,58 @@ func (c *Cluster) DrainDirty(fn func(can.NodeID)) bool {
 	return enumerable
 }
 
-// MarkAllDirty poisons the dirty set: the next DrainDirty reports it as
-// not enumerable. For consumers that bypassed the notification channel
-// (bulk mutations, external state restores) — and for benchmarking the
-// all-dirty fallback.
-func (c *Cluster) MarkAllDirty() { c.allDirty = true }
+// MarkAllDirty poisons the dirty set and the membership log: the next
+// DrainDirty / DrainMembership reports them as not enumerable. For
+// consumers that bypassed the notification channels (bulk mutations,
+// external state restores) — and for benchmarking the all-dirty
+// fallback.
+func (c *Cluster) MarkAllDirty() {
+	c.allDirty = true
+	c.poisonMembership()
+}
+
+func (c *Cluster) poisonMembership() {
+	c.memAll = true
+	for i := range c.membership {
+		c.membership[i] = MembershipEvent{}
+	}
+	c.membership = c.membership[:0]
+}
+
+func (c *Cluster) noteMembership(r *Runtime, removed bool) {
+	if c.memAll {
+		return // already poisoned; nothing to log until the next drain
+	}
+	if len(c.membership) >= memLogCap {
+		c.poisonMembership()
+		return
+	}
+	c.membership = append(c.membership, MembershipEvent{Runtime: r, Removed: removed})
+}
+
+// DrainMembership empties the membership delta log, invoking fn for
+// each add/remove in event order. It returns false when the log is not
+// enumerable — on first use, after MarkAllDirty, or after overflowing
+// undrained — in which case fn is never called and the caller must
+// rebuild its membership-derived index from scratch. Either way the log
+// is cleared. Like DrainDirty, the channel is single-consumer:
+// draining is destructive, so exactly one index may rely on it.
+func (c *Cluster) DrainMembership(fn func(ev MembershipEvent)) bool {
+	if c.memAll {
+		c.memAll = false
+		return false
+	}
+	for i, ev := range c.membership {
+		c.membership[i] = MembershipEvent{}
+		fn(ev)
+	}
+	c.membership = c.membership[:0]
+	return true
+}
 
 // NewCluster creates an empty cluster on the engine.
 func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
-	return &Cluster{eng: eng, cfg: cfg, nodes: make(map[can.NodeID]*Runtime), allDirty: true}
+	return &Cluster{eng: eng, cfg: cfg, nodes: make(map[can.NodeID]*Runtime), allDirty: true, memAll: true}
 }
 
 // AddNode registers a node's capabilities. It panics on duplicate ids —
@@ -119,6 +187,7 @@ func (c *Cluster) AddNode(id can.NodeID, caps *resource.NodeCaps) *Runtime {
 	}
 	r := newRuntime(id, caps)
 	c.nodes[id] = r
+	c.noteMembership(r, false)
 	c.notifyLoad(r, false)
 	return r
 }
@@ -253,6 +322,7 @@ func (c *Cluster) RemoveNode(id can.NodeID) []*Job {
 	}
 	r.queue = nil
 	c.submitted -= len(orphans) // re-submission will recount them
+	c.noteMembership(r, true)
 	c.notifyLoad(r, true)
 	return orphans
 }

@@ -78,6 +78,8 @@ func RegisterGridGauges(p *metrics.Plane, ov *can.Overlay, cl *exec.Cluster, agg
 	p.RegisterCounter("agg.full_rebuilds", func() int64 { return agg.Stats().FullRebuilds })
 	p.RegisterCounter("agg.dirty_drained", func() int64 { return agg.Stats().DirtyDrained })
 	p.RegisterCounter("agg.fenwick_updates", func() int64 { return agg.Stats().FenwickUpdates })
+	p.RegisterCounter("agg.churn_splice_refreshes", func() int64 { return agg.Stats().ChurnRefreshes })
+	p.RegisterCounter("agg.churn_events", func() int64 { return agg.Stats().ChurnEvents })
 	p.RegisterGauge("agg.last_dirty", func(k *metrics.Sink) {
 		k.Emit(-1, float64(agg.Stats().LastDirty))
 	})

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"hetgrid/internal/can"
 	"hetgrid/internal/geom"
 	"hetgrid/internal/rng"
 	"hetgrid/internal/sim"
@@ -62,6 +63,16 @@ type ChurnDriver struct {
 	Joins      int
 	Leaves     int
 	Fails      int
+
+	// OnJoin, when non-nil, is called after each successful join with
+	// the admitted host's id. Incremental consumers (aggregation tables,
+	// candidate indexes) hang their membership tracking here instead of
+	// polling the population.
+	OnJoin func(id can.NodeID)
+	// OnLeave, when non-nil, is called after each successful departure
+	// with the departed host's id; failed reports a silent failure (the
+	// repair transient runs) rather than a graceful leave.
+	OnLeave func(id can.NodeID, failed bool)
 }
 
 // NewChurnDriver prepares a driver; Start schedules its events.
@@ -101,8 +112,11 @@ func (d *ChurnDriver) randomPoint() geom.Point {
 
 func (d *ChurnDriver) join() {
 	for try := 0; try < 4; try++ {
-		if _, err := d.s.Join(d.randomPoint()); err == nil {
+		if n, err := d.s.Join(d.randomPoint()); err == nil {
 			d.Joins++
+			if d.OnJoin != nil {
+				d.OnJoin(n.ID)
+			}
 			return
 		}
 	}
@@ -117,10 +131,16 @@ func (d *ChurnDriver) depart() {
 	if d.events.Bool(d.cfg.FailFraction) {
 		if d.s.Fail(id) == nil {
 			d.Fails++
+			if d.OnLeave != nil {
+				d.OnLeave(id, true)
+			}
 		}
 	} else {
 		if d.s.LeaveVoluntary(id) == nil {
 			d.Leaves++
+			if d.OnLeave != nil {
+				d.OnLeave(id, false)
+			}
 		}
 	}
 }

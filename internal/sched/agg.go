@@ -15,12 +15,14 @@ import (
 )
 
 var (
-	cntAggRefresh    = perf.NewCounter("sched.agg_refreshes")
-	cntAggRebuild    = perf.NewCounter("sched.agg_topology_rebuilds")
-	cntAggInc        = perf.NewCounter("sched.agg_incremental_refreshes")
-	cntAggDirty      = perf.NewCounter("sched.agg_dirty_nodes")
-	cntAggFenUpdates = perf.NewCounter("sched.agg_fenwick_updates")
-	tmrAggRefresh    = perf.NewTimer("sched.agg_refresh")
+	cntAggRefresh     = perf.NewCounter("sched.agg_refreshes")
+	cntAggRebuild     = perf.NewCounter("sched.agg_topology_rebuilds")
+	cntAggInc         = perf.NewCounter("sched.agg_incremental_refreshes")
+	cntAggDirty       = perf.NewCounter("sched.agg_dirty_nodes")
+	cntAggFenUpdates  = perf.NewCounter("sched.agg_fenwick_updates")
+	cntAggChurnSplice = perf.NewCounter("sched.agg_churn_splice_refreshes")
+	cntAggChurnEvents = perf.NewCounter("sched.agg_churn_events")
+	tmrAggRefresh     = perf.NewTimer("sched.agg_refresh")
 )
 
 // CELoad is the aggregated load information for one CE type in a region
@@ -57,15 +59,29 @@ func (d DimAgg) Load(t resource.CEType) CELoad {
 // AggStats counts the aggregation plane's refresh work, so drivers and
 // the metrics plane can show the incremental path operating: how often
 // the table fell back to a full recompute, how many dirty nodes each
-// delta refresh consumed, and how many Fenwick node updates they cost.
+// delta refresh consumed, how many Fenwick node updates they cost, and
+// how much churn was absorbed by splicing instead of re-sorting.
 type AggStats struct {
 	Refreshes      int64 // Refresh + RefreshFull calls
-	FullRebuilds   int64 // refreshes that recomputed every node (first use, churn, all-dirty)
-	IncRefreshes   int64 // refreshes served by the delta path
+	FullRebuilds   int64 // refreshes that recomputed every node (first use, churn gap, all-dirty)
+	IncRefreshes   int64 // refreshes whose load deltas came through the dirty drain
+	ChurnRefreshes int64 // refreshes that spliced membership deltas instead of re-sorting
+	ChurnEvents    int64 // cumulative journal events absorbed by splices
 	DirtyDrained   int64 // cumulative dirty-node notifications processed
 	FenwickUpdates int64 // cumulative Fenwick tree-node updates applied
 	LastDirty      int   // dirty nodes consumed by the most recent refresh
 }
+
+// maxSpliceEvents bounds how many journal events one refresh will
+// absorb by splicing before a full rebuild is cheaper. Each splice
+// costs O(d·n) in the worst case (an ordered insert/remove memmoves the
+// tail of every per-dimension order), while the rebuild it replaces
+// costs O(d·n·log n) for the re-sort plus the O(n) load sweep — so the
+// break-even batch size is a small multiple of log n, roughly constant
+// across the populations we run. 256 keeps heartbeat-cadence consumers
+// (a handful of events per refresh) firmly on the splice path without
+// ever letting a backlog replay cost more than the rebuild it avoids.
+const maxSpliceEvents = 256
 
 // AggTable holds, for every node and dimension, the aggregated load
 // information over the outer region. In the real system this data rides
@@ -73,49 +89,61 @@ type AggStats struct {
 // on the heartbeat cadence, which preserves the staleness the paper's
 // scheme lives with (decisions between refreshes use old data).
 //
-// The table is maintained incrementally (delta-propagating, in the
-// spirit of diffusion-based schedulers): the cluster records which
-// nodes had a job start, finish or queue change since the last refresh
-// (exec.Cluster.DrainDirty), and a steady-state Refresh applies only
-// those nodes' load deltas as point updates to per-dimension Fenwick
-// (binary-indexed) trees over the cached sorted orders — O(k·d·log n)
-// for k dirty nodes instead of the former O(n·d) sweep. The sorted
-// orders themselves are keyed on the overlay's membership version and
-// rebuilt only after churn, at which point the table falls back to a
-// full recompute so correctness never depends on the dirty set
-// surviving membership changes.
+// The table is maintained incrementally along both axes of change:
+//
+//   - Load deltas: the cluster records which nodes had a job start,
+//     finish or queue change since the last refresh
+//     (exec.Cluster.DrainDirty), and a steady-state Refresh applies
+//     only those nodes' load deltas as point updates to per-dimension
+//     Fenwick (binary-indexed) trees over the cached sorted orders —
+//     O(k·d·log n) for k dirty nodes instead of an O(n·d) sweep.
+//   - Membership deltas: on an overlay version change, Refresh replays
+//     the overlay's churn journal (can.Overlay.ChurnSince) and splices
+//     each joined/left/zone-changed node into or out of the sorted
+//     orders — an O(d·log n) search plus an O(d·n) tail memmove per
+//     event, followed by one linear O(d·n) Fenwick reconstruction —
+//     instead of the former full re-sort (O(d·n·log n)) plus load
+//     sweep. When the journal gap exceeds the retained window, the
+//     batch exceeds maxSpliceEvents, or the table has never seen this
+//     overlay, it falls back to the full rebuild, so correctness never
+//     depends on the journal's capacity.
 //
 // Per-(node, dimension) results are materialized lazily: Refresh bumps
-// an epoch, and At fills a row from the Fenwick trees (one O(log n)
-// suffix query) the first time it is read in an epoch. The placement
-// walk touches a handful of rows per job, so reads keep their O(1)
-// amortized map-lookup profile and a steady-state refresh-plus-reads
-// cycle allocates nothing.
+// an epoch, and At fills a row from the Fenwick trees (one binary
+// search for the region cut plus one O(log n) prefix query) the first
+// time it is read in an epoch. The placement walk touches a handful of
+// rows per job, so reads keep their O(1) amortized map-lookup profile
+// and a steady-state refresh-plus-reads cycle allocates nothing.
 //
 // All sums are exact: loads are integer-valued float64s, far below the
 // 2^53 exactness horizon, so every Fenwick tree node, every delta and
 // every total-minus-prefix difference is the exact integer it denotes.
-// The accumulation order therefore cannot perturb a single output bit,
-// and the incremental table is bit-identical to a from-scratch rebuild
-// (the differential tests assert both properties).
+// The accumulation order therefore cannot perturb a single output bit.
+// The sorted orders are equally canonical: (Zone.Lo[d], ID) is a total
+// order, so splicing and re-sorting produce the identical permutation.
+// Both properties together make the churn-spliced table bit-identical
+// to a from-scratch rebuild (the differential tests assert this).
 type AggTable struct {
 	dims   int
 	ntypes int
 
-	// Topology cache, valid while ov/version match the overlay.
+	// Topology cache, valid while ov/version match the overlay. nodes
+	// is an owned copy of the membership (swap-delete maintained across
+	// splices), not an alias of the overlay's shared snapshot — the
+	// snapshot mutates in place on churn, while splice replay needs the
+	// pre-churn membership to interpret each journal event against.
 	ov      *can.Overlay
 	version uint64
-	nodes   []*can.Node         // ov.Nodes() snapshot
-	order   [][]int             // per dim: node indexes sorted by (Zone.Lo[d], ID)
-	los     [][]float64         // per dim: the sorted zone starts
+	nodes   []*can.Node          // owned membership copy, unordered after splices
+	order   [][]int              // per dim: node indexes sorted by (Zone.Lo[d], ID)
+	los     [][]float64          // per dim: the sorted zone starts
 	idx     map[can.NodeID]int32 // node ID → index into nodes
-	pos     []int32             // dims×n: sorted position of node i along d at [d*n+i]
-	cut     []int32             // n×dims: first sorted position at/past node i's zone end
+	pos     [][]int32            // per dim: sorted position of node i at pos[d][i]
 
 	// Load state, incrementally maintained between full rebuilds.
-	loads []CELoad // n×ntypes current per-node loads
-	tot   []CELoad // ntypes grid-wide totals
-	fen   []CELoad // dims×(n+1)×ntypes Fenwick trees (1-indexed; entry 0 unused)
+	loads []CELoad   // n×ntypes current per-node loads
+	tot   []CELoad   // ntypes grid-wide totals
+	fen   [][]CELoad // per dim: (n+1)×ntypes Fenwick tree (1-indexed; entry 0 unused)
 
 	// Lazily materialized results. dimAggs[r].ByType points into the
 	// byTypes backing; rowEpoch[r] says which epoch filled it.
@@ -124,9 +152,11 @@ type AggTable struct {
 	dimAggs  []DimAgg // n×dims
 	byTypes  []CELoad // n×dims×ntypes
 
-	onDirty func(can.NodeID) // applyDirty, bound once so Refresh allocates no closure
-	cl      *exec.Cluster    // the cluster being drained, valid during Refresh only
-	changed bool             // a drained delta was nonzero (epoch must advance)
+	onDirty   func(can.NodeID)     // applyDirty, bound once so Refresh allocates no closure
+	onChurn   func(can.ChurnEvent) // applyChurn, bound once for the same reason
+	onDiscard func(can.NodeID)     // no-op drain sink for the full-rebuild path
+	cl        *exec.Cluster        // the cluster being drained, valid during Refresh only
+	changed   bool                 // a drained delta was nonzero (epoch must advance)
 
 	stats AggStats
 }
@@ -136,6 +166,8 @@ type AggTable struct {
 func NewAggTable(dims int, gpuSlots int) *AggTable {
 	a := &AggTable{dims: dims, ntypes: gpuSlots + 1, idx: make(map[can.NodeID]int32)}
 	a.onDirty = a.applyDirty
+	a.onChurn = a.applyChurn
+	a.onDiscard = func(can.NodeID) {}
 	return a
 }
 
@@ -163,28 +195,34 @@ func (a *AggTable) At(id can.NodeID, dim int) DimAgg {
 	return a.dimAggs[r]
 }
 
-// fillRow materializes one (node, dim) aggregate from the Fenwick tree:
-// the region's load is the grid total minus the prefix before the
-// node's cut position. Totals, tree nodes and the subtraction chain are
-// all exact integers, so the result equals a direct suffix sum bit for
-// bit.
+// fillRow materializes one (node, dim) aggregate from the Fenwick tree.
+// The region beyond the node is the set of nodes whose zone starts at
+// or past the node's zone end, i.e. the sorted-order suffix from the
+// cut position (found by binary search over the cached zone starts);
+// its load is the grid total minus the Fenwick prefix before the cut.
+// Totals, tree nodes and the subtraction chain are all exact integers,
+// so the result equals a direct suffix sum bit for bit.
 func (a *AggTable) fillRow(r, dim int) {
 	n := len(a.nodes)
 	nt := a.ntypes
+	nd := a.nodes[r/a.dims]
+	c := sort.SearchFloat64s(a.los[dim], nd.Zone.Hi[dim])
 	row := a.byTypes[r*nt : (r+1)*nt]
 	copy(row, a.tot)
-	fen := a.fen[dim*(n+1)*nt:]
-	for p := int(a.cut[r]); p > 0; p &= p - 1 {
+	fen := a.fen[dim]
+	for p := c; p > 0; p &= p - 1 {
 		node := fen[p*nt : (p+1)*nt]
 		for t := 0; t < nt; t++ {
 			row[t] = row[t].sub(node[t])
 		}
 	}
+	a.dimAggs[r] = DimAgg{Nodes: n - c, ByType: row}
 	a.rowEpoch[r] = a.epoch
 }
 
 // grow returns s resized to n elements, reusing its backing array when
-// the capacity allows. Contents are unspecified; callers overwrite.
+// the capacity allows. Contents are unspecified; callers overwrite (or,
+// for rowEpoch, rely on stale values predating the current epoch).
 func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
@@ -193,28 +231,29 @@ func grow[T any](s []T, n int) []T {
 }
 
 // rebuildTopology re-sorts the per-dimension orders after churn and
-// derives everything that depends on membership alone: the id→index
-// map, each node's sorted position per dimension, the region cut
-// positions (zone.Lo[d] ≥ zone.Hi[d] boundaries) and the per-row result
-// backing with its topology-determined Nodes counts. Ties on the
-// (tie-prone, float-valued) zone starts break by node ID, the same
-// discipline as can/bounded.go, so the permutation is a pure function
-// of the overlay state rather than of sort.Slice's unstable internals.
+// derives everything that depends on membership alone: the owned node
+// copy, the id→index map and each node's sorted position per dimension.
+// Ties on the (tie-prone, float-valued) zone starts break by node ID,
+// the same discipline as can/bounded.go, so the permutation is a pure
+// function of the overlay state rather than of sort.Slice's unstable
+// internals — and therefore also of whether churn arrived here or via
+// the splice path.
 func (a *AggTable) rebuildTopology(ov *can.Overlay) {
 	cntAggRebuild.Inc()
 	a.ov, a.version = ov, ov.Version()
-	a.nodes = ov.Nodes()
+	a.nodes = append(a.nodes[:0], ov.Nodes()...)
 	nodes := a.nodes
 	n := len(nodes)
 	if a.order == nil {
 		a.order = make([][]int, a.dims)
 		a.los = make([][]float64, a.dims)
+		a.pos = make([][]int32, a.dims)
+		a.fen = make([][]CELoad, a.dims)
 	}
 	clear(a.idx)
 	for i, nd := range nodes {
 		a.idx[nd.ID] = int32(i)
 	}
-	a.pos = grow(a.pos, a.dims*n)
 	for d := 0; d < a.dims; d++ {
 		idx := grow(a.order[d], n)
 		for i := range idx {
@@ -228,34 +267,26 @@ func (a *AggTable) rebuildTopology(ov *can.Overlay) {
 			return nodes[idx[x]].ID < nodes[idx[y]].ID
 		})
 		los := grow(a.los[d], n)
-		pos := a.pos[d*n : (d+1)*n]
+		pos := grow(a.pos[d], n)
 		for p, i := range idx {
 			los[p] = nodes[i].Zone.Lo[d]
 			pos[i] = int32(p)
 		}
-		a.order[d], a.los[d] = idx, los
+		a.order[d], a.los[d], a.pos[d] = idx, los, pos
 	}
 
-	a.cut = grow(a.cut, n*a.dims)
 	a.rowEpoch = grow(a.rowEpoch, n*a.dims)
 	a.dimAggs = grow(a.dimAggs, n*a.dims)
 	a.byTypes = grow(a.byTypes, n*a.dims*a.ntypes)
-	for i, nd := range nodes {
-		for d := 0; d < a.dims; d++ {
-			r := i*a.dims + d
-			c := sort.SearchFloat64s(a.los[d], nd.Zone.Hi[d])
-			a.cut[r] = int32(c)
-			a.dimAggs[r] = DimAgg{Nodes: n - c, ByType: a.byTypes[r*a.ntypes : (r+1)*a.ntypes]}
-		}
-	}
 	// rowEpoch entries (reused or zeroed) all predate the epoch bump in
-	// rebuildLoads, so every row reads as stale afterwards.
+	// rebuildLoads, so every row reads as stale afterwards; dimAggs and
+	// byTypes are overwritten by fillRow before any read.
 }
 
 // rebuildLoads recomputes every node's load, the grid totals and the
 // per-dimension Fenwick trees from scratch against the cached topology,
-// then advances the epoch. O(n·d) — the fallback for first use, churn
-// and a non-enumerable dirty set.
+// then advances the epoch. O(n·d) — the fallback for first use, a
+// churn-journal gap and a non-enumerable dirty set.
 func (a *AggTable) rebuildLoads(cl *exec.Cluster) {
 	nodes := a.nodes
 	n := len(nodes)
@@ -283,30 +314,37 @@ func (a *AggTable) rebuildLoads(cl *exec.Cluster) {
 		}
 	}
 
-	// Linear Fenwick construction per dimension: seed each tree node
-	// with its position's load, then fold every node into its parent.
-	a.fen = grow(a.fen, a.dims*(n+1)*nt)
 	for d := 0; d < a.dims; d++ {
-		fen := a.fen[d*(n+1)*nt : (d+1)*(n+1)*nt]
-		for t := 0; t < nt; t++ {
-			fen[t] = CELoad{}
-		}
-		order := a.order[d]
-		for p := 1; p <= n; p++ {
-			i := order[p-1]
-			copy(fen[p*nt:(p+1)*nt], a.loads[i*nt:(i+1)*nt])
-		}
-		for p := 1; p <= n; p++ {
-			if q := p + p&-p; q <= n {
-				fq := fen[q*nt : (q+1)*nt]
-				fp := fen[p*nt : (p+1)*nt]
-				for t := 0; t < nt; t++ {
-					fq[t] = fq[t].add(fp[t])
-				}
+		a.buildFenwick(d)
+	}
+	a.epoch++
+}
+
+// buildFenwick linearly reconstructs dimension d's Fenwick tree from
+// the current loads and sorted order: seed each tree node with its
+// position's load, then fold every node into its parent. O(n·ntypes).
+func (a *AggTable) buildFenwick(d int) {
+	n := len(a.nodes)
+	nt := a.ntypes
+	fen := grow(a.fen[d], (n+1)*nt)
+	for t := 0; t < nt; t++ {
+		fen[t] = CELoad{}
+	}
+	order := a.order[d]
+	for p := 1; p <= n; p++ {
+		i := order[p-1]
+		copy(fen[p*nt:(p+1)*nt], a.loads[i*nt:(i+1)*nt])
+	}
+	for p := 1; p <= n; p++ {
+		if q := p + p&-p; q <= n {
+			fq := fen[q*nt : (q+1)*nt]
+			fp := fen[p*nt : (p+1)*nt]
+			for t := 0; t < nt; t++ {
+				fq[t] = fq[t].add(fp[t])
 			}
 		}
 	}
-	a.epoch++
+	a.fen[d] = fen
 }
 
 // applyDirty folds one drained node's load change into the table: the
@@ -319,9 +357,9 @@ func (a *AggTable) applyDirty(id can.NodeID) {
 	cntAggDirty.Inc()
 	i, ok := a.idx[id]
 	if !ok {
-		// Not in the cached snapshot: either removed from the cluster
-		// ahead of an overlay change (the coming version bump forces a
-		// full rebuild) or never part of the overlay.
+		// Not in the tracked membership: either removed from the cluster
+		// (the matching overlay leave was spliced or will force a
+		// rebuild) or never part of the overlay.
 		return
 	}
 	n := len(a.nodes)
@@ -342,8 +380,8 @@ func (a *AggTable) applyDirty(id can.NodeID) {
 		row[t] = nl
 		a.tot[t] = a.tot[t].add(d)
 		for dim := 0; dim < a.dims; dim++ {
-			fen := a.fen[dim*(n+1)*nt:]
-			for p := int(a.pos[dim*n+int(i)]) + 1; p <= n; p += p & -p {
+			fen := a.fen[dim]
+			for p := int(a.pos[dim][i]) + 1; p <= n; p += p & -p {
 				fen[p*nt+t] = fen[p*nt+t].add(d)
 				a.stats.FenwickUpdates++
 				cntAggFenUpdates.Inc()
@@ -353,6 +391,206 @@ func (a *AggTable) applyDirty(id can.NodeID) {
 	}
 }
 
+// applyChurn folds one journal event into the topology. Within an
+// event the departed node is spliced out first, then surviving nodes
+// whose zones were rewritten are repositioned, then the admitted node
+// is spliced in; every intermediate array stays sorted with respect to
+// its stored keys, so the order of operations cannot change the final
+// permutation. References to nodes that a later event in the same
+// batch removes (join-then-leave, zone change of a node about to
+// depart) resolve to skips — the later event settles them.
+func (a *AggTable) applyChurn(ev can.ChurnEvent) {
+	a.stats.ChurnEvents++
+	cntAggChurnEvents.Inc()
+	if ev.Left != can.NoneID {
+		a.spliceOut(ev.Left)
+	}
+	for _, zid := range ev.ZoneChanged {
+		if zid != can.NoneID {
+			a.reposition(zid)
+		}
+	}
+	if ev.Joined != can.NoneID {
+		a.spliceIn(ev.Joined)
+	}
+}
+
+// spliceOut removes a departed node: its load leaves the totals, its
+// entry leaves every per-dimension order, and the membership arrays
+// swap-delete (the moved last node's index map and order entries are
+// patched). The per-dimension arrays stay ID-tie-sorted because only
+// the departed entry is removed; everything else keeps its key.
+func (a *AggTable) spliceOut(id can.NodeID) {
+	i32, ok := a.idx[id]
+	if !ok {
+		return // joined and left within the same delta window; never inserted
+	}
+	i := int(i32)
+	nt := a.ntypes
+	last := len(a.nodes) - 1
+	row := a.loads[i*nt : (i+1)*nt]
+	for t := 0; t < nt; t++ {
+		a.tot[t] = a.tot[t].sub(row[t])
+	}
+	for d := 0; d < a.dims; d++ {
+		a.removeOrder(d, int(a.pos[d][i]))
+	}
+	if i != last {
+		moved := a.nodes[last]
+		a.nodes[i] = moved
+		copy(row, a.loads[last*nt:(last+1)*nt])
+		a.idx[moved.ID] = int32(i)
+		for d := 0; d < a.dims; d++ {
+			p := a.pos[d][last]
+			a.pos[d][i] = p
+			a.order[d][p] = i
+		}
+	}
+	a.nodes[last] = nil
+	a.nodes = a.nodes[:last]
+	a.loads = a.loads[:last*nt]
+	for d := 0; d < a.dims; d++ {
+		a.pos[d] = a.pos[d][:last]
+	}
+	delete(a.idx, id)
+}
+
+// spliceIn admits a joined node: appended to the membership arrays,
+// its current cluster load added to the totals, and an ordered insert
+// into every per-dimension order at its (Zone.Lo[d], ID) position. The
+// load row is read from the cluster at splice time, so a dirty
+// notification for the same node drained later in this refresh nets to
+// a zero delta — exactness is preserved either way.
+func (a *AggTable) spliceIn(id can.NodeID) {
+	if _, dup := a.idx[id]; dup {
+		return
+	}
+	nd := a.ov.Node(id)
+	if nd == nil {
+		return // joined then left within the same delta window
+	}
+	i := len(a.nodes)
+	nt := a.ntypes
+	a.nodes = append(a.nodes, nd)
+	a.idx[id] = int32(i)
+	rt := a.cl.Runtime(id)
+	for t := 0; t < nt; t++ {
+		var nl CELoad
+		if rt != nil {
+			if req, cores, ok := rt.DemandOn(resource.CEType(t)); ok {
+				nl = CELoad{SumRequiredCores: float64(req), SumCores: float64(cores)}
+			}
+		}
+		a.loads = append(a.loads, nl)
+		a.tot[t] = a.tot[t].add(nl)
+	}
+	for d := 0; d < a.dims; d++ {
+		a.pos[d] = append(a.pos[d], 0)
+		a.insertOrder(d, i, nd)
+	}
+}
+
+// reposition re-files a surviving node whose zone was rewritten by a
+// take-over or split: along each dimension where its stored zone start
+// differs from the current one, remove at the old sorted position and
+// re-insert at the new key. Dimensions whose start did not move keep
+// their position (the key is unchanged, so the sorted invariant
+// already holds).
+func (a *AggTable) reposition(id can.NodeID) {
+	i32, ok := a.idx[id]
+	if !ok {
+		return // join was skipped (node already gone) — nothing tracked
+	}
+	nd := a.ov.Node(id)
+	if nd == nil {
+		return // a later event in this batch removes it; the splice-out settles it
+	}
+	i := int(i32)
+	a.nodes[i] = nd
+	for d := 0; d < a.dims; d++ {
+		p := int(a.pos[d][i])
+		if a.los[d][p] == nd.Zone.Lo[d] {
+			continue
+		}
+		a.removeOrder(d, p)
+		a.insertOrder(d, i, nd)
+	}
+}
+
+// removeOrder deletes sorted position p from dimension d's order and
+// key arrays and re-files the shifted tail's positions. O(n−p).
+func (a *AggTable) removeOrder(d, p int) {
+	ord, los := a.order[d], a.los[d]
+	copy(ord[p:], ord[p+1:])
+	copy(los[p:], los[p+1:])
+	ord = ord[:len(ord)-1]
+	los = los[:len(los)-1]
+	a.order[d], a.los[d] = ord, los
+	pos := a.pos[d]
+	for k := p; k < len(ord); k++ {
+		pos[ord[k]] = int32(k)
+	}
+}
+
+// insertOrder files node index i (zones from nd) into dimension d's
+// order at its (Zone.Lo[d], ID) position: binary search plus one tail
+// memmove, then re-file the shifted positions. O(log n + (n−p)).
+func (a *AggTable) insertOrder(d, i int, nd *can.Node) {
+	lo := nd.Zone.Lo[d]
+	ord, los := a.order[d], a.los[d]
+	p := sort.Search(len(ord), func(k int) bool {
+		if los[k] != lo {
+			return los[k] > lo
+		}
+		return a.nodes[ord[k]].ID > nd.ID
+	})
+	ord = append(ord, 0)
+	los = append(los, 0)
+	copy(ord[p+1:], ord[p:])
+	copy(los[p+1:], los[p:])
+	ord[p] = i
+	los[p] = lo
+	a.order[d], a.los[d] = ord, los
+	pos := a.pos[d]
+	for k := p; k < len(ord); k++ {
+		pos[ord[k]] = int32(k)
+	}
+}
+
+// tryChurnSplice brings the topology up to the overlay's current
+// version by replaying the churn journal, returning false (leaving the
+// table untouched) when the table has never seen this overlay, the
+// journal cannot cover the gap, or the batch is large enough that a
+// full rebuild is cheaper. On success the Fenwick trees are linearly
+// reconstructed over the spliced orders, the result epoch advances,
+// and the caller proceeds to the normal dirty drain.
+func (a *AggTable) tryChurnSplice(ov *can.Overlay, cl *exec.Cluster) bool {
+	if a.ov != ov || ov.Version() < a.version || ov.Version()-a.version > maxSpliceEvents {
+		return false
+	}
+	a.cl = cl
+	ok := ov.ChurnSince(a.version, a.onChurn)
+	a.cl = nil
+	if !ok {
+		// All-or-nothing: a failed ChurnSince invoked no callbacks, so
+		// the table still matches a.version exactly.
+		return false
+	}
+	a.version = ov.Version()
+	n := len(a.nodes)
+	a.rowEpoch = grow(a.rowEpoch, n*a.dims)
+	a.dimAggs = grow(a.dimAggs, n*a.dims)
+	a.byTypes = grow(a.byTypes, n*a.dims*a.ntypes)
+	for d := 0; d < a.dims; d++ {
+		a.buildFenwick(d)
+	}
+	// Stale rowEpoch entries (including reused-capacity junk) all hold
+	// epochs at or before the pre-bump value, so every row reads as
+	// stale after the bump.
+	a.epoch++
+	return true
+}
+
 // Refresh brings the table up to date: for each dimension D, the region
 // beyond node N is the set of nodes whose zone starts at or past N's
 // zone end (zone.Lo[D] ≥ N.zone.Hi[D]) — the nodes reachable by pushing
@@ -360,21 +598,32 @@ func (a *AggTable) applyDirty(id can.NodeID) {
 //
 // Between churn events the refresh is incremental: it drains the
 // cluster's dirty set and point-updates the Fenwick trees, O(k·d·log n)
-// for k dirty nodes. On a membership version change — or when the dirty
-// set is not enumerable — it falls back to the full O(d·n) rebuild
-// (plus O(d·n·log n) re-sorting after churn). Refresh is the dirty
-// set's single consumer; a second table over the same cluster must use
-// RefreshFull.
+// for k dirty nodes. On a membership version change it replays the
+// overlay's churn journal and splices the affected nodes, O(Δ·d·n)
+// worst case for Δ events, falling back to the full rebuild
+// (O(d·n·log n) re-sort plus O(d·n) load sweep) when the journal
+// cannot cover the gap or the dirty set is not enumerable. Refresh is
+// the dirty set's single consumer; a second table over the same
+// cluster must use RefreshFull.
 func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
 	defer tmrAggRefresh.Start()()
 	cntAggRefresh.Inc()
 	a.stats.Refreshes++
 	a.stats.LastDirty = 0
 	if a.ov != ov || a.version != ov.Version() {
-		a.rebuildTopology(ov)
-		a.rebuildLoads(cl)
-		a.stats.FullRebuilds++
-		return
+		if !a.tryChurnSplice(ov, cl) {
+			a.rebuildTopology(ov)
+			a.rebuildLoads(cl)
+			a.stats.FullRebuilds++
+			// The rebuild consumed every load; queued dirty entries (and a
+			// pending all-dirty poison) describe state the sweep already
+			// read, so discard them rather than rebuild again next round.
+			cl.DrainDirty(a.onDiscard)
+			return
+		}
+		a.stats.ChurnRefreshes++
+		cntAggChurnSplice.Inc()
+		// Membership is current; fall through to drain load deltas.
 	}
 	a.cl = cl
 	a.changed = false
@@ -396,10 +645,10 @@ func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
 }
 
 // RefreshFull recomputes the table entirely from current cluster state,
-// ignoring — and never consuming — the dirty set. It is the reference
-// path the differential tests compare the incremental table against,
-// and the safe choice for any additional table sharing a cluster whose
-// dirty channel is already claimed.
+// ignoring — and never consuming — the dirty set or the churn journal.
+// It is the reference path the differential tests compare the
+// incremental table against, and the safe choice for any additional
+// table sharing a cluster whose dirty channel is already claimed.
 func (a *AggTable) RefreshFull(ov *can.Overlay, cl *exec.Cluster) {
 	defer tmrAggRefresh.Start()()
 	cntAggRefresh.Inc()

@@ -11,6 +11,7 @@ import (
 
 var (
 	cntCentralRebuilds  = perf.NewCounter("sched.central_index_rebuilds")
+	cntCentralSplices   = perf.NewCounter("sched.central_index_splices")
 	cntCentralFastPath  = perf.NewCounter("sched.central_fastpath_picks")
 	cntCentralFullScans = perf.NewCounter("sched.central_full_scans")
 )
@@ -102,6 +103,12 @@ type centralIndex struct {
 	idle    map[can.NodeID]*exec.Runtime
 	emptyQ  map[can.NodeID]*exec.Runtime
 	scratch []*can.Node
+
+	// memFail doubles as the membership drain's discard switch (set
+	// before draining into an index that needs a full rebuild anyway)
+	// and its failure flag (set when an event cannot be resolved against
+	// the ranked lists, forcing the rebuild fallback).
+	memFail bool
 }
 
 func newCentralIndex(ov *can.Overlay, cl *exec.Cluster) *centralIndex {
@@ -139,9 +146,29 @@ func (ix *centralIndex) observe(r *exec.Runtime, removed bool) {
 	}
 }
 
-// ensure revalidates the membership-keyed caches after churn.
+// ensure revalidates the membership-keyed caches after churn. A valid
+// index consumes the cluster's membership delta log and splices each
+// added/removed node into or out of the ranked lists by binary search
+// — O(Δ·(log n + n_move)) for Δ events instead of the former
+// O(n log n) re-sort per churn event. The (clock desc, ID asc) key is
+// a total order, so the spliced lists are the identical permutation a
+// full re-sort would produce, and every placement decision is
+// byte-for-byte unchanged. An event that cannot be resolved (a
+// non-enumerable log, an overlay/cluster membership divergence, a
+// duplicate insert) falls back to the full rebuild.
 func (ix *centralIndex) ensure() {
 	if ix.valid && ix.version == ix.ov.Version() {
+		return
+	}
+	// Consume the log either way so it cannot overflow; when the index
+	// is invalid the events are discarded and the rebuild below starts
+	// from scratch.
+	ix.memFail = !ix.valid
+	enumerable := ix.cl.DrainMembership(ix.applyMembership)
+	if ix.valid && enumerable && !ix.memFail {
+		cntCentralSplices.Inc()
+		ix.nodes = ix.ov.Nodes()
+		ix.version = ix.ov.Version()
 		return
 	}
 	cntCentralRebuilds.Inc()
@@ -169,6 +196,89 @@ func (ix *centralIndex) ensure() {
 			return list[i].ID < list[j].ID
 		})
 	}
+}
+
+// applyMembership folds one cluster membership event into the ranked
+// lists. In discard mode (memFail set before the drain) events are
+// dropped; after a resolution failure the flag stops further splicing
+// and the caller rebuilds.
+func (ix *centralIndex) applyMembership(ev exec.MembershipEvent) {
+	if ix.memFail {
+		return
+	}
+	if ev.Removed {
+		if !ix.rankedRemove(ev.Runtime) {
+			ix.memFail = true
+		}
+		return
+	}
+	n := ix.ov.Node(ev.Runtime.ID)
+	if n == nil {
+		// The node joined the cluster but is no longer in the overlay
+		// (it also left within this window, or the memberships diverged)
+		// — only the rebuild can reconcile that.
+		ix.memFail = true
+		return
+	}
+	if !ix.rankedInsert(n) {
+		ix.memFail = true
+	}
+}
+
+// rankedInsert files a node into every ranked list its capabilities
+// belong to, at its (clock desc, ID asc) position. It reports failure
+// on a duplicate entry.
+func (ix *centralIndex) rankedInsert(n *can.Node) bool {
+	if n.Caps == nil {
+		return true
+	}
+	for _, ce := range n.Caps.CEs {
+		ty, clock := ce.Type, ce.Clock
+		list := ix.ranked[ty]
+		p := sort.Search(len(list), func(k int) bool {
+			ck := list[k].Caps.CE(ty).Clock
+			if ck != clock {
+				return ck < clock
+			}
+			return list[k].ID >= n.ID
+		})
+		if p < len(list) && list[p].ID == n.ID {
+			return false
+		}
+		list = append(list, nil)
+		copy(list[p+1:], list[p:])
+		list[p] = n
+		ix.ranked[ty] = list
+	}
+	return true
+}
+
+// rankedRemove deletes a departed runtime's entries, located by binary
+// search on its retained Caps (the key the entries were filed under —
+// capabilities are immutable for a node's lifetime). It reports failure
+// when an expected entry is missing.
+func (ix *centralIndex) rankedRemove(rt *exec.Runtime) bool {
+	if rt.Caps == nil {
+		return true
+	}
+	for _, ce := range rt.Caps.CEs {
+		ty, clock := ce.Type, ce.Clock
+		list := ix.ranked[ty]
+		p := sort.Search(len(list), func(k int) bool {
+			ck := list[k].Caps.CE(ty).Clock
+			if ck != clock {
+				return ck < clock
+			}
+			return list[k].ID >= rt.ID
+		})
+		if p >= len(list) || list[p].ID != rt.ID {
+			return false
+		}
+		copy(list[p:], list[p+1:])
+		list[len(list)-1] = nil
+		ix.ranked[ty] = list[:len(list)-1]
+	}
+	return true
 }
 
 // bestFree returns the fastest idle node (dominant-CE clock, ties to

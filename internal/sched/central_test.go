@@ -63,6 +63,7 @@ func TestCentralIndexMatchesFullScan(t *testing.T) {
 	var refStats Stats
 	r := rng.NewSplit(7, "central-equiv")
 	jobs := workload.NewJobGen(ctx.Space, 7)
+	nodeGen := workload.NewNodeGen(ctx.Space, 7001)
 
 	nextID := exec.JobID(1)
 	place := func(j *exec.Job) {
@@ -106,6 +107,15 @@ func TestCentralIndexMatchesFullScan(t *testing.T) {
 			ov.Leave(victim.ID)
 			for _, oj := range orphans {
 				place(oj)
+			}
+		}
+
+		// Churn the other way: admit fresh nodes so the ranked lists
+		// splice entries in as well as out across the run.
+		if step%29 == 11 {
+			caps := nodeGen.One()
+			if node, err := ov.Join(ctx.Space.NodePoint(caps), caps); err == nil {
+				cl.AddNode(node.ID, caps)
 			}
 		}
 	}
