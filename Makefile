@@ -1,8 +1,8 @@
 # hetgrid build/verify harness.
 #
 #   make verify   — everything the CI gate runs: build, vet, race tests,
-#                   a short benchmark pass that regenerates BENCH_5.json
-#                   against the BENCH_4.json baseline and fails on >15%
+#                   a short benchmark pass that regenerates BENCH_6.json
+#                   against the BENCH_5.json baseline and fails on >15%
 #                   ns/op or allocs/op regressions, the 10k-node ScaleXL
 #                   and 100k-node ScaleXXL smoke runs, and a telemetry
 #                   smoke run that exercises the metrics/trace exports.
@@ -11,7 +11,7 @@ GO ?= go
 BENCHTMP ?= /tmp/hetgrid_bench
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet test race bench bench-xl bench-xxl metrics-smoke verify
+.PHONY: all build vet test race bench bench-xl bench-xxl metrics-smoke scenario-smoke verify
 
 all: build
 
@@ -27,7 +27,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_5.json: the figure drivers run at 3 iterations
+# bench regenerates BENCH_6.json: the figure drivers run at 3 iterations
 # (each iteration is a full reduced-scale experiment); the hot-path
 # micro-benchmarks run at 1000 so the overlay caches' one-time build
 # cost amortizes out and ns/op reflects the steady state (the pre-cache
@@ -37,7 +37,7 @@ race:
 # run per benchmark — the low-noise estimator (external interference
 # only ever adds time, so min-of-N converges on the true cost as N
 # grows; 3 was not enough on busy shared runners) — before
-# embedding BENCH_4.json entries as baselines; the gate then fails the
+# embedding BENCH_5.json entries as baselines; the gate then fails the
 # build when any entry regresses >15% ns/op, or grows its allocs/op by
 # more than 15% and at least one whole allocation (so the zero-alloc
 # hot paths fail on any new allocation). The microsecond-scale hot
@@ -64,7 +64,7 @@ bench:
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_figs2.txt
 	cat $(BENCHTMP)_figs1.txt $(BENCHTMP)_figs2.txt \
 		$(BENCHTMP)_agg1.txt $(BENCHTMP)_agg2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
-	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 5 -prev BENCH_4.json -gate 15 -out BENCH_5.json
+	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 6 -prev BENCH_5.json -gate 15 -out BENCH_6.json
 
 # bench-xl is the extra-large smoke: one full 10,000-node load-balance
 # run (reduced job count), proving the incremental aggregation plane
@@ -107,4 +107,22 @@ metrics-smoke: build
 	@grep -q place.match $(ARTIFACTS)/lb_trace.jsonl || { echo "metrics-smoke: no placement spans in trace"; exit 1; }
 	@echo "metrics-smoke: ok ($$(wc -l < $(ARTIFACTS)/lb_metrics.jsonl) metric points, $$(wc -l < $(ARTIFACTS)/lb_trace.jsonl) trace events)"
 
-verify: build vet race bench bench-xl bench-xxl metrics-smoke
+# scenario-smoke lints and executes the whole fault-injection corpus
+# (examples/scenarios/) through the CLI, failing on any assertion
+# violation, then re-runs one scenario and byte-compares the reports —
+# the determinism contract the engine promises. Reports land in
+# $(ARTIFACTS)/ (uploaded by CI).
+scenario-smoke: build
+	mkdir -p $(ARTIFACTS)
+	$(GO) run ./cmd/hetgridsim validate examples/scenarios/*.yaml
+	$(GO) run ./cmd/hetgridsim run examples/scenarios/*.yaml \
+		| tee $(ARTIFACTS)/scenarios.txt
+	$(GO) run ./cmd/hetgridsim run examples/scenarios/rack_failure.yaml \
+		> $(ARTIFACTS)/rack_failure_a.txt
+	$(GO) run ./cmd/hetgridsim run examples/scenarios/rack_failure.yaml \
+		> $(ARTIFACTS)/rack_failure_b.txt
+	@cmp $(ARTIFACTS)/rack_failure_a.txt $(ARTIFACTS)/rack_failure_b.txt \
+		|| { echo "scenario-smoke: report not byte-identical across runs"; exit 1; }
+	@echo "scenario-smoke: ok ($$(ls examples/scenarios/*.yaml | wc -l) scenarios)"
+
+verify: build vet race bench bench-xl bench-xxl metrics-smoke scenario-smoke

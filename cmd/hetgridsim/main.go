@@ -7,6 +7,14 @@
 //	hetgridsim -scheme can-hom -constraint 0.6 -gpuslots 3
 //	hetgridsim -nodes 200 -jobs 2000 -metrics m.jsonl -trace t.jsonl
 //
+// The `run` and `validate` subcommands execute declarative scenario
+// files (fault injection + end-state assertions, see internal/scenario
+// and examples/scenarios/); `run` exits non-zero when an assertion
+// fails:
+//
+//	hetgridsim run examples/scenarios/rack_failure.yaml
+//	hetgridsim validate examples/scenarios/*.yaml
+//
 // -metrics samples per-node gauges and scheduler counters on the
 // virtual clock and writes them as JSONL; -trace records the job
 // lifecycle plus placement spans (route/push/match) for cmd/traceview.
@@ -29,6 +37,9 @@ import (
 )
 
 func main() {
+	if dispatchScenario(os.Args[1:]) {
+		return
+	}
 	scheme := flag.String("scheme", "can-het", "matchmaker: can-het, can-hom or central")
 	nodes := flag.Int("nodes", 1000, "grid population")
 	jobs := flag.Int("jobs", 20000, "jobs to submit")

@@ -1,0 +1,81 @@
+package main
+
+// Scenario subcommands:
+//
+//	hetgridsim run scenario.yaml [more.yaml...]       execute and report
+//	hetgridsim validate scenario.yaml [more.yaml...]  parse and check only
+//
+// `run` prints each scenario's deterministic report and exits non-zero
+// if any assertion fails — the contract the CI corpus gate relies on.
+// `validate` decodes and validates without running anything, so a whole
+// corpus can be linted cheaply.
+
+import (
+	"fmt"
+	"os"
+
+	"hetgrid/internal/scenario"
+)
+
+// dispatchScenario handles the subcommand forms; it returns false when
+// the invocation is the legacy flag mode.
+func dispatchScenario(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	switch args[0] {
+	case "run":
+		os.Exit(runScenarios(args[1:]))
+	case "validate":
+		os.Exit(validateScenarios(args[1:]))
+	}
+	return false
+}
+
+func runScenarios(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "hetgridsim run: no scenario files given")
+		return 2
+	}
+	status := 0
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		spec, err := scenario.LoadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
+			status = 1
+			continue
+		}
+		res, err := scenario.Run(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
+			status = 1
+			continue
+		}
+		fmt.Print(res.Report)
+		if !res.Passed() {
+			status = 1
+		}
+	}
+	return status
+}
+
+func validateScenarios(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "hetgridsim validate: no scenario files given")
+		return 2
+	}
+	status := 0
+	for _, path := range paths {
+		spec, err := scenario.LoadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim validate:", err)
+			status = 1
+			continue
+		}
+		fmt.Printf("ok %s (%s, %d nodes, %d events)\n", path, spec.Name, spec.Grid.Nodes, len(spec.Events))
+	}
+	return status
+}

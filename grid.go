@@ -185,10 +185,14 @@ func (g *Grid) RemoveNode(id NodeID) (requeued, lost []*JobHandle, err error) {
 	if g.ov.Node(can.NodeID(id)) == nil {
 		return nil, nil, fmt.Errorf("hetgrid: unknown node %d", id)
 	}
-	orphans := g.cluster.RemoveNode(can.NodeID(id))
+	// Leave the overlay before draining the runtime: if the overlay
+	// rejects the departure we have mutated nothing, whereas draining
+	// first would strand the orphaned jobs — removed from the cluster's
+	// books but never re-matched — on the error return.
 	if _, err := g.ov.Leave(can.NodeID(id)); err != nil {
 		return nil, nil, err
 	}
+	orphans := g.cluster.RemoveNode(can.NodeID(id))
 	g.record(trace.NodeLeave, id, -1, float64(len(orphans)))
 	for _, j := range orphans {
 		h := g.handleFor(j)

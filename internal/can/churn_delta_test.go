@@ -144,7 +144,7 @@ func TestChurnJournalReplay(t *testing.T) {
 func TestChurnJournalGap(t *testing.T) {
 	o := NewOverlay(2)
 	s := rng.New(7)
-	for i := 0; i < journalCap+50; i++ {
+	for i := 0; i < minJournalCap+50; i++ {
 		for try := 0; try < 4; try++ {
 			if _, err := o.Join(randomPoint(s, 2), nil); err == nil {
 				break

@@ -11,13 +11,25 @@ package can
 // events since their last synchronized version and splice, instead of
 // rebuilding from scratch on every churn event.
 //
-// The ring holds the last journalCap events. ChurnSince is
-// all-or-nothing: when the caller's version gap exceeds the retained
-// window it reports false without invoking the callback, and the caller
-// falls back to its full rebuild — the same fallback that covers a
-// table seeing an overlay for the first time. Correctness therefore
-// never depends on the journal's capacity; only the cost of catching up
-// does.
+// The ring's capacity adapts to the population: it starts at
+// minJournalCap and grows (never shrinks) so that it always retains at
+// least half a population's worth of events. At steady per-node churn —
+// each node joining or leaving with a fixed hazard rate — the events
+// arriving within one polling interval scale linearly with the
+// population, so a fixed cap that comfortably covers a 1,000-node grid
+// is poisoned at 100,000 nodes: every heartbeat-cadence refresh would
+// find its gap already evicted and fall back to a full rebuild. Growth
+// re-files the retained events into the larger ring (amortized O(1) per
+// event, capacity doubles), and ChurnSince additionally tracks how many
+// events have actually been recorded, so a freshly grown ring never
+// serves a gap it only nominally covers.
+//
+// ChurnSince is all-or-nothing: when the caller's version gap exceeds
+// the retained window it reports false without invoking the callback,
+// and the caller falls back to its full rebuild — the same fallback
+// that covers a table seeing an overlay for the first time. Correctness
+// therefore never depends on the journal's capacity; only the cost of
+// catching up does.
 
 // NoneID marks an absent node reference in a ChurnEvent.
 const NoneID NodeID = -1
@@ -36,33 +48,84 @@ type ChurnEvent struct {
 	ZoneChanged [2]NodeID
 }
 
-// journalCap bounds the retained churn window. Consumers that poll on
-// the heartbeat cadence see at most a few events per refresh; anything
-// slower than journalCap events behind is cheaper to rebuild anyway.
-const journalCap = 1024
+// minJournalCap is the retention floor (and the fixed capacity of every
+// overlay up to 2·minJournalCap nodes). Consumers that poll on the
+// heartbeat cadence see a few events per refresh at small populations;
+// anything slower than the retained window behind is cheaper to rebuild
+// anyway.
+const minJournalCap = 1024
+
+// journalCapFor returns the ring capacity for a population of n nodes:
+// the smallest power of two ≥ n/2, floored at minJournalCap. Half the
+// population out-lasts any realistic refresh interval — at a one-event-
+// per-node-per-hour churn rate, a consumer would have to fall half an
+// hour behind before the window evicts its gap — while keeping the ring
+// a small fraction of the overlay's own per-node footprint.
+func journalCapFor(n int) int {
+	c := minJournalCap
+	for c < n/2 {
+		c <<= 1
+	}
+	return c
+}
 
 // recordChurn files the event for the version step that was just
-// completed (o.Version() already reflects it).
+// completed (o.Version() already reflects it), growing the ring first
+// when the population has outpaced the current capacity.
 func (o *Overlay) recordChurn(ev ChurnEvent) {
 	if o.journal == nil {
-		o.journal = make([]ChurnEvent, journalCap)
+		o.journalCap = journalCapFor(len(o.nodes))
+		o.journal = make([]ChurnEvent, o.journalCap)
+	} else if c := journalCapFor(len(o.nodes)); c > o.journalCap {
+		o.growJournal(c)
 	}
-	o.journal[(o.Version()-1)%journalCap] = ev
+	o.journal[(o.Version()-1)%uint64(o.journalCap)] = ev
+	if o.journalLen < o.journalCap {
+		o.journalLen++
+	}
+}
+
+// growJournal re-files the retained events into a larger ring. Versions
+// keep their canonical slot (ver-1) mod cap, so ChurnSince needs no
+// epoch bookkeeping across the resize; the retained count is unchanged
+// (growth adds capacity, not history).
+func (o *Overlay) growJournal(newCap int) {
+	nj := make([]ChurnEvent, newCap)
+	// The current version's event is stored after the resize; the old
+	// ring retains versions [v-journalLen, v-1].
+	v := o.Version()
+	for ver := v - uint64(o.journalLen); ver < v; ver++ {
+		nj[(ver-1)%uint64(newCap)] = o.journal[(ver-1)%uint64(o.journalCap)]
+	}
+	o.journal, o.journalCap = nj, newCap
+}
+
+// JournalCap returns the ring's current capacity (minJournalCap before
+// any churn was recorded). Exposed for adaptive consumers that scale
+// their own replay budgets with the retained window.
+func (o *Overlay) JournalCap() int {
+	if o.journal == nil {
+		return minJournalCap
+	}
+	return o.journalCap
 }
 
 // ChurnSince replays, in version order, the membership deltas that
 // advanced the overlay from version `from` to the current version,
 // invoking fn once per event. It reports false — without calling fn at
-// all — when the gap exceeds the retained window (or `from` is from the
-// future), in which case the caller must rebuild from scratch. A call
-// with from == Version() is a successful no-op.
+// all — when the retained window no longer covers the gap (or `from` is
+// from the future), in which case the caller must rebuild from scratch.
+// The window is the number of events actually recorded, capped at the
+// ring capacity: a consumer exactly JournalCap() versions behind a
+// long-running overlay replays successfully; one more version behind
+// falls back. A call with from == Version() is a successful no-op.
 func (o *Overlay) ChurnSince(from uint64, fn func(ChurnEvent)) bool {
 	v := o.Version()
-	if from > v || v-from > journalCap || (v-from > 0 && o.journal == nil) {
+	if from > v || v-from > uint64(o.journalLen) {
 		return false
 	}
 	for ver := from + 1; ver <= v; ver++ {
-		fn(o.journal[(ver-1)%journalCap])
+		fn(o.journal[(ver-1)%uint64(o.journalCap)])
 	}
 	return true
 }

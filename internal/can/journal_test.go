@@ -1,0 +1,171 @@
+package can
+
+import (
+	"testing"
+
+	"hetgrid/internal/rng"
+)
+
+// shadowLog is the unbounded reference the ring is checked against: it
+// records every ChurnEvent ever emitted, indexed by version.
+type shadowLog struct {
+	events []ChurnEvent // events[i] advanced version i → i+1
+}
+
+func (l *shadowLog) record(o *Overlay) {
+	// Called immediately after one successful Join or Leave: replay just
+	// that step from the ring (gap 1 is always retained).
+	if !o.ChurnSince(o.Version()-1, func(ev ChurnEvent) { l.events = append(l.events, ev) }) {
+		panic("gap-1 ChurnSince failed")
+	}
+	if uint64(len(l.events)) != o.Version() {
+		panic("shadow log out of sync")
+	}
+}
+
+// checkLag replays the ring from `lag` versions behind and compares
+// against the shadow log. wantOK says whether the ring must still cover
+// the gap.
+func checkLag(t *testing.T, o *Overlay, l *shadowLog, lag uint64, wantOK bool) {
+	t.Helper()
+	v := o.Version()
+	from := v - lag
+	var got []ChurnEvent
+	ok := o.ChurnSince(from, func(ev ChurnEvent) { got = append(got, ev) })
+	if ok != wantOK {
+		t.Fatalf("ChurnSince(v-%d) at version %d: ok=%v, want %v (cap %d)", lag, v, ok, wantOK, o.JournalCap())
+	}
+	if !ok {
+		if len(got) != 0 {
+			t.Fatalf("failed ChurnSince invoked the callback %d times", len(got))
+		}
+		return
+	}
+	if uint64(len(got)) != lag {
+		t.Fatalf("ChurnSince(v-%d) replayed %d events", lag, len(got))
+	}
+	for i, ev := range got {
+		if want := l.events[from+uint64(i)]; ev != want {
+			t.Fatalf("replay from v-%d: event %d = %+v, want %+v", lag, i, ev, want)
+		}
+	}
+}
+
+// churnStep applies one random join or leave, keeping the population in
+// a small band so the ring capacity stays at minJournalCap while the
+// version count wraps it several times.
+func churnStep(t *testing.T, o *Overlay, s *rng.Stream, l *shadowLog) {
+	t.Helper()
+	if o.Len() > 8 && s.Bool(0.5) {
+		nodes := o.Nodes()
+		victim := nodes[s.Intn(len(nodes))].ID
+		if _, err := o.Leave(victim); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		joined := false
+		for try := 0; try < 8 && !joined; try++ {
+			if _, err := o.Join(randomPoint(s, o.Dims()), nil); err == nil {
+				joined = true
+			}
+		}
+		if !joined {
+			t.Fatal("could not place a join")
+		}
+	}
+	l.record(o)
+}
+
+// TestChurnSinceRingWrapBoundary pins the ring-wrap boundary semantics
+// of ChurnSince: a consumer exactly JournalCap() versions behind
+// replays correctly (every event matching an unbounded shadow log), one
+// more version behind falls back all-or-nothing, and both hold at and
+// around version multiples of the capacity — where the ring's modular
+// indexing wraps and an off-by-one would serve the newest event in
+// place of the oldest.
+func TestChurnSinceRingWrapBoundary(t *testing.T) {
+	o := NewOverlay(2)
+	s := rng.NewSplit(11, "journal-wrap")
+	l := &shadowLog{}
+
+	cap64 := uint64(minJournalCap)
+	// Drive the version count through two full wraps of the ring.
+	for o.Version() < 2*cap64+cap64/2 {
+		churnStep(t, o, s, l)
+		v := o.Version()
+		// At every version near a wrap boundary (k·cap ± 2), and at a
+		// sparse cadence in between, check the exact-cap and cap+1 lags.
+		nearWrap := v%cap64 <= 2 || v%cap64 >= cap64-2
+		if !nearWrap && v%97 != 0 {
+			continue
+		}
+		if o.JournalCap() != minJournalCap {
+			t.Fatalf("ring grew to %d at population %d; the wrap test needs the fixed floor", o.JournalCap(), o.Len())
+		}
+		checkLag(t, o, l, 0, true)
+		checkLag(t, o, l, 1, true)
+		if v >= cap64 {
+			checkLag(t, o, l, cap64, true)    // exactly journalCap behind: replays
+			checkLag(t, o, l, cap64+1, false) // one more: all-or-nothing fallback
+		} else {
+			checkLag(t, o, l, v, true) // everything since genesis is retained
+		}
+	}
+	// Future versions are always rejected.
+	if o.ChurnSince(o.Version()+1, func(ChurnEvent) {}) {
+		t.Fatal("ChurnSince from a future version reported success")
+	}
+}
+
+// TestJournalGrowsWithPopulation pins the adaptive-capacity contract:
+// growth triggers when the population crosses twice the capacity, the
+// resize preserves every retained event (replays across the grow
+// boundary match the shadow log), and a freshly grown ring never claims
+// a window it has not actually recorded.
+func TestJournalGrowsWithPopulation(t *testing.T) {
+	o := NewOverlay(2)
+	s := rng.NewSplit(5, "journal-grow")
+	l := &shadowLog{}
+
+	join := func() {
+		for try := 0; try < 8; try++ {
+			if _, err := o.Join(randomPoint(s, 2), nil); err == nil {
+				l.record(o)
+				return
+			}
+		}
+		t.Fatal("could not place a join")
+	}
+
+	for o.JournalCap() == minJournalCap {
+		join()
+		if o.Len() > 3*minJournalCap {
+			t.Fatalf("ring never grew by population %d", o.Len())
+		}
+	}
+	if got, want := o.JournalCap(), 2*minJournalCap; got != want {
+		t.Fatalf("first growth step: cap %d, want %d", got, want)
+	}
+	if got := o.Len(); got < 2*minJournalCap || got > 2*minJournalCap+2 {
+		t.Fatalf("growth triggered at population %d, want at the 2×cap crossing", got)
+	}
+
+	// Immediately after the grow, the ring's capacity exceeds its
+	// recorded history only nominally — it must still serve exactly what
+	// it retained and no more.
+	v := o.Version()
+	retained := uint64(o.journalLen) // pre-grow window plus the event that triggered growth
+	checkLag(t, o, l, retained, true)
+	checkLag(t, o, l, retained+1, false)
+
+	// Fill past the old capacity: the enlarged window must now serve
+	// gaps the old ring could not.
+	for o.Version() < v+uint64(minJournalCap)/2 {
+		join()
+	}
+	checkLag(t, o, l, uint64(minJournalCap)+uint64(minJournalCap)/2, true)
+	checkLag(t, o, l, uint64(o.journalLen)+1, false)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

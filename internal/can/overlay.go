@@ -113,8 +113,13 @@ type Overlay struct {
 	snapValid   bool
 
 	// Churn journal (journal.go): ring of per-version membership deltas
-	// replayed by ChurnSince.
-	journal []ChurnEvent
+	// replayed by ChurnSince. journalCap is the ring's current capacity
+	// (grown with the population, never shrunk); journalLen counts the
+	// events actually recorded, capped at journalCap — the retained
+	// window ChurnSince can serve.
+	journal    []ChurnEvent
+	journalCap int
+	journalLen int
 
 	// Counters for diagnostics.
 	joins, leaves, takeoverMoves int

@@ -212,6 +212,31 @@ func (c *Cluster) Submitted() int { return c.submitted }
 // Finished reports how many jobs have completed.
 func (c *Cluster) Finished() int { return c.finished }
 
+// Totals counts the jobs currently queued and running across every
+// node. It walks all runtimes — diagnostics and invariant checks, not
+// hot paths.
+func (c *Cluster) Totals() (queued, running int) {
+	for _, r := range c.nodes {
+		queued += len(r.queue)
+		running += len(r.run)
+	}
+	return queued, running
+}
+
+// CheckConservation verifies the cluster-wide job-accounting invariant:
+// every job ever accepted by Submit is either finished, still queued,
+// or still running. RemoveNode deducts its orphans from the submitted
+// count precisely so that this holds while they await re-submission —
+// a failure here means a failure path silently dropped work.
+func (c *Cluster) CheckConservation() error {
+	queued, running := c.Totals()
+	if c.submitted != c.finished+queued+running {
+		return fmt.Errorf("exec: job conservation violated: submitted %d != finished %d + queued %d + running %d",
+			c.submitted, c.finished, queued, running)
+	}
+	return nil
+}
+
 // Submit places a job in the FIFO queue of its run node (the output of
 // matchmaking). The job may start immediately if the queue is empty and
 // its CEs are available.

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/sim"
+)
+
+// TestJobConservation pins the cluster-wide accounting invariant across
+// the full job lifecycle, including the failure path: submitted ==
+// finished + queued + running at every step. RemoveNode deducts its
+// orphans from the submitted count — they are outside the books until
+// re-submitted — so the invariant catches a failure path that drains a
+// node's queue and then silently drops the work.
+func TestJobConservation(t *testing.T) {
+	eng, c := newTestCluster(0)
+	c.AddNode(1, testCaps(2.0, 2))
+	c.AddNode(2, testCaps(2.0, 2))
+
+	must := func(stage string) {
+		t.Helper()
+		if err := c.CheckConservation(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+	must("empty cluster")
+
+	// Fill node 1: one running job, three queued behind it.
+	var onVictim []*Job
+	for i := 0; i < 4; i++ {
+		j := cpuJob(JobID(i+1), 2, 100*sim.Second)
+		if err := c.Submit(j, 1); err != nil {
+			t.Fatal(err)
+		}
+		onVictim = append(onVictim, j)
+	}
+	if err := c.Submit(cpuJob(10, 1, 50*sim.Second), 2); err != nil {
+		t.Fatal(err)
+	}
+	must("after submits")
+	if q, r := c.Totals(); q != 3 || r != 2 {
+		t.Fatalf("totals = (%d queued, %d running), want (3, 2)", q, r)
+	}
+
+	// Let some work finish, then fail node 1 mid-run.
+	eng.RunUntil(eng.Now().Add(60 * sim.Second))
+	must("mid-run")
+
+	orphans := c.RemoveNode(can.NodeID(1))
+	must("after RemoveNode")
+	if len(orphans) == 0 {
+		t.Fatal("removing a loaded node produced no orphans")
+	}
+	for _, j := range orphans {
+		if j.State != Queued {
+			t.Fatalf("orphan %d in state %v, want Queued", j.ID, j.State)
+		}
+	}
+
+	// Re-submitting every orphan restores it to the books; the invariant
+	// must hold after each individual re-submission, not just at the end.
+	for _, j := range orphans {
+		if err := c.Submit(j, 2); err != nil {
+			t.Fatalf("re-submit orphan %d: %v", j.ID, err)
+		}
+		must("after orphan re-submission")
+	}
+	_ = onVictim
+
+	eng.Run()
+	must("after drain")
+	if q, r := c.Totals(); q != 0 || r != 0 {
+		t.Fatalf("totals after drain = (%d, %d), want empty", q, r)
+	}
+	if c.Finished() != c.Submitted() {
+		t.Fatalf("finished %d != submitted %d after drain", c.Finished(), c.Submitted())
+	}
+}
+
+// TestRemoveNodeUnknownIsNoOp pins that removing an unknown node
+// mutates nothing — no orphans, no accounting drift.
+func TestRemoveNodeUnknownIsNoOp(t *testing.T) {
+	eng, c := newTestCluster(0)
+	c.AddNode(1, testCaps(2.0, 2))
+	if err := c.Submit(cpuJob(1, 1, 10*sim.Second), 1); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Submitted()
+	if got := c.RemoveNode(can.NodeID(99)); got != nil {
+		t.Fatalf("RemoveNode(99) = %v, want nil", got)
+	}
+	if c.Submitted() != before {
+		t.Fatalf("submitted drifted from %d to %d", before, c.Submitted())
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}

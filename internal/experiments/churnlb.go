@@ -122,8 +122,10 @@ func RunChurnLB(cfg ChurnLBConfig) (*ChurnLBResult, error) {
 		nodes := ov.Nodes()
 		if len(nodes) > 2 {
 			victim := nodes[churnRnd.Intn(len(nodes))]
-			orphans := cluster.RemoveNode(victim.ID)
+			// Overlay departure first: a rejected Leave must not strand
+			// the victim's jobs outside the cluster's books.
 			if _, err := ov.Leave(victim.ID); err == nil {
+				orphans := cluster.RemoveNode(victim.ID)
 				res.Fails++
 				for _, j := range orphans {
 					node, perr := scheduler.Place(j)

@@ -12,9 +12,10 @@ import (
 )
 
 var (
-	cntMsgsSent  = perf.NewCounter("net.msgs_sent")
-	cntBytesSent = perf.NewCounter("net.bytes_sent")
-	cntDropped   = perf.NewCounter("net.msgs_dropped")
+	cntMsgsSent    = perf.NewCounter("net.msgs_sent")
+	cntBytesSent   = perf.NewCounter("net.bytes_sent")
+	cntDropped     = perf.NewCounter("net.msgs_dropped")
+	cntLinkDropped = perf.NewCounter("net.msgs_link_dropped")
 )
 
 // Kind classifies a message for per-type traffic accounting, so the
@@ -75,6 +76,14 @@ type Net struct {
 	// nil means always deliverable.
 	deliverable func(dst can.NodeID) bool
 
+	// linkFault reports whether the src→dst link is currently down;
+	// nil means all links are healthy. Evaluated at delivery time, the
+	// same convention as the deliverable check: a message arriving
+	// while its link is down is lost (never delayed or retried), while
+	// one still in flight when the link heals is delivered normally.
+	linkFault func(src, dst can.NodeID) bool
+	linkDrops int64
+
 	envPool []*envelope // recycled SendMsg envelopes
 }
 
@@ -91,6 +100,31 @@ func New(eng *sim.Engine, latency sim.Duration) *Net {
 // SetDeliverable installs the liveness check used to drop messages to
 // departed nodes.
 func (n *Net) SetDeliverable(f func(dst can.NodeID) bool) { n.deliverable = f }
+
+// SetLinkFault installs the link-level fault oracle used to drop
+// messages crossing a partitioned or severed link. It composes with the
+// deliverable check: a message is delivered only when the destination
+// is alive and the src→dst link is up at arrival time. Passing nil
+// heals everything.
+func (n *Net) SetLinkFault(f func(src, dst can.NodeID) bool) { n.linkFault = f }
+
+// LinkDrops reports how many messages were lost to link faults since
+// construction (a subset of the overall drop accounting, kept separate
+// so scenarios can assert that a partition actually severed traffic).
+func (n *Net) LinkDrops() int64 { return n.linkDrops }
+
+// linkDown reports and counts a fault drop for the src→dst link. The
+// callers guard with `n.linkFault != nil` so the fault-free hot path
+// stays a single inlined nil-check; this slow path only runs when a
+// fault oracle is installed.
+func (n *Net) linkDown(src, dst can.NodeID) bool {
+	if !n.linkFault(src, dst) {
+		return false
+	}
+	cntLinkDropped.Inc()
+	n.linkDrops++
+	return true
+}
 
 // Latency returns the one-way delivery latency.
 func (n *Net) Latency() sim.Duration { return n.latency }
@@ -145,6 +179,9 @@ func (n *Net) Send(src, dst can.NodeID, size int, kind Kind, deliver func(now si
 			cntDropped.Inc()
 			return
 		}
+		if n.linkFault != nil && n.linkDown(src, dst) {
+			return
+		}
 		n.countRecv(dst, size, kind)
 		deliver(now)
 	})
@@ -163,6 +200,7 @@ type Deliverable interface {
 // soon as it fires.
 type envelope struct {
 	net  *Net
+	src  can.NodeID
 	dst  can.NodeID
 	size int
 	kind Kind
@@ -170,11 +208,14 @@ type envelope struct {
 }
 
 func (e *envelope) Call(now sim.Time) {
-	n, dst, size, kind, msg := e.net, e.dst, e.size, e.kind, e.msg
+	n, src, dst, size, kind, msg := e.net, e.src, e.dst, e.size, e.kind, e.msg
 	e.msg = nil
 	n.envPool = append(n.envPool, e)
 	if n.deliverable != nil && !n.deliverable(dst) {
 		cntDropped.Inc()
+		return
+	}
+	if n.linkFault != nil && n.linkDown(src, dst) {
 		return
 	}
 	n.countRecv(dst, size, kind)
@@ -195,7 +236,7 @@ func (n *Net) SendMsg(src, dst can.NodeID, size int, kind Kind, msg Deliverable)
 	} else {
 		env = &envelope{net: n}
 	}
-	env.dst, env.size, env.kind, env.msg = dst, size, kind, msg
+	env.src, env.dst, env.size, env.kind, env.msg = src, dst, size, kind, msg
 	n.eng.AfterCall(n.latency, env)
 }
 

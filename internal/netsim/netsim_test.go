@@ -149,3 +149,88 @@ func TestDeathInFlight(t *testing.T) {
 		t.Fatal("message delivered to a node that died in flight")
 	}
 }
+
+// msgProbe is a Deliverable that records delivery, for exercising the
+// pooled SendMsg path under link faults.
+type msgProbe struct{ delivered int }
+
+func (m *msgProbe) Deliver(sim.Time) { m.delivered++ }
+
+// TestLinkFaultDropsCrossingTraffic pins the link-fault layer on both
+// send paths: messages crossing a blocked link are silently lost and
+// counted, traffic on healthy links is untouched, and the fault is
+// evaluated at delivery time — a message still in flight when the link
+// heals is delivered, mirroring the deliverable check's convention.
+func TestLinkFaultDropsCrossingTraffic(t *testing.T) {
+	eng := sim.New()
+	n := New(eng, 10)
+	p := NewPartition()
+	n.SetLinkFault(p.Blocked)
+
+	p.Isolate(2)
+	delivered := 0
+	probe := &msgProbe{}
+	n.Send(1, 2, 64, KindOther, func(sim.Time) { delivered++ }) // crosses: dropped
+	n.Send(2, 2, 64, KindOther, func(sim.Time) { delivered++ }) // intra-island: flows
+	n.SendMsg(1, 2, 64, KindOther, probe)                       // crosses, pooled path: dropped
+	n.SendMsg(3, 4, 64, KindOther, probe)                       // healthy side: flows
+	eng.Run()
+	if delivered != 1 || probe.delivered != 1 {
+		t.Fatalf("delivered closure=%d pooled=%d, want 1 and 1", delivered, probe.delivered)
+	}
+	if n.LinkDrops() != 2 {
+		t.Fatalf("LinkDrops = %d, want 2", n.LinkDrops())
+	}
+	if got := n.Total().MsgsRecv; got != 2 {
+		t.Fatalf("MsgsRecv = %d; dropped messages must not count as received", got)
+	}
+
+	// Heal mid-flight: the fault is a delivery-time predicate.
+	p.Isolate(2)
+	n.Send(1, 2, 64, KindOther, func(sim.Time) { delivered++ })
+	p.HealAll()
+	// The in-flight message above was sent while blocked but the fault
+	// is checked at delivery — with the partition healed it now flows.
+	n.Send(1, 2, 64, KindOther, func(sim.Time) { delivered++ })
+	eng.Run()
+	if delivered != 3 {
+		t.Fatalf("delivered = %d after heal, want 3 (both flow once healed)", delivered)
+	}
+	if n.LinkDrops() != 2 {
+		t.Fatalf("LinkDrops = %d after heal, want unchanged 2", n.LinkDrops())
+	}
+}
+
+// TestPartitionOracle pins the boundary predicate: only links with
+// exactly one isolated endpoint are blocked, in both directions.
+func TestPartitionOracle(t *testing.T) {
+	p := NewPartition()
+	if p.Blocked(1, 2) || p.Size() != 0 {
+		t.Fatal("empty partition must block nothing")
+	}
+	p.Isolate(1, 3)
+	if !p.Blocked(1, 2) || !p.Blocked(2, 1) {
+		t.Fatal("boundary link not blocked both ways")
+	}
+	if p.Blocked(1, 3) {
+		t.Fatal("intra-island link blocked")
+	}
+	if p.Blocked(2, 4) {
+		t.Fatal("majority-side link blocked")
+	}
+	if got := p.Isolated(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Isolated() = %v", got)
+	}
+	p.Heal(1)
+	if p.Blocked(1, 2) {
+		t.Fatal("healed node still blocked")
+	}
+	if !p.Blocked(3, 1) {
+		t.Fatal("remaining isolated node unblocked")
+	}
+	p.HealAll()
+	if p.Blocked(3, 1) || p.Size() != 0 {
+		t.Fatal("HealAll left residue")
+	}
+	_ = can.NodeID(0)
+}

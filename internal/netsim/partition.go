@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"sort"
+
+	"hetgrid/internal/can"
+)
+
+// Partition models a network partition as an isolated node set: every
+// message crossing the boundary between the isolated set and the rest
+// of the grid is dropped, while traffic wholly inside either side still
+// flows. Install its Blocked oracle with Net.SetLinkFault; Isolate and
+// Heal then take effect on the next delivery with no further plumbing.
+// The zero-cost empty partition blocks nothing.
+type Partition struct {
+	isolated map[can.NodeID]struct{}
+}
+
+// NewPartition returns a healed (empty) partition.
+func NewPartition() *Partition {
+	return &Partition{isolated: make(map[can.NodeID]struct{})}
+}
+
+// Isolate moves the given nodes to the isolated side. Isolating an
+// already isolated node is a no-op.
+func (p *Partition) Isolate(ids ...can.NodeID) {
+	for _, id := range ids {
+		p.isolated[id] = struct{}{}
+	}
+}
+
+// Heal returns the given nodes to the majority side.
+func (p *Partition) Heal(ids ...can.NodeID) {
+	for _, id := range ids {
+		delete(p.isolated, id)
+	}
+}
+
+// HealAll clears the partition entirely.
+func (p *Partition) HealAll() {
+	clear(p.isolated)
+}
+
+// Blocked reports whether a src→dst message crosses the partition
+// boundary — exactly one endpoint is isolated. It has the signature
+// Net.SetLinkFault expects.
+func (p *Partition) Blocked(src, dst can.NodeID) bool {
+	_, a := p.isolated[src]
+	_, b := p.isolated[dst]
+	return a != b
+}
+
+// Isolated returns the isolated node ids in ascending order.
+func (p *Partition) Isolated() []can.NodeID {
+	out := make([]can.NodeID, 0, len(p.isolated))
+	for id := range p.isolated {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size reports how many nodes are currently isolated.
+func (p *Partition) Size() int { return len(p.isolated) }

@@ -3,6 +3,7 @@ package proto
 import (
 	"hetgrid/internal/can"
 	"hetgrid/internal/geom"
+	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
 	"hetgrid/internal/sim"
 )
@@ -73,6 +74,12 @@ type ChurnDriver struct {
 	// with the departed host's id; failed reports a silent failure (the
 	// repair transient runs) rather than a graceful leave.
 	OnLeave func(id can.NodeID, failed bool)
+	// JoinPoint, when non-nil, supplies the overlay point and node
+	// capabilities for each join instead of the driver's own point
+	// stream — scenario engines use it to couple churn-admitted nodes
+	// to a heterogeneous fleet. When nil the driver draws uniform
+	// points and joins capability-less hosts, exactly as before.
+	JoinPoint func() (geom.Point, *resource.NodeCaps)
 }
 
 // NewChurnDriver prepares a driver; Start schedules its events.
@@ -86,13 +93,16 @@ func NewChurnDriver(s *Sim, cfg ChurnConfig) *ChurnDriver {
 }
 
 // Start schedules the initial sequential joins and, if MeanEventGap is
-// positive, the subsequent churn process.
+// positive, the subsequent churn process. Scheduling is relative to the
+// engine's current time, so a driver can be started mid-scenario (at
+// time zero this is identical to the original absolute schedule).
 func (d *ChurnDriver) Start() {
+	base := d.s.Eng.Now()
 	for i := 0; i < d.cfg.InitialNodes; i++ {
-		at := sim.Time(int64(i) * int64(d.cfg.JoinGap))
+		at := base + sim.Time(int64(i)*int64(d.cfg.JoinGap))
 		d.s.Eng.At(at, func(sim.Time) { d.join() })
 	}
-	d.ChurnStart = sim.Time(int64(d.cfg.InitialNodes) * int64(d.cfg.JoinGap))
+	d.ChurnStart = base + sim.Time(int64(d.cfg.InitialNodes)*int64(d.cfg.JoinGap))
 	if d.cfg.MeanEventGap > 0 {
 		d.s.Eng.At(d.ChurnStart, d.churnEvent)
 	}
@@ -112,7 +122,16 @@ func (d *ChurnDriver) randomPoint() geom.Point {
 
 func (d *ChurnDriver) join() {
 	for try := 0; try < 4; try++ {
-		if n, err := d.s.Join(d.randomPoint()); err == nil {
+		var (
+			p    geom.Point
+			caps *resource.NodeCaps
+		)
+		if d.JoinPoint != nil {
+			p, caps = d.JoinPoint()
+		} else {
+			p = d.randomPoint()
+		}
+		if n, err := d.s.JoinNode(p, caps); err == nil {
 			d.Joins++
 			if d.OnJoin != nil {
 				d.OnJoin(n.ID)

@@ -98,7 +98,9 @@ func (h *Host) onTick(now sim.Time) {
 
 	// 1. Expire neighbors that have gone silent. A silent disappearance
 	// (no take-over announcement explained it) is itself a broken-link
-	// signal for the adaptive scheme.
+	// signal for the adaptive scheme. Deadlines are exclusive (see
+	// view.expire): a record heard exactly timeout ago survives this
+	// tick, matching the half-timeout grace rule for indirect entries.
 	passiveDeadline := now - sim.Time(cfg.passiveTTL())
 	if cfg.PassiveTTLPeriods <= 0 {
 		passiveDeadline = -1 << 60 // no passive expiry
@@ -234,7 +236,11 @@ func (h *Host) detectBrokenLink() bool {
 
 // graceTime is the liveness credit granted to indirectly learned
 // entries: half a timeout from now, so they expire soon unless the node
-// confirms itself directly.
+// confirms itself directly. The credit interacts with expiry through
+// the same strict-deadline rule as direct records: a graced entry's
+// lastHeard of now − timeout/2 keeps it alive through every tick whose
+// deadline is ≤ that instant (half a timeout of slack), and the first
+// strictly later deadline removes it.
 func (h *Host) graceTime(now sim.Time) sim.Time {
 	return now - sim.Time(h.s.Cfg.timeout()/2)
 }

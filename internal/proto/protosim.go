@@ -8,6 +8,7 @@ import (
 	"hetgrid/internal/can"
 	"hetgrid/internal/geom"
 	"hetgrid/internal/netsim"
+	"hetgrid/internal/resource"
 	"hetgrid/internal/rng"
 	"hetgrid/internal/sim"
 )
@@ -48,9 +49,16 @@ type Sim struct {
 	introScratch []Record
 }
 
-// NewSim creates a protocol simulation over a d-dimensional CAN.
+// NewSim creates a protocol simulation over a d-dimensional CAN with
+// its own event engine.
 func NewSim(dims int, cfg Config) *Sim {
-	eng := sim.New()
+	return NewSimOn(sim.New(), dims, cfg)
+}
+
+// NewSimOn creates a protocol simulation on an existing engine, so the
+// protocol plane can share virtual time with an execution plane (the
+// scenario engine drives both off one clock).
+func NewSimOn(eng *sim.Engine, dims int, cfg Config) *Sim {
 	s := &Sim{
 		Eng:   eng,
 		Net:   netsim.New(eng, cfg.Latency),
@@ -82,15 +90,27 @@ func (s *Sim) hostIDs() []can.NodeID {
 	return ids
 }
 
+// HostIDs returns the live host ids in ascending order — the stable
+// iteration order external drivers (fault injectors, scenario victim
+// selection) need for deterministic runs.
+func (s *Sim) HostIDs() []can.NodeID { return s.hostIDs() }
+
 // Join admits a node at point p: the ground-truth overlay splits the
 // zone, the splitting owner hands the newcomer the relevant slice of its
 // neighbor table, and the owner announces the change to its former
 // neighborhood (so that a join with no concurrent events leaves no
 // broken links).
 func (s *Sim) Join(p geom.Point) (*can.Node, error) {
+	return s.JoinNode(p, nil)
+}
+
+// JoinNode is Join with node capabilities attached to the overlay
+// record, for drivers that couple the protocol plane to an execution
+// plane and need the heterogeneity-aware placement inputs populated.
+func (s *Sim) JoinNode(p geom.Point, caps *resource.NodeCaps) (*can.Node, error) {
 	now := s.Eng.Now()
 	owner := s.Ov.Owner(p)
-	node, err := s.Ov.Join(p, nil)
+	node, err := s.Ov.Join(p, caps)
 	if err != nil {
 		return nil, err
 	}

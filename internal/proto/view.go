@@ -170,6 +170,17 @@ func (v *view) indirect(rec Record, now, graceTime sim.Time) {
 // under churn as dead hints accumulate. Passive removals are silent (no
 // tombstone, no broken-link signal). Returns the removed active ids in
 // ascending order.
+//
+// Boundary rule: every deadline comparison is strict. An entry whose
+// lastHeard equals the deadline exactly — a record timestamped
+// precisely timeout ago — is still live this round and expires only
+// once it is strictly older; symmetrically, lastRankedBy == deadline
+// still counts as "recently ranking us" (>=) and keeps the entry
+// active. The same convention makes the half-timeout grace horizon
+// consistent: an entry admitted at graceTime (lastHeard = now −
+// timeout/2) survives ticks whose deadline has not passed that instant,
+// and expires on the first tick where it is strictly older — the
+// deadline-exact record and the grace-exact record behave identically.
 func (v *view) expire(deadline, passiveDeadline, buryUntil sim.Time) []can.NodeID {
 	gone, stale := v.goneBuf[:0], v.staleBuf[:0]
 	for id, e := range v.entries {

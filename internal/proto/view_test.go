@@ -5,6 +5,7 @@ import (
 
 	canpkg "hetgrid/internal/can"
 	"hetgrid/internal/geom"
+	"hetgrid/internal/sim"
 )
 
 func zone2(lox, loy, hix, hiy float64) geom.Zone {
@@ -200,4 +201,93 @@ func TestRankedRespectsPerFaceCap(t *testing.T) {
 	if got := v.ranked(self, 1); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("perFace=1 = %v, want [1]", got)
 	}
+}
+
+// TestViewExpireDeadlineBoundary pins the exclusive-deadline rule on
+// both sides: a record heard exactly at the deadline (timestamped
+// precisely timeout ago) survives the tick, and one tick older expires.
+// The same edge holds for the passive horizon and for the lastRankedBy
+// activity test, so every liveness comparison in expire shares one
+// boundary convention.
+func TestViewExpireDeadlineBoundary(t *testing.T) {
+	const deadline = 1000
+
+	v := newView()
+	v.direct(Record{ID: 1, Zone: zone2(0, 0, 0.5, 1)}, deadline)   // exactly at the deadline
+	v.direct(Record{ID: 2, Zone: zone2(0.5, 0, 1, 1)}, deadline-1) // one tick older
+	v.markRanked([]canpkg.NodeID{1, 2})
+	if gone := v.expire(deadline, -1<<60, 9999); len(gone) != 1 || gone[0] != 2 {
+		t.Fatalf("expire removed %v, want exactly [2]", gone)
+	}
+	if !v.has(1) {
+		t.Fatal("record heard exactly timeout ago expired; the deadline must be exclusive")
+	}
+	// The surviving edge record is strictly older on the next tick.
+	v.markRanked([]canpkg.NodeID{1})
+	if gone := v.expire(deadline+1, -1<<60, 9999); len(gone) != 1 || gone[0] != 1 {
+		t.Fatalf("next tick removed %v, want [1]", gone)
+	}
+
+	// lastRankedBy == deadline still counts as active (>=): the entry is
+	// liveness-checked, not parked as a passive hint.
+	v = newView()
+	v.direct(Record{ID: 3, Zone: zone2(0, 0, 0.5, 1)}, deadline-1)
+	v.entries[3].lastRankedBy = deadline
+	if gone := v.expire(deadline, -1<<60, 9999); len(gone) != 1 || gone[0] != 3 {
+		t.Fatalf("rankedBy-at-deadline entry not treated as active: gone=%v", gone)
+	}
+
+	// Passive horizon shares the convention: at the deadline survives,
+	// one older silently drops (no tombstone). The entries are passive
+	// because they are unranked in both directions (lastRankedBy zero is
+	// older than any positive active deadline).
+	v = newView()
+	v.direct(Record{ID: 4, Zone: zone2(0, 0, 0.5, 1)}, deadline)
+	v.direct(Record{ID: 5, Zone: zone2(0.5, 0, 1, 1)}, deadline-1)
+	if gone := v.expire(deadline+1, deadline, 9999); len(gone) != 0 {
+		t.Fatalf("passive pruning buried %v", gone)
+	}
+	if !v.has(4) || v.has(5) {
+		t.Fatal("passive horizon boundary off by one")
+	}
+	if v.tombstoned(5, deadline+1) {
+		t.Fatal("passive removal must be silent, not tombstoned")
+	}
+}
+
+// TestGraceExpiryBoundary ties the half-timeout grace credit to the
+// expiry deadline through a real Config: an indirectly learned entry
+// admitted at graceTime(now) survives heartbeat ticks for exactly half
+// a timeout, then expires — consistently with a direct record heard at
+// the same instant.
+func TestGraceExpiryBoundary(t *testing.T) {
+	cfg := fastConfig(Vanilla)
+	s := NewSim(2, cfg)
+	a, err := s.Join(geom.Point{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Host(a.ID)
+
+	now := sim.Time(100 * cfg.HeartbeatPeriod)
+	grace := h.graceTime(now)
+	half := sim.Time(cfg.timeout() / 2)
+	if grace != now-half {
+		t.Fatalf("graceTime = %d, want now-timeout/2 = %d", grace, now-half)
+	}
+
+	check := func(tick sim.Time, wantAlive bool) {
+		t.Helper()
+		v := newView()
+		v.indirect(Record{ID: 9, Zone: zone2(0.5, 0, 1, 1)}, now, grace)
+		v.markRanked([]canpkg.NodeID{9})
+		v.expire(tick-sim.Time(cfg.timeout()), -1<<60, tick+1)
+		if v.has(9) != wantAlive {
+			t.Fatalf("graced entry at tick %d: alive=%v, want %v", tick, v.has(9), wantAlive)
+		}
+	}
+	// Deadline exactly at the grace timestamp: survives (exclusive rule).
+	check(now+half, true)
+	// First strictly later deadline: expires.
+	check(now+half+1, false)
 }

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpus runs every shipped example scenario and requires its
+// assertion battery to pass and its report to be reproducible. This is
+// the same gate CI runs through `make scenario-smoke`.
+func TestCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus runs take a few seconds each")
+	}
+	paths, err := filepath.Glob("../../examples/scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 6 {
+		t.Fatalf("found %d corpus scenarios, want at least 6", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			spec, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Passed() {
+				t.Fatalf("scenario failed:\n%s", res.Report)
+			}
+			spec2, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := Run(spec2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report != res2.Report {
+				t.Fatalf("report not reproducible:\n--- first\n%s\n--- second\n%s", res.Report, res2.Report)
+			}
+		})
+	}
+}

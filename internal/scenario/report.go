@@ -1,0 +1,119 @@
+package scenario
+
+// The result of a scenario run: a flat metric map for bound assertions
+// and a deterministic plain-text report. Rendering is fully ordered —
+// metrics in a fixed declaration order, violations in occurrence order,
+// floats at fixed precision — so two runs of the same spec and seed
+// produce byte-identical reports.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Spec       *Spec
+	Metrics    map[string]float64
+	Violations []string // empty iff every assertion held
+	Report     string   // deterministic plain-text rendering
+}
+
+// Passed reports whether every assertion held.
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+// metricNames fixes the report order and the vocabulary `assert.bounds`
+// may reference. Adding a metric here is the single change needed to
+// expose it to bound assertions.
+var metricNames = []string{
+	"submitted",      // jobs entering the system (arrivals + bursts)
+	"placed",         // first-time placements that succeeded
+	"place_failed",   // first-time placements no node could satisfy
+	"finished",       // jobs that ran to completion
+	"queued",         // jobs still waiting at the horizon
+	"running",        // jobs still executing at the horizon
+	"requeued",       // orphans re-matched after an injected failure
+	"lost",           // orphans no remaining node could satisfy
+	"fails",          // silent node failures injected
+	"leaves",         // graceful departures (churn)
+	"joins",          // nodes admitted (initial fleet + waves + churn)
+	"nodes",          // live hosts at the horizon
+	"link_drops",     // messages dropped by partitions
+	"broken_missing", // oracle: missing neighbor links at the horizon
+	"broken_stale",   // oracle: stale neighbor links at the horizon
+	"mean_wait_s",    // mean job wait, seconds (finished jobs)
+	"max_wait_s",     // max job wait, seconds (finished jobs)
+}
+
+func validMetric(name string) bool {
+	for _, m := range metricNames {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownMetrics() []string { return metricNames }
+
+// metrics snapshots the world's ledger as the flat metric map.
+func (w *World) metrics() map[string]float64 {
+	queued, running := w.cluster.Totals()
+	missing, stale := w.psim.BrokenLinks()
+	return map[string]float64{
+		"submitted":      float64(w.cluster.Submitted()),
+		"placed":         float64(w.placed),
+		"place_failed":   float64(w.placeFailed),
+		"finished":       float64(w.cluster.Finished()),
+		"queued":         float64(queued),
+		"running":        float64(running),
+		"requeued":       float64(w.requeued),
+		"lost":           float64(w.lost),
+		"fails":          float64(w.fails),
+		"leaves":         float64(w.leaves),
+		"joins":          float64(w.joins),
+		"nodes":          float64(w.psim.AliveHosts()),
+		"link_drops":     float64(w.psim.Net.LinkDrops()),
+		"broken_missing": float64(missing),
+		"broken_stale":   float64(stale),
+		"mean_wait_s":    w.waits.Mean(),
+		"max_wait_s":     w.waits.Max(),
+	}
+}
+
+func (w *World) result() *Result {
+	r := &Result{
+		Spec:       w.spec,
+		Metrics:    w.metrics(),
+		Violations: append([]string(nil), w.violations...),
+	}
+	r.Report = renderReport(r)
+	return r
+}
+
+func renderReport(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (seed %d, horizon %s)\n", r.Spec.Name, r.Spec.Seed, fmtDur(r.Spec.Duration))
+	for _, name := range metricNames {
+		fmt.Fprintf(&b, "  %-14s %s\n", name, fmtMetric(r.Metrics[name]))
+	}
+	if r.Passed() {
+		b.WriteString("PASS\n")
+	} else {
+		fmt.Fprintf(&b, "FAIL (%d violations)\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  ! %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// fmtMetric renders counts without a fraction and continuous metrics at
+// two decimals — fixed precision keeps the report byte-stable.
+func fmtMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

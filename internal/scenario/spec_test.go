@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+func TestLoadFullDocument(t *testing.T) {
+	spec := mustLoad(t, smokeScenario)
+	if spec.Name != "smoke" || spec.Seed != 7 || spec.Duration != 20*sim.Minute {
+		t.Errorf("header = %q/%d/%v", spec.Name, spec.Seed, spec.Duration)
+	}
+	if spec.Grid.Nodes != 32 || spec.Grid.Racks != 4 || spec.Grid.GPUSlots != 2 {
+		t.Errorf("grid = %+v", spec.Grid)
+	}
+	if spec.Grid.Heartbeat != 10*sim.Second || spec.Grid.Refresh != 10*sim.Second {
+		t.Errorf("heartbeat/refresh = %v/%v (refresh should default to heartbeat)", spec.Grid.Heartbeat, spec.Grid.Refresh)
+	}
+	if spec.Workload.Jobs != 80 || spec.Workload.GPUFraction != 0.3 {
+		t.Errorf("workload = %+v", spec.Workload)
+	}
+	if len(spec.Events) != 6 {
+		t.Fatalf("got %d events, want 6", len(spec.Events))
+	}
+	kinds := make([]string, len(spec.Events))
+	for i, ev := range spec.Events {
+		kinds[i] = ev.Kind
+	}
+	want := []string{"fail_nodes", "burst", "partition", "heal", "join_wave", "fail_rack"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if spec.Events[2].Rack != 1 || spec.Events[4].Count != 6 || spec.Events[4].Gap != sim.Second {
+		t.Errorf("event payloads decoded wrong: %+v", spec.Events)
+	}
+	if !spec.Assert.JobsAccounted || spec.Assert.MaxLost != 10 || spec.Assert.MinFinished != 100 {
+		t.Errorf("assert = %+v", spec.Assert)
+	}
+}
+
+func TestLoadDefaults(t *testing.T) {
+	spec := mustLoad(t, "name: minimal\nduration: 1m\ngrid:\n  nodes: 4\n")
+	if spec.Seed != 1 || spec.Grid.Protocol != "compact" || spec.Grid.Scheduler != "can-het" {
+		t.Errorf("defaults = seed %d, protocol %q, scheduler %q", spec.Seed, spec.Grid.Protocol, spec.Grid.Scheduler)
+	}
+	if spec.Grid.Heartbeat != 10*sim.Second || spec.Grid.Racks != 1 {
+		t.Errorf("defaults = heartbeat %v, racks %d", spec.Grid.Heartbeat, spec.Grid.Racks)
+	}
+	if spec.Assert.MaxLost != -1 || spec.Assert.MaxBrokenLinks != -1 {
+		t.Errorf("assert defaults should be unchecked: %+v", spec.Assert)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	valid := "name: x\nduration: 1m\ngrid:\n  nodes: 4\n"
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing name", "duration: 1m\ngrid:\n  nodes: 4\n", "name is required"},
+		{"missing duration", "name: x\ngrid:\n  nodes: 4\n", "duration must be positive"},
+		{"no nodes", "name: x\nduration: 1m\ngrid:\n  nodes: 0\n", "grid.nodes"},
+		{"unknown top field", valid + "bogus: 1\n", `unknown field "bogus"`},
+		{"unknown grid field", "name: x\nduration: 1m\ngrid:\n  nodes: 4\n  cores: 8\n", `unknown field "cores"`},
+		{"bad duration", "name: x\nduration: fast\ngrid:\n  nodes: 4\n", "not a duration"},
+		{"bad protocol", "name: x\nduration: 1m\ngrid:\n  nodes: 4\n  protocol: quantum\n", "unknown protocol"},
+		{"bad scheduler", "name: x\nduration: 1m\ngrid:\n  nodes: 4\n  scheduler: oracle\n", "unknown scheduler"},
+		{"unknown event kind", valid + "events:\n  - at: 1s\n    reboot: 3\n", `unknown field "reboot"`},
+		{"two kinds", valid + "events:\n  - at: 1s\n    fail_nodes: 1\n    heal: all\n", "both"},
+		{"no kind", valid + "events:\n  - at: 1s\n", "no event kind"},
+		{"event past horizon", valid + "events:\n  - at: 2m\n    fail_nodes: 1\n", "outside the horizon"},
+		{"zero count", valid + "events:\n  - at: 1s\n    fail_nodes: 0\n", "count must be positive"},
+		{"rack range", valid + "events:\n  - at: 1s\n    fail_rack: 5\n", "out of range"},
+		{"partition empty", valid + "events:\n  - at: 1s\n    partition: {}\n", "rack or fraction"},
+		{"heal syntax", valid + "events:\n  - at: 1s\n    heal: some\n", "heal: all"},
+		{"churn no gap", valid + "events:\n  - at: 1s\n    churn: {fail_fraction: 0.5}\n", "positive mean_gap"},
+		{"bound unknown metric", valid + "assert:\n  bounds:\n    - metric: happiness\n      max: 1\n", "unknown metric"},
+		{"bound no limits", valid + "assert:\n  bounds:\n    - metric: lost\n", "neither min nor max"},
+		{"bad bool", valid + "assert:\n  zone_cover: maybe\n", "not a boolean"},
+		{"bad int", "name: x\nduration: 1m\ngrid:\n  nodes: many\n", "not an integer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBoundsVocabularyMatchesReport(t *testing.T) {
+	// Every name validate() accepts must actually appear in the metric
+	// map, or a bound would silently compare against zero.
+	w := &World{}
+	for _, name := range knownMetrics() {
+		if !validMetric(name) {
+			t.Errorf("knownMetrics lists %q but validMetric rejects it", name)
+		}
+	}
+	_ = w
+	res := mustRun(t, "name: tiny\nseed: 3\nduration: 30s\ngrid:\n  nodes: 4\n")
+	for _, name := range knownMetrics() {
+		if _, ok := res.Metrics[name]; !ok {
+			t.Errorf("metric %q validates in bounds but is absent from the report map", name)
+		}
+	}
+	for name := range res.Metrics {
+		if !validMetric(name) {
+			t.Errorf("report emits %q but bounds cannot reference it", name)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package scenario
+
+// A hand-written parser for the YAML subset scenario files use. The
+// module is dependency-free by policy, so rather than importing a YAML
+// library this accepts the fragment the corpus actually needs:
+//
+//   - block mappings (`key: value`, `key:` + indented block)
+//   - block sequences (`- value`, `- key: value` with aligned
+//     continuation lines, `-` + indented block)
+//   - one-level flow collections (`{a: 1, b: 2}`, `[a, b]`)
+//   - comments (`#` to end of line) and blank lines
+//   - single- or double-quoted scalars
+//
+// Anchors, aliases, multi-line scalars, nested flow collections and
+// tabs are rejected with positioned errors. Scalars stay strings here;
+// the decode layer interprets numbers, booleans and durations, so type
+// errors carry schema context rather than parser context.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yline is one significant (non-blank, non-comment) source line.
+type yline struct {
+	indent int
+	text   string
+	n      int // 1-based source line number
+}
+
+func lexYAML(src string) ([]yline, error) {
+	var out []yline
+	for i, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range line {
+			if r == '\t' {
+				return nil, fmt.Errorf("line %d: tab indentation is not supported", i+1)
+			}
+			if r != ' ' {
+				break
+			}
+			indent++
+		}
+		out = append(out, yline{indent: indent, text: trimmed, n: i + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment, respecting quoted strings.
+func stripComment(line string) string {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// parseYAML parses a document into nested map[string]any / []any /
+// string values.
+func parseYAML(src string) (any, error) {
+	lines, err := lexYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	pos := 0
+	v, err := parseBlock(lines, &pos, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(lines) {
+		return nil, fmt.Errorf("line %d: unexpected de-indent to column %d", lines[pos].n, lines[pos].indent)
+	}
+	return v, nil
+}
+
+func parseBlock(lines []yline, pos *int, indent int) (any, error) {
+	if strings.HasPrefix(lines[*pos].text, "- ") || lines[*pos].text == "-" {
+		return parseSequence(lines, pos, indent)
+	}
+	return parseMapping(lines, pos, indent)
+}
+
+func parseMapping(lines []yline, pos *int, indent int) (any, error) {
+	m := make(map[string]any)
+	for *pos < len(lines) {
+		ln := lines[*pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indent", ln.n)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, fmt.Errorf("line %d: sequence item in a mapping block", ln.n)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", ln.n, key)
+		}
+		*pos++
+		if rest != "" {
+			v, err := parseScalar(rest, ln.n)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` with nothing after — a nested block or an empty value.
+		if *pos < len(lines) && lines[*pos].indent > indent {
+			v, err := parseBlock(lines, pos, lines[*pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func parseSequence(lines []yline, pos *int, indent int) (any, error) {
+	var s []any
+	for *pos < len(lines) {
+		ln := lines[*pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indent", ln.n)
+		}
+		switch {
+		case ln.text == "-":
+			*pos++
+			if *pos >= len(lines) || lines[*pos].indent <= indent {
+				s = append(s, nil)
+				continue
+			}
+			v, err := parseBlock(lines, pos, lines[*pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			s = append(s, v)
+		case strings.HasPrefix(ln.text, "- "):
+			content := strings.TrimSpace(ln.text[2:])
+			if isMappingStart(content) {
+				// `- key: value`: the item is a mapping whose first entry
+				// sits on the dash line. Re-file the content two columns
+				// deeper (the canonical alignment of `- key: value`
+				// continuations) and parse a mapping block there.
+				lines[*pos] = yline{indent: indent + 2, text: content, n: ln.n}
+				v, err := parseMapping(lines, pos, indent+2)
+				if err != nil {
+					return nil, err
+				}
+				s = append(s, v)
+			} else {
+				v, err := parseScalar(content, ln.n)
+				if err != nil {
+					return nil, err
+				}
+				s = append(s, v)
+				*pos++
+			}
+		default:
+			return nil, fmt.Errorf("line %d: mapping entry in a sequence block", ln.n)
+		}
+	}
+	return s, nil
+}
+
+// isMappingStart reports whether a sequence item's inline content opens
+// a mapping (`key: value` or `key:`) rather than being a plain scalar.
+func isMappingStart(content string) bool {
+	if strings.HasPrefix(content, "{") || strings.HasPrefix(content, "[") {
+		return false
+	}
+	_, _, err := splitKey(yline{text: content})
+	return err == nil
+}
+
+// splitKey separates `key: rest` (or trailing `key:`), unquoting the
+// key. The colon must be followed by a space or end the line, so
+// scalars containing colons (URLs, times) are not mistaken for keys.
+func splitKey(ln yline) (key, rest string, err error) {
+	text := ln.text
+	for i := 0; i < len(text); i++ {
+		if text[i] != ':' {
+			continue
+		}
+		if i+1 < len(text) && text[i+1] != ' ' {
+			continue
+		}
+		key = strings.TrimSpace(text[:i])
+		if key == "" || strings.ContainsAny(key, "{}[],\"'") {
+			break
+		}
+		return key, strings.TrimSpace(text[i+1:]), nil
+	}
+	return "", "", fmt.Errorf("line %d: expected `key: value`, got %q", ln.n, text)
+}
+
+// parseScalar interprets an inline value: a quoted or plain string, or
+// a one-level flow collection.
+func parseScalar(s string, lineNo int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("line %d: unterminated flow mapping %q", lineNo, s)
+		}
+		m := make(map[string]any)
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if part == "" {
+				continue
+			}
+			key, rest, err := splitKey(yline{text: part, n: lineNo})
+			if err != nil {
+				return nil, err
+			}
+			if strings.ContainsAny(rest, "{}[]") {
+				return nil, fmt.Errorf("line %d: nested flow collections are not supported", lineNo)
+			}
+			m[key] = unquote(rest)
+		}
+		return m, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("line %d: unterminated flow sequence %q", lineNo, s)
+		}
+		var out []any
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if part == "" {
+				continue
+			}
+			if strings.ContainsAny(part, "{}[]") {
+				return nil, fmt.Errorf("line %d: nested flow collections are not supported", lineNo)
+			}
+			out = append(out, unquote(part))
+		}
+		return out, nil
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("line %d: YAML %q syntax is not supported", lineNo, s[:1])
+	default:
+		return unquote(s), nil
+	}
+}
+
+func splitFlow(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

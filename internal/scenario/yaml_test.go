@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLDocument(t *testing.T) {
+	got, err := parseYAML(`
+# a comment
+name: demo   # trailing comment
+quoted: "a: b # not a comment"
+empty:
+grid:
+  nodes: 10
+  nested:
+    deep: yes
+list:
+  - plain
+  - key: v1
+    other: v2
+  - {a: 1, b: 2}
+flow: [x, y, z]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":   "demo",
+		"quoted": "a: b # not a comment",
+		"empty":  nil,
+		"grid": map[string]any{
+			"nodes":  "10",
+			"nested": map[string]any{"deep": "yes"},
+		},
+		"list": []any{
+			"plain",
+			map[string]any{"key": "v1", "other": "v2"},
+			map[string]any{"a": "1", "b": "2"},
+		},
+		"flow": []any{"x", "y", "z"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLSequenceOfBlocks(t *testing.T) {
+	got, err := parseYAML(`
+events:
+  - at: 1m
+    fail_nodes: 3
+  - at: 2m
+    burst: {jobs: 40}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := got.(map[string]any)["events"].([]any)
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].(map[string]any)["fail_nodes"] != "3" {
+		t.Errorf("event 0 = %#v", evs[0])
+	}
+	if b := evs[1].(map[string]any)["burst"].(map[string]any); b["jobs"] != "40" {
+		t.Errorf("event 1 burst = %#v", b)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab", "a:\n\tb: 1", "tab indentation"},
+		{"dup key", "a: 1\na: 2", "duplicate key"},
+		{"bad indent", "a: 1\n  b: 2", "unexpected indent"},
+		{"seq in map", "a: 1\n- b", "sequence item in a mapping"},
+		{"map in seq", "x:\n  - a\n  b: 1", "mapping entry in a sequence"},
+		{"unterminated flow map", "a: {x: 1", "unterminated flow mapping"},
+		{"unterminated flow seq", "a: [1, 2", "unterminated flow sequence"},
+		{"nested flow", "a: {x: [1]}", "nested flow"},
+		{"anchor", "a: &x 1", "not supported"},
+		{"block scalar", "a: |", "not supported"},
+		{"no key", "just a scalar line", "expected `key: value`"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseYAMLEmpty(t *testing.T) {
+	got, err := parseYAML("# only comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := got.(map[string]any); !ok || len(m) != 0 {
+		t.Fatalf("got %#v, want empty mapping", got)
+	}
+}

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"slices"
 	"sort"
 
 	"hetgrid/internal/can"
@@ -21,6 +22,7 @@ var (
 	cntAggDirty       = perf.NewCounter("sched.agg_dirty_nodes")
 	cntAggFenUpdates  = perf.NewCounter("sched.agg_fenwick_updates")
 	cntAggChurnSplice = perf.NewCounter("sched.agg_churn_splice_refreshes")
+	cntAggChurnBatch  = perf.NewCounter("sched.agg_churn_batch_refreshes")
 	cntAggChurnEvents = perf.NewCounter("sched.agg_churn_events")
 	tmrAggRefresh     = perf.NewTimer("sched.agg_refresh")
 )
@@ -66,6 +68,7 @@ type AggStats struct {
 	FullRebuilds   int64 // refreshes that recomputed every node (first use, churn gap, all-dirty)
 	IncRefreshes   int64 // refreshes whose load deltas came through the dirty drain
 	ChurnRefreshes int64 // refreshes that spliced membership deltas instead of re-sorting
+	ChurnBatches   int64 // churn refreshes that took the batch compact+merge path
 	ChurnEvents    int64 // cumulative journal events absorbed by splices
 	DirtyDrained   int64 // cumulative dirty-node notifications processed
 	FenwickUpdates int64 // cumulative Fenwick tree-node updates applied
@@ -73,14 +76,15 @@ type AggStats struct {
 }
 
 // maxSpliceEvents bounds how many journal events one refresh will
-// absorb by splicing before a full rebuild is cheaper. Each splice
-// costs O(d·n) in the worst case (an ordered insert/remove memmoves the
-// tail of every per-dimension order), while the rebuild it replaces
-// costs O(d·n·log n) for the re-sort plus the O(n) load sweep — so the
-// break-even batch size is a small multiple of log n, roughly constant
-// across the populations we run. 256 keeps heartbeat-cadence consumers
-// (a handful of events per refresh) firmly on the splice path without
-// ever letting a backlog replay cost more than the rebuild it avoids.
+// absorb on the per-event splice path. Each per-event splice costs
+// O(d·n) in the worst case (an ordered insert/remove memmoves the tail
+// of every per-dimension order), so a backlog replayed one event at a
+// time goes quadratic. 256 keeps heartbeat-cadence consumers at small
+// populations (a handful of events per refresh) on the cheapest path;
+// larger batches — steady churn at XXL populations delivers thousands
+// of events per heartbeat poll — take the batch compact+merge path
+// (batchSplice), which handles the whole backlog in one O(d·(n+Δ·logΔ))
+// pass and is bounded only by the journal's adaptive retained window.
 const maxSpliceEvents = 256
 
 // AggTable holds, for every node and dimension, the aggregated load
@@ -154,9 +158,17 @@ type AggTable struct {
 
 	onDirty   func(can.NodeID)     // applyDirty, bound once so Refresh allocates no closure
 	onChurn   func(can.ChurnEvent) // applyChurn, bound once for the same reason
+	onCollect func(can.ChurnEvent) // collectChurn, bound once for the batch path
 	onDiscard func(can.NodeID)     // no-op drain sink for the full-rebuild path
 	cl        *exec.Cluster        // the cluster being drained, valid during Refresh only
 	changed   bool                 // a drained delta was nonzero (epoch must advance)
+
+	// Batch-splice scratch (batchSplice), reused across refreshes.
+	batchIDs   []can.NodeID // affected ids collected from the journal
+	remapBuf   []int32      // old membership index → compacted index (-1 dropped)
+	ordScratch []int        // per-dim sorted re-admission batch
+	ordMerge   []int        // merged order double-buffer
+	losScratch []float64    // merged zone-start key double-buffer
 
 	stats AggStats
 }
@@ -167,6 +179,7 @@ func NewAggTable(dims int, gpuSlots int) *AggTable {
 	a := &AggTable{dims: dims, ntypes: gpuSlots + 1, idx: make(map[can.NodeID]int32)}
 	a.onDirty = a.applyDirty
 	a.onChurn = a.applyChurn
+	a.onCollect = a.collectChurn
 	a.onDiscard = func(can.NodeID) {}
 	return a
 }
@@ -557,19 +570,203 @@ func (a *AggTable) insertOrder(d, i int, nd *can.Node) {
 	}
 }
 
-// tryChurnSplice brings the topology up to the overlay's current
-// version by replaying the churn journal, returning false (leaving the
-// table untouched) when the table has never seen this overlay, the
-// journal cannot cover the gap, or the batch is large enough that a
-// full rebuild is cheaper. On success the Fenwick trees are linearly
-// reconstructed over the spliced orders, the result epoch advances,
-// and the caller proceeds to the normal dirty drain.
-func (a *AggTable) tryChurnSplice(ov *can.Overlay, cl *exec.Cluster) bool {
-	if a.ov != ov || ov.Version() < a.version || ov.Version()-a.version > maxSpliceEvents {
+// collectChurn is the batch path's journal callback: it only gathers
+// the ids an event touched. Presence is resolved against the current
+// overlay afterwards, so a node that joined and left (or changed zone
+// and then departed) within the window settles to its final state
+// without replaying the intermediate steps.
+func (a *AggTable) collectChurn(ev can.ChurnEvent) {
+	a.stats.ChurnEvents++
+	cntAggChurnEvents.Inc()
+	if ev.Joined != can.NoneID {
+		a.batchIDs = append(a.batchIDs, ev.Joined)
+	}
+	if ev.Left != can.NoneID {
+		a.batchIDs = append(a.batchIDs, ev.Left)
+	}
+	for _, zid := range ev.ZoneChanged {
+		if zid != can.NoneID {
+			a.batchIDs = append(a.batchIDs, zid)
+		}
+	}
+}
+
+// batchSplice absorbs a large churn backlog in one compact+merge pass
+// instead of Δ individual splices. The journal is replayed only to
+// collect the affected ids; every affected node that is still tracked
+// is dropped from the membership and order arrays (one linear
+// compaction per dimension), every affected node still in the overlay
+// is re-admitted with its current zone and load, and the re-admitted
+// batch — sorted per dimension by (Zone.Lo[d], ID) — merges into the
+// compacted order in the same pass. Total cost O(d·(n+Δ·logΔ)) for Δ
+// events over n nodes, versus O(Δ·d·n) for per-event splices — the
+// difference between a heartbeat-cadence poll surviving steady churn
+// at 100k nodes and every poll degenerating to a rebuild.
+//
+// Bit-identity with the rebuild is preserved by the same two facts the
+// per-event path relies on: (Zone.Lo[d], ID) is a canonical total
+// order (so the merged permutation equals the re-sorted one), and the
+// per-event path also resolves zones and loads against the *current*
+// overlay and cluster state, so collapsing a window to its endpoints
+// changes nothing the table stores.
+func (a *AggTable) batchSplice(ov *can.Overlay, cl *exec.Cluster) bool {
+	a.batchIDs = a.batchIDs[:0]
+	if !ov.ChurnSince(a.version, a.onCollect) {
+		// All-or-nothing: nothing was collected, nothing was mutated.
 		return false
 	}
+	slices.Sort(a.batchIDs)
+	a.batchIDs = slices.Compact(a.batchIDs)
+	nt := a.ntypes
+	nodes := a.nodes
+	oldN := len(nodes)
+
+	// Phase 1: drop every affected id that is currently tracked,
+	// subtracting its stored load from the totals, and compact the
+	// membership arrays (preserving relative order so the per-dimension
+	// walk below can reuse old sorted positions).
+	remap := grow(a.remapBuf, oldN)
+	for i := range remap {
+		remap[i] = 0
+	}
+	for _, id := range a.batchIDs {
+		if i, ok := a.idx[id]; ok {
+			remap[i] = -1
+			row := a.loads[int(i)*nt : (int(i)+1)*nt]
+			for t := 0; t < nt; t++ {
+				a.tot[t] = a.tot[t].sub(row[t])
+			}
+			delete(a.idx, id)
+		}
+	}
+	a.remapBuf = remap
+	w := 0
+	for i := 0; i < oldN; i++ {
+		if remap[i] < 0 {
+			continue
+		}
+		remap[i] = int32(w)
+		if w != i {
+			nodes[w] = nodes[i]
+			copy(a.loads[w*nt:(w+1)*nt], a.loads[i*nt:(i+1)*nt])
+			a.idx[nodes[w].ID] = int32(w)
+		}
+		w++
+	}
+	a.nodes = nodes[:w]
+	a.loads = a.loads[:w*nt]
+
+	// Phase 2: re-admit every affected node still in the overlay with
+	// its current zone and load (fresh reads, as spliceIn does).
+	for _, id := range a.batchIDs {
+		nd := ov.Node(id)
+		if nd == nil {
+			continue
+		}
+		i := len(a.nodes)
+		a.nodes = append(a.nodes, nd)
+		a.idx[id] = int32(i)
+		rt := cl.Runtime(id)
+		for t := 0; t < nt; t++ {
+			var nl CELoad
+			if rt != nil {
+				if req, cores, ok := rt.DemandOn(resource.CEType(t)); ok {
+					nl = CELoad{SumRequiredCores: float64(req), SumCores: float64(cores)}
+				}
+			}
+			a.loads = append(a.loads, nl)
+			a.tot[t] = a.tot[t].add(nl)
+		}
+	}
+	n := len(a.nodes)
+	for i := n; i < oldN; i++ {
+		nodes[i] = nil // release departed node pointers promptly
+	}
+
+	// Phase 3: per dimension, walk the old order skipping dropped
+	// entries and merge the sorted re-admitted batch; then rebuild the
+	// position index. Surviving entries kept their zones (any zone
+	// change put the node in the batch), so the walk's keys are exactly
+	// the old ones and the merged sequence is sorted by construction.
+	for d := 0; d < a.dims; d++ {
+		add := a.ordScratch[:0]
+		for i := w; i < n; i++ {
+			add = append(add, i)
+		}
+		sort.Slice(add, func(x, y int) bool {
+			lx, ly := a.nodes[add[x]].Zone.Lo[d], a.nodes[add[y]].Zone.Lo[d]
+			if lx != ly {
+				return lx < ly
+			}
+			return a.nodes[add[x]].ID < a.nodes[add[y]].ID
+		})
+		oldOrd, oldLos := a.order[d], a.los[d]
+		mergedOrd := grow(a.ordMerge, n)
+		mergedLos := grow(a.losScratch, n)
+		m, ai := 0, 0
+		emitAdds := func(limitLo float64, limitID can.NodeID, all bool) {
+			for ai < len(add) {
+				i := add[ai]
+				lo := a.nodes[i].Zone.Lo[d]
+				if !all && (lo > limitLo || (lo == limitLo && a.nodes[i].ID > limitID)) {
+					return
+				}
+				mergedOrd[m], mergedLos[m] = i, lo
+				m++
+				ai++
+			}
+		}
+		for p, oi := range oldOrd {
+			ni := remap[oi]
+			if ni < 0 {
+				continue
+			}
+			emitAdds(oldLos[p], a.nodes[ni].ID, false)
+			mergedOrd[m], mergedLos[m] = int(ni), oldLos[p]
+			m++
+		}
+		emitAdds(0, 0, true)
+		a.ordScratch = add
+		// Swap: the merged arrays become dimension d's order/keys, and
+		// the previous backing arrays become scratch for the next
+		// dimension (grow() re-extends them if this dimension's batch
+		// made the membership larger than they were).
+		a.order[d], a.ordMerge = mergedOrd, oldOrd
+		a.los[d], a.losScratch = mergedLos, oldLos
+		pos := grow(a.pos[d], n)
+		for p, i := range mergedOrd {
+			pos[i] = int32(p)
+		}
+		a.pos[d] = pos
+	}
+	return true
+}
+
+// tryChurnSplice brings the topology up to the overlay's current
+// version by replaying the churn journal, returning false (leaving the
+// table untouched) when the table has never seen this overlay or the
+// journal cannot cover the gap. Small batches (≤ maxSpliceEvents)
+// replay event by event; larger ones — up to the journal's adaptive
+// retained window — take the batch compact+merge path. On success the
+// Fenwick trees are linearly reconstructed over the spliced orders,
+// the result epoch advances, and the caller proceeds to the normal
+// dirty drain.
+func (a *AggTable) tryChurnSplice(ov *can.Overlay, cl *exec.Cluster) bool {
+	if a.ov != ov || ov.Version() < a.version {
+		return false
+	}
+	gap := ov.Version() - a.version
+	var ok bool
 	a.cl = cl
-	ok := ov.ChurnSince(a.version, a.onChurn)
+	if gap <= maxSpliceEvents {
+		ok = ov.ChurnSince(a.version, a.onChurn)
+	} else {
+		ok = a.batchSplice(ov, cl)
+		if ok {
+			a.stats.ChurnBatches++
+			cntAggChurnBatch.Inc()
+		}
+	}
 	a.cl = nil
 	if !ok {
 		// All-or-nothing: a failed ChurnSince invoked no callbacks, so

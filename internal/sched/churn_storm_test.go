@@ -195,13 +195,24 @@ func TestChurnSpliceFallbacks(t *testing.T) {
 		t.Fatalf("small batch: %+v, want one splice of two events", got)
 	}
 
-	// A batch beyond the threshold rebuilds instead.
+	// A batch beyond maxSpliceEvents but within the journal's retained
+	// window takes the batch compact+merge path, not the rebuild.
 	for i := 0; i <= maxSpliceEvents; i++ {
 		addOne()
 	}
 	check()
-	if got := inc.Stats(); got.ChurnRefreshes != 1 || got.FullRebuilds != 2 {
-		t.Fatalf("oversized batch: %+v, want a second full rebuild and no new splice", got)
+	if got := inc.Stats(); got.ChurnRefreshes != 2 || got.ChurnBatches != 1 || got.FullRebuilds != 1 {
+		t.Fatalf("large batch: %+v, want a batch splice and no new rebuild", got)
+	}
+
+	// A backlog beyond the journal's retained window rebuilds instead:
+	// ChurnSince is all-or-nothing once the ring has evicted the gap.
+	for i := 0; i <= ov.JournalCap(); i++ {
+		addOne()
+	}
+	check()
+	if got := inc.Stats(); got.ChurnRefreshes != 2 || got.ChurnBatches != 1 || got.FullRebuilds != 2 {
+		t.Fatalf("evicted backlog: %+v, want a second full rebuild and no new splice", got)
 	}
 
 	// A successful splice whose dirty set was poisoned still needs the
@@ -213,7 +224,7 @@ func TestChurnSpliceFallbacks(t *testing.T) {
 	cl.RemoveNode(victim)
 	cl.MarkAllDirty()
 	check()
-	if got := inc.Stats(); got.ChurnRefreshes != 2 || got.FullRebuilds != 3 {
+	if got := inc.Stats(); got.ChurnRefreshes != 3 || got.FullRebuilds != 3 {
 		t.Fatalf("poisoned splice: %+v, want splice and load fallback on the same refresh", got)
 	}
 }

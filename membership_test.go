@@ -146,3 +146,54 @@ func TestStatsByCE(t *testing.T) {
 		t.Fatalf("no gpu1 breakdown: %v", st.MeanWaitByCE)
 	}
 }
+
+// TestRemoveNodeConservesJobs is the regression test for the silent
+// orphan-drop on the failure path: RemoveNode must leave the cluster's
+// job accounting balanced (submitted == finished + queued + running)
+// after every removal, with every displaced job either re-queued on a
+// survivor or reported lost — never silently gone. It also pins the
+// ordering fix: the overlay departure happens before the runtime drain,
+// so an overlay error cannot strand already-drained orphans.
+func TestRemoveNodeConservesJobs(t *testing.T) {
+	g, _ := New(Options{GPUSlots: 1, Seed: 25})
+	ids, err := g.AddRandomNodes(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := g.Submit(JobSpec{CPU: &CEReqSpec{Cores: 1}, DurationHours: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.cluster.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	displaced := 0
+	for _, victim := range ids[:4] {
+		requeued, lost, err := g.RemoveNode(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		displaced += len(requeued) + len(lost)
+		if err := g.cluster.CheckConservation(); err != nil {
+			t.Fatalf("after removing node %d: %v", victim, err)
+		}
+		// The overlay must already have forgotten the victim when the
+		// orphans were re-matched: no survivor may be the victim.
+		for _, h := range requeued {
+			if h.RunNode() == victim {
+				t.Fatalf("job re-queued on the removed node %d", victim)
+			}
+		}
+	}
+	if displaced == 0 {
+		t.Fatal("four removals displaced no jobs; the test exercises nothing")
+	}
+	g.Run()
+	if err := g.cluster.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if q, r := g.cluster.Totals(); q != 0 || r != 0 {
+		t.Fatalf("drain left (%d queued, %d running)", q, r)
+	}
+}
