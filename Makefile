@@ -1,17 +1,18 @@
 # hetgrid build/verify harness.
 #
 #   make verify   — everything the CI gate runs: build, vet, race tests,
-#                   a short benchmark pass that regenerates BENCH_6.json
-#                   against the BENCH_5.json baseline and fails on >15%
-#                   ns/op or allocs/op regressions, the 10k-node ScaleXL
-#                   and 100k-node ScaleXXL smoke runs, and a telemetry
-#                   smoke run that exercises the metrics/trace exports.
+#                   a short benchmark pass that regenerates BENCH_7.json
+#                   against the BENCH_6.json baseline and fails on >15%
+#                   ns/op or allocs/op regressions, the 10k-node ScaleXL,
+#                   100k-node ScaleXXL and 1M-node ScaleXXXL smoke runs,
+#                   and a telemetry smoke run that exercises the
+#                   metrics/trace exports.
 
 GO ?= go
 BENCHTMP ?= /tmp/hetgrid_bench
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet test race bench bench-xl bench-xxl metrics-smoke scenario-smoke verify
+.PHONY: all build vet test race bench bench-xl bench-xxl bench-xxxl metrics-smoke scenario-smoke verify
 
 all: build
 
@@ -27,7 +28,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_6.json: the figure drivers run at 3 iterations
+# bench regenerates BENCH_7.json: the figure drivers run at 3 iterations
 # (each iteration is a full reduced-scale experiment); the hot-path
 # micro-benchmarks run at 1000 so the overlay caches' one-time build
 # cost amortizes out and ns/op reflects the steady state (the pre-cache
@@ -50,7 +51,10 @@ race:
 # at 112 ms in one process and 145–180 ms across all -count repeats of
 # another — heap layout and host frequency state stick for a process
 # lifetime), so min-of-N only converges when the N samples come from
-# independent processes.
+# independent processes. The sharded-engine suite runs as two processes
+# for the same reason; its entries carry the runner's GOMAXPROCS in the
+# JSON, and the gate only compares them against baselines measured at
+# the same parallelism (see cmd/benchjson).
 bench:
 	$(GO) test -run '^$$' -bench 'Placement|PlaceSteadyState|AggRefresh$$' \
 		-benchmem -benchtime 1000x -count 10 . | tee $(BENCHTMP)_hot.txt
@@ -58,13 +62,18 @@ bench:
 		-benchmem -benchtime 100x -count 3 . | tee $(BENCHTMP)_agg1.txt
 	$(GO) test -run '^$$' -bench 'AggRefreshIncremental|ChurnStorm$$' \
 		-benchmem -benchtime 100x -count 3 . | tee $(BENCHTMP)_agg2.txt
+	$(GO) test -run '^$$' -bench 'ShardedEngine' \
+		-benchmem -benchtime 100x -count 3 . | tee $(BENCHTMP)_shard1.txt
+	$(GO) test -run '^$$' -bench 'ShardedEngine' \
+		-benchmem -benchtime 100x -count 3 . | tee $(BENCHTMP)_shard2.txt
 	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|ChurnRound|WorkloadGen' \
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_figs1.txt
 	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|ChurnRound|WorkloadGen' \
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_figs2.txt
 	cat $(BENCHTMP)_figs1.txt $(BENCHTMP)_figs2.txt \
-		$(BENCHTMP)_agg1.txt $(BENCHTMP)_agg2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
-	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 6 -prev BENCH_5.json -gate 15 -out BENCH_6.json
+		$(BENCHTMP)_agg1.txt $(BENCHTMP)_agg2.txt \
+		$(BENCHTMP)_shard1.txt $(BENCHTMP)_shard2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
+	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 7 -prev BENCH_6.json -gate 15 -out BENCH_7.json
 
 # bench-xl is the extra-large smoke: one full 10,000-node load-balance
 # run (reduced job count), proving the incremental aggregation plane
@@ -76,17 +85,27 @@ bench-xl:
 		-benchtime 1x -count 1 -timeout 20m . | tee $(BENCHTMP)_xl.txt
 
 # bench-xxl is the churn-regime smoke two orders past the paper's
-# evaluation: one full 100,000-node load-balance run plus the
+# evaluation: one full 100,000-node load-balance run, the
 # 100k-population churn-storm comparison (journal splice vs full
-# rebuild). Ungated like bench-xl — single iterations are too noisy to
+# rebuild), and the sharded-core speedup pair (the identical 100k-node
+# heartbeat workload at one worker and at GOMAXPROCS — the W=1/W=max
+# ns/op ratio in the log is the engine's parallel speedup on this
+# runner). Ungated like bench-xl — single iterations are too noisy to
 # gate, and the 10k ChurnStorm entry in the BENCH_*.json gate already
 # pins the splice path's cost — but the run fails outright if the
 # splice path stops engaging (the benchmark asserts every refresh
-# spliced). The generous timeout is headroom for slow shared runners;
-# the pair completes in about a minute locally.
+# spliced). The generous timeout is headroom for slow shared runners.
 bench-xxl:
-	$(GO) test -run '^$$' -bench 'ScaleXXLLoadBalance|ChurnStormXXL' \
-		-benchtime 1x -count 1 -timeout 30m . | tee $(BENCHTMP)_xxl.txt
+	$(GO) test -run '^$$' -bench 'ScaleXXLLoadBalance|ChurnStormXXL|ShardedHeartbeat100k' \
+		-benchtime 1x -count 1 -timeout 60m . | tee $(BENCHTMP)_xxl.txt
+
+# bench-xxxl is the million-node smoke — the regime the sharded core
+# exists for: one full ScaleXXXL load-balance run (reduced job count)
+# proving that a seven-figure grid completes end to end. Ungated like
+# its siblings; the timeout is sized for slow shared runners.
+bench-xxxl:
+	$(GO) test -run '^$$' -bench 'ScaleXXXLLoadBalance' \
+		-benchtime 1x -count 1 -timeout 120m . | tee $(BENCHTMP)_xxxl.txt
 
 # metrics-smoke exercises the whole telemetry plane end to end at tiny
 # scale: the measured heartbeat-volume figure with sampled metrics, a
@@ -125,4 +144,4 @@ scenario-smoke: build
 		|| { echo "scenario-smoke: report not byte-identical across runs"; exit 1; }
 	@echo "scenario-smoke: ok ($$(ls examples/scenarios/*.yaml | wc -l) scenarios)"
 
-verify: build vet race bench bench-xl bench-xxl metrics-smoke scenario-smoke
+verify: build vet race bench bench-xl bench-xxl bench-xxxl metrics-smoke scenario-smoke

@@ -27,6 +27,7 @@ package hetgrid
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hetgrid/internal/can"
@@ -730,4 +731,176 @@ func BenchmarkWorkloadGen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		jg.Next()
 	}
+}
+
+// shardBenchLookahead is the engine benchmark's delivery latency: every
+// cross-shard message arrives exactly one lookahead after it is sent,
+// the same discipline netsim imposes.
+const shardBenchLookahead = 10
+
+// shardBenchMsg is one in-flight cross-shard message of the engine
+// benchmark: it folds the arrival time into the destination actor's
+// checksum. Its field is written by the sending actor before Post and
+// read on the destination shard's worker after the flush barrier; each
+// sender reuses messages through a ring far longer (64 sends, ≥ 1 tick
+// apart) than the delivery delay, so a message is never rewritten while
+// a mailbox or destination queue still references it.
+type shardBenchMsg struct {
+	dst *shardBenchActor
+}
+
+func (m *shardBenchMsg) Call(now sim.Time) { m.dst.sum += uint64(now) }
+
+// shardBenchActor is a self-rescheduling actor whose behavior is a pure
+// function of its seed: an LCG drives its delays and its occasional
+// sends to pseudo-random actors on pseudo-random shards, so the
+// workload is identical across shard and worker counts.
+type shardBenchActor struct {
+	se    *sim.ShardedEngine
+	peers [][]*shardBenchActor
+	shard int
+	id    int
+	state uint64
+	sum   uint64
+	next  int
+	ring  [64]shardBenchMsg
+}
+
+func (a *shardBenchActor) Call(now sim.Time) {
+	a.state = a.state*6364136223846793005 + 1442695040888963407
+	r := a.state >> 33
+	a.sum += r
+	if r&3 == 0 {
+		ds := int(r>>2) % len(a.peers)
+		row := a.peers[ds]
+		m := &a.ring[a.next]
+		a.next = (a.next + 1) % len(a.ring)
+		m.dst = row[int(r>>8)%len(row)]
+		a.se.Post(a.shard, ds, now.Add(shardBenchLookahead), uint64(a.shard)<<16|uint64(a.id), m)
+	}
+	a.se.Shard(a.shard).AfterCall(sim.Duration(1+r%13), a)
+}
+
+// benchShardedEngine runs a fixed 64-actor message-passing workload to
+// a fixed horizon on S shards. The total event count is independent of
+// S (actors are dealt round-robin), so the S=1 and S=4 entries measure
+// the engine's partitioning overhead and parallel speedup over the
+// same work.
+func benchShardedEngine(b *testing.B, shards int) {
+	const totalActors = 64
+	const horizon = 5000 * sim.Time(sim.Millisecond)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shards {
+		workers = shards
+	}
+	b.ReportAllocs()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		se := sim.NewSharded(shards, shardBenchLookahead)
+		se.SetWorkers(workers)
+		peers := make([][]*shardBenchActor, shards)
+		actors := make([]*shardBenchActor, totalActors)
+		for j := range actors {
+			sh := j % shards
+			a := &shardBenchActor{se: se, peers: peers, shard: sh, id: j, state: uint64(j)*0x9e3779b97f4a7c15 + 1}
+			peers[sh] = append(peers[sh], a)
+			actors[j] = a
+		}
+		for _, a := range actors {
+			se.Shard(a.shard).AfterCall(sim.Duration(1+a.state%7), a)
+		}
+		se.RunUntil(horizon)
+		se.Close()
+		for _, a := range actors {
+			sum += a.sum
+		}
+	}
+	if sum == 0 {
+		b.Fatal("workload fired no events")
+	}
+}
+
+// BenchmarkShardedEngine is the gated cost entry for the conservative
+// time-window engine: S=1 pins the sequential overhead of the sharded
+// path (mailboxes, window computation) and S=4 its parallel profile.
+// The BENCH gate compares entries only within the same GOMAXPROCS (see
+// cmd/benchjson), so the parallel entry is never judged against a
+// serial baseline.
+func BenchmarkShardedEngine(b *testing.B) {
+	for _, s := range []int{1, 4} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) { benchShardedEngine(b, s) })
+	}
+}
+
+// benchShardedHeartbeat measures steady-state heartbeat rounds at a
+// large population on the sharded protocol simulation: the join storm
+// and warmup run untimed, then three 10-second heartbeat periods of
+// the full population are timed. Churn is disabled so the timed window
+// is pure parallel-phase work — the component the worker count
+// accelerates.
+func benchShardedHeartbeat(b *testing.B, nodes, shards, workers int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := proto.DefaultConfig(proto.Adaptive)
+		cfg.HeartbeatPeriod = 10 * sim.Second
+		cfg.Seed = int64(i + 1)
+		ss := proto.NewShardedSim(shards, workers, 3, cfg)
+		churn := proto.DefaultChurnConfig(nodes, 0)
+		churn.JoinGap = sim.Millisecond
+		churn.Seed = int64(i + 1)
+		d := proto.NewShardedChurnDriver(ss, churn)
+		d.Start()
+		ss.RunUntil(d.ChurnStart.Add(5 * sim.Second))
+		// Flush the join storm's garbage (and any prior sub-benchmark's
+		// lingering heap) before timing, so the measured window reflects
+		// heartbeat work rather than inherited GC debt.
+		runtime.GC()
+		b.StartTimer()
+		ss.RunUntil(ss.SE.Now().Add(30 * sim.Second))
+		b.StopTimer()
+		alive := ss.AliveHosts()
+		ss.Close()
+		if alive < nodes*9/10 {
+			b.Fatalf("population collapsed: %d of %d alive", alive, nodes)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkShardedHeartbeat100k is the bench-xxl speedup smoke for the
+// sharded core: the identical 100,000-node heartbeat workload (S=8 is
+// a model parameter — the engine's determinism contract makes the
+// event history independent of it) executed by one worker and by all
+// of them. The W=1 / W=max ns/op ratio read off the bench-xxl log is
+// the engine's parallel speedup on the runner; on a single-core
+// machine the two entries simply coincide.
+func BenchmarkShardedHeartbeat100k(b *testing.B) {
+	const shards = 8
+	b.Run("W=1", func(b *testing.B) {
+		benchShardedHeartbeat(b, experiments.ScaleXXLNodes, shards, 1)
+	})
+	b.Run("W=max", func(b *testing.B) {
+		benchShardedHeartbeat(b, experiments.ScaleXXLNodes, shards, runtime.GOMAXPROCS(0))
+	})
+}
+
+// BenchmarkScaleXXXLLoadBalance runs the 1,000,000-node ScaleXXXL
+// configuration end to end with a reduced job count: the bench-xxxl CI
+// smoke proving that a seven-figure grid — join storm, placement
+// walks, incremental aggregation, candidate indexes and the carry-over
+// rebuild — completes inside the timeout. One iteration is a full run.
+func BenchmarkScaleXXXLLoadBalance(b *testing.B) {
+	cfg := experiments.ScaleXXXLLBConfig(experiments.CanHet)
+	cfg.Jobs = 2000
+	var wait float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunLoadBalance(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait = res.WaitTimes.Mean()
+	}
+	b.ReportMetric(wait, "wait-s")
+	reportJobsPerSec(b, cfg.Jobs)
 }

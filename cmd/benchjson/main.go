@@ -37,9 +37,14 @@ type Doc struct {
 	Entries   []Entry `json:"entries"`
 }
 
-// Entry is one benchmark's measurements.
+// Entry is one benchmark's measurements. Procs is the GOMAXPROCS the
+// run executed under (the -N suffix go test appends to every benchmark
+// name; 1 when absent): serial benchmarks are unaffected by it, but
+// parallel ones (the sharded engine suite) scale with it, so the gate
+// only compares entries measured at the same parallelism.
 type Entry struct {
 	Name     string             `json:"name"`
+	Procs    int                `json:"procs,omitempty"`
 	Iters    int64              `json:"iters"`
 	NsOp     float64            `json:"ns_op"`
 	BytesOp  float64            `json:"bytes_op,omitempty"`
@@ -161,6 +166,13 @@ func gateRegressions(doc *Doc, pct float64) []string {
 		if e.Baseline == nil {
 			continue
 		}
+		if !sameProcs(e) {
+			// The runner's GOMAXPROCS changed since the baseline session.
+			// Parallel benchmarks scale with the worker count (and their
+			// per-worker buffers shift allocs/op), so neither axis is
+			// comparable; the entry re-baselines this session instead.
+			continue
+		}
 		if e.Baseline.NsOp >= gateMinNs && e.NsOp > 0 {
 			limit := e.Baseline.NsOp * drift * (1 + pct/100)
 			if e.NsOp > limit {
@@ -188,7 +200,7 @@ func gateRegressions(doc *Doc, pct float64) []string {
 func nsDrift(doc *Doc) float64 {
 	var ratios []float64
 	for _, e := range doc.Entries {
-		if e.Baseline == nil || e.Baseline.NsOp < gateMinNs || e.NsOp <= 0 {
+		if e.Baseline == nil || e.Baseline.NsOp < gateMinNs || e.NsOp <= 0 || !sameProcs(e) {
 			continue
 		}
 		ratios = append(ratios, e.NsOp/e.Baseline.NsOp)
@@ -208,8 +220,17 @@ func nsDrift(doc *Doc) float64 {
 	return m
 }
 
-// benchLine matches `BenchmarkName-8   30   123 ns/op   45 B/op ...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+// sameProcs reports whether an entry and its baseline were measured at
+// the same GOMAXPROCS. Documents written before the procs field existed
+// carry 0, which is treated as matching — those suites were all serial.
+func sameProcs(e Entry) bool {
+	return e.Baseline == nil || e.Baseline.Procs == 0 || e.Procs == 0 || e.Procs == e.Baseline.Procs
+}
+
+// benchLine matches `BenchmarkName-8   30   123 ns/op   45 B/op ...`;
+// the -8 suffix is GOMAXPROCS and is captured into Entry.Procs rather
+// than discarded, so the gate can tell serial and parallel runs apart.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
 
 // parse extracts benchmark entries and environment lines from go test
 // output.
@@ -231,12 +252,17 @@ func parse(r io.Reader) (*Doc, error) {
 		if m == nil {
 			continue
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
+		iters, err := strconv.ParseInt(m[3], 10, 64)
 		if err != nil {
 			continue
 		}
-		e := Entry{Name: strings.TrimPrefix(m[1], "Benchmark"), Iters: iters}
-		fields := strings.Fields(m[3])
+		e := Entry{Name: strings.TrimPrefix(m[1], "Benchmark"), Iters: iters, Procs: 1}
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil && p > 0 {
+				e.Procs = p
+			}
+		}
+		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

@@ -116,6 +116,43 @@ func TestGateDriftNeedsQuorum(t *testing.T) {
 	}
 }
 
+func TestParseRecordsProcs(t *testing.T) {
+	out := `BenchmarkShardedEngine/S=4-8   	     100	   5000000 ns/op
+BenchmarkOldStyle   	    1000	    250000 ns/op
+`
+	doc, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range doc.Entries {
+		byName[e.Name] = e
+	}
+	if e := byName["ShardedEngine/S=4"]; e.Procs != 8 {
+		t.Fatalf("suffixed entry procs = %d, want 8 (%+v)", e.Procs, e)
+	}
+	if e := byName["OldStyle"]; e.Procs != 1 {
+		t.Fatalf("unsuffixed entry procs = %d, want 1 (%+v)", e.Procs, e)
+	}
+}
+
+func TestGateSkipsProcsMismatch(t *testing.T) {
+	// The runner's core count changed: a parallel benchmark's ns/op and
+	// allocs/op both moved, but neither axis is comparable, so the entry
+	// re-baselines instead of failing. A procs-0 baseline (a document
+	// predating the field) still gates.
+	mismatch := entry("ShardedEngine/S=4", 200000, 900, 100000, 600)
+	mismatch.Procs = 4
+	mismatch.Baseline.Procs = 8
+	legacy := entry("Placement", 130000, 5, 100000, 5)
+	legacy.Procs = 4 // baseline predates the procs field (0)
+	doc := &Doc{Entries: []Entry{mismatch, legacy}}
+	got := gateRegressions(doc, 15)
+	if len(got) != 1 || !strings.Contains(got[0], "Placement") {
+		t.Fatalf("want only the legacy serial entry flagged, got %v", got)
+	}
+}
+
 func TestParseAndGateEndToEnd(t *testing.T) {
 	out := `goos: linux
 cpu: Test CPU @ 2.00GHz

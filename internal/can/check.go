@@ -1,6 +1,55 @@
 package can
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelRows runs check(i) for every row i in [0, n) across
+// GOMAXPROCS goroutines (rows dealt round-robin, which balances the
+// triangular sweeps below) and returns the error of the LOWEST failing
+// row — the same error a serial ascending sweep would report, so
+// parallelism never changes which violation a test sees. The callback
+// must only read shared state.
+func parallelRows(n int, check func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := check(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errRow := make([]int, workers)
+	errVal := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func(k int) {
+			defer wg.Done()
+			errRow[k] = n
+			for i := k; i < n; i += workers {
+				if err := check(i); err != nil {
+					errRow[k], errVal[k] = i, err
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	best, bestRow := error(nil), n
+	for k := 0; k < workers; k++ {
+		if errVal[k] != nil && errRow[k] < bestRow {
+			best, bestRow = errVal[k], errRow[k]
+		}
+	}
+	return best
+}
 
 // Validate exhaustively checks the overlay's invariants. It is O(n²) and
 // intended for tests and debugging, not for use inside simulations:
@@ -75,9 +124,11 @@ func (o *Overlay) Validate() error {
 		return err
 	}
 
-	// Brute-force adjacency.
+	// Brute-force adjacency, sharded across workers by row (read-only
+	// over the overlay; minutes of single-core time at 100k nodes).
 	nodes := o.Nodes()
-	for i, a := range nodes {
+	if err := parallelRows(len(nodes), func(i int) error {
+		a := nodes[i]
 		for _, b := range nodes[i+1:] {
 			_, _, abuts := a.Zone.Abuts(b.Zone)
 			linked := o.IsNeighbor(a.ID, b.ID)
@@ -89,6 +140,9 @@ func (o *Overlay) Validate() error {
 				return fmt.Errorf("asymmetric adjacency between %d and %d", a.ID, b.ID)
 			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 
 	return o.validateCaches()
@@ -139,7 +193,8 @@ func (o *Overlay) CheckZoneCover() error {
 	if total < 0.999999 || total > 1.000001 {
 		return fmt.Errorf("zone volumes sum to %v, want 1", total)
 	}
-	for i, a := range nodes {
+	return parallelRows(len(nodes), func(i int) error {
+		a := nodes[i]
 		for _, b := range nodes[i+1:] {
 			overlap := true
 			for d := 0; d < o.dims; d++ {
@@ -152,8 +207,8 @@ func (o *Overlay) CheckZoneCover() error {
 				return fmt.Errorf("zones of nodes %d and %d overlap (%v / %v)", a.ID, b.ID, a.Zone, b.Zone)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // validateCaches cross-checks the version-keyed read caches against

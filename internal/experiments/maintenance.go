@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"hetgrid/internal/metrics"
 	"hetgrid/internal/metricsreg"
@@ -175,16 +176,23 @@ func RunScalability(cfg ScalabilityConfig) *ScalabilityResult {
 	start := s.Eng.Now()
 	s.Eng.RunUntil(start.Add(cfg.Measure))
 
-	w := s.Net.Window()
+	return summarizeScalability(cfg, s.Ov.AvgNeighbors(), s.AliveHosts(), s.Net.Window(), s.Net.KindWindow)
+}
+
+// summarizeScalability folds one measured window into the per-node
+// per-minute rates a Figure 8 cell reports, shared by the serial and
+// sharded drivers so the two produce comparable (and, for an identical
+// event history, identical) results.
+func summarizeScalability(cfg ScalabilityConfig, avgNeighbors float64, alive int, w netsim.Counters, kindWindow func(netsim.Kind) netsim.Counters) *ScalabilityResult {
 	minutes := cfg.Measure.Minutes()
-	nodes := float64(s.AliveHosts())
-	res := &ScalabilityResult{Config: cfg, AvgNeighbors: s.Ov.AvgNeighbors()}
+	nodes := float64(alive)
+	res := &ScalabilityResult{Config: cfg, AvgNeighbors: avgNeighbors}
 	if nodes > 0 && minutes > 0 {
 		res.MsgsPerNodeMin = float64(w.MsgsSent) / nodes / minutes
 		res.KBytesPerNodeMin = float64(w.BytesSent) / 1024 / nodes / minutes
 		res.ByKind = make(map[netsim.Kind]KindRate, len(netsim.AllKinds))
 		for _, k := range netsim.AllKinds {
-			kw := s.Net.KindWindow(k)
+			kw := kindWindow(k)
 			res.ByKind[k] = KindRate{
 				MsgsPerNodeMin:   float64(kw.MsgsSent) / nodes / minutes,
 				KBytesPerNodeMin: float64(kw.BytesSent) / 1024 / nodes / minutes,
@@ -192,6 +200,47 @@ func RunScalability(cfg ScalabilityConfig) *ScalabilityResult {
 		}
 	}
 	return res
+}
+
+// RunScalabilitySharded executes one Figure 8 cell on the sharded
+// simulation core: the same protocol, churn process and measurement
+// window as RunScalability, with the keyspace partitioned into shards
+// whose heartbeat phases execute on workers worker goroutines under
+// the conservative time-window protocol. The sharded engine's
+// determinism contract makes the result a pure function of the
+// configuration — independent of both shards and workers — so drivers
+// can pick the parallelism that fits the machine without perturbing
+// the figures (shards and workers ≤ 0 select GOMAXPROCS).
+//
+// cfg.Metrics is ignored: the telemetry plane samples on a serial
+// engine's clock and is not yet wired to the sharded core.
+func RunScalabilitySharded(cfg ScalabilityConfig, shards, workers int) *ScalabilityResult {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	pcfg := proto.DefaultConfig(cfg.Scheme)
+	pcfg.HeartbeatPeriod = cfg.HeartbeatPeriod
+	if cfg.MaxPerFace > 0 {
+		pcfg.MaxPerFace = cfg.MaxPerFace
+	} else if cfg.MaxPerFace < 0 {
+		pcfg.MaxPerFace = 0
+	}
+	pcfg.Seed = cfg.Seed
+	ss := proto.NewShardedSim(shards, workers, cfg.Dims, pcfg)
+	defer ss.Close()
+
+	cc := proto.DefaultChurnConfig(cfg.Nodes, cfg.MeanEventGap)
+	cc.FailFraction = cfg.FailFraction
+	cc.Seed = cfg.Seed
+	d := proto.NewShardedChurnDriver(ss, cc)
+	d.Start()
+
+	ss.RunUntil(d.ChurnStart.Add(cfg.Warmup))
+	ss.Net.ResetWindow()
+	start := ss.SE.Now()
+	ss.RunUntil(start.Add(cfg.Measure))
+
+	return summarizeScalability(cfg, ss.Ov.AvgNeighbors(), ss.AliveHosts(), ss.Net.Window(), ss.Net.KindWindow)
 }
 
 // attachProtoMetrics wires a maintenance run's plane: protocol health

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/netsim"
+	"hetgrid/internal/proto"
+	"hetgrid/internal/sim"
+)
+
+// shardedScaleTestConfig is a reduced Figure 8 cell sized for the unit
+// suite: enough population and churn to exercise cross-shard heartbeat
+// traffic, small enough to run several (shards, workers) combinations.
+func shardedScaleTestConfig() ScalabilityConfig {
+	cfg := DefaultScalabilityConfig(proto.Adaptive, 3, 48)
+	cfg.HeartbeatPeriod = 2 * sim.Second
+	cfg.MeanEventGap = 500 * sim.Millisecond
+	cfg.Warmup = 2 * sim.Second
+	cfg.Measure = 10 * sim.Second
+	return cfg
+}
+
+// renderScalabilityResult flattens a cell into a comparable string
+// (maps don't compare with ==; kinds render in AllKinds order).
+func renderScalabilityResult(r *ScalabilityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "msgs=%v kb=%v nbrs=%v\n", r.MsgsPerNodeMin, r.KBytesPerNodeMin, r.AvgNeighbors)
+	for _, k := range netsim.AllKinds {
+		fmt.Fprintf(&b, "kind[%s]=%v\n", k, r.ByKind[k])
+	}
+	return b.String()
+}
+
+// TestRunScalabilityShardedDeterminism pins the experiment-level
+// consequence of the engine's determinism contract: a sharded Figure 8
+// cell is a pure function of its configuration, identical across every
+// shard count and worker count.
+func TestRunScalabilityShardedDeterminism(t *testing.T) {
+	cfg := shardedScaleTestConfig()
+	want := renderScalabilityResult(RunScalabilitySharded(cfg, 1, 1))
+	if !strings.Contains(want, "kind[full]") || strings.Contains(want, "msgs=0 ") {
+		t.Fatalf("degenerate cell:\n%s", want)
+	}
+	for _, c := range [][2]int{{2, 2}, {4, 1}, {4, 3}} {
+		got := renderScalabilityResult(RunScalabilitySharded(cfg, c[0], c[1]))
+		if got != want {
+			t.Fatalf("S=%d W=%d diverged from S=1:\n--- S=1\n%s\n--- S=%d W=%d\n%s",
+				c[0], c[1], want, c[0], c[1], got)
+		}
+	}
+}

@@ -85,6 +85,13 @@ type Net struct {
 	linkDrops int64
 
 	envPool []*envelope // recycled SendMsg envelopes
+
+	// Sharded-transport facet identity: parent is non-nil when this Net
+	// is one shard's facet of a ShardedNet, and shard is its index.
+	// Facets route cross-shard traffic through the parent's mailboxes
+	// and keep all counter/pool state shard-local (see sharded.go).
+	parent *ShardedNet
+	shard  int
 }
 
 // New creates a transport on the given engine with the given one-way
@@ -171,10 +178,18 @@ func (n *Net) countRecv(dst can.NodeID, size int, kind Kind) {
 // Send transmits size bytes from src to dst and invokes deliver at
 // arrival (unless dst is gone by then). Sending is counted immediately;
 // receiving at delivery.
+//
+// On a sharded facet the delivery runs on the serial control plane:
+// closure sends are the churn-path messages (handoffs, takeover
+// continuations), whose delivery procedures mutate hosts across shard
+// boundaries and share per-Sim scratch, so they are exactly the events
+// the global phase exists for. Counting on the sending facet is safe
+// there (the control phase is single-threaded) and the merged totals
+// are sums, so attribution is unaffected.
 func (n *Net) Send(src, dst can.NodeID, size int, kind Kind, deliver func(now sim.Time)) {
 	n.countSend(src, size, kind)
 
-	n.eng.After(n.latency, func(now sim.Time) {
+	arrive := func(now sim.Time) {
 		if n.deliverable != nil && !n.deliverable(dst) {
 			cntDropped.Inc()
 			return
@@ -184,7 +199,12 @@ func (n *Net) Send(src, dst can.NodeID, size int, kind Kind, deliver func(now si
 		}
 		n.countRecv(dst, size, kind)
 		deliver(now)
-	})
+	}
+	if n.parent != nil {
+		n.parent.se.PostGlobal(n.shard, n.eng.Now().Add(n.latency), uint64(src), arrive)
+		return
+	}
+	n.eng.After(n.latency, arrive)
 }
 
 // Deliverable is a message that knows how to apply itself at arrival.
@@ -225,6 +245,20 @@ func (e *envelope) Call(now sim.Time) {
 // SendMsg is Send for Deliverable messages: identical counting, drop
 // semantics and delivery timing, with the closure replaced by a pooled
 // envelope so steady-state traffic does not allocate.
+//
+// On a sharded facet, EVERY send — same-shard included — rebinds the
+// envelope to the destination facet and posts it through the engine's
+// mailboxes, keyed by the sending node's id: same-instant arrivals at a
+// destination then fire in (sender id, emission) order, a pure property
+// of the model, which is what makes a run's output independent of the
+// shard partition (see sim.ShardedEngine.Post). The liveness/fault
+// checks, receive counters and pool recycling all run on state owned by
+// the destination shard's worker. The envelope is taken from the
+// sender's free list (its own worker's), so each pool stays
+// single-writer; envelopes migrate between pools along traffic, which
+// is harmless. Nothing is delayed by the detour: an arrival at now+L
+// can never land inside the window that sent it, so mailbox flush and
+// direct scheduling reach the same window either way.
 func (n *Net) SendMsg(src, dst can.NodeID, size int, kind Kind, msg Deliverable) {
 	n.countSend(src, size, kind)
 
@@ -237,6 +271,12 @@ func (n *Net) SendMsg(src, dst can.NodeID, size int, kind Kind, msg Deliverable)
 		env = &envelope{net: n}
 	}
 	env.src, env.dst, env.size, env.kind, env.msg = src, dst, size, kind, msg
+	if n.parent != nil {
+		ds := n.parent.shardOf(dst)
+		env.net = n.parent.facets[ds]
+		n.parent.se.Post(n.shard, ds, n.eng.Now().Add(n.latency), uint64(src), env)
+		return
+	}
 	n.eng.AfterCall(n.latency, env)
 }
 

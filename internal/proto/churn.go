@@ -49,10 +49,26 @@ func DefaultChurnConfig(n int, gap sim.Duration) ChurnConfig {
 	}
 }
 
+// churnSim is the surface the churn driver needs from a protocol
+// simulation: membership operations plus two hooks — ctl() for the
+// engine churn belongs on (the serial engine, or the sharded control
+// plane, where membership mutations must run with every shard
+// quiesced) and dims() for drawing join points. Both *Sim and
+// *ShardedSim implement it.
+type churnSim interface {
+	JoinNode(p geom.Point, caps *resource.NodeCaps) (*can.Node, error)
+	LeaveVoluntary(id can.NodeID) error
+	Fail(id can.NodeID) error
+	HostIDs() []can.NodeID
+	AliveHosts() int
+	dims() int
+	ctl() *sim.Engine
+}
+
 // ChurnDriver injects joins, voluntary leaves and failures into a
 // protocol simulation.
 type ChurnDriver struct {
-	s       *Sim
+	s       churnSim
 	cfg     ChurnConfig
 	points  *rng.Stream
 	events  *rng.Stream
@@ -84,6 +100,17 @@ type ChurnDriver struct {
 
 // NewChurnDriver prepares a driver; Start schedules its events.
 func NewChurnDriver(s *Sim, cfg ChurnConfig) *ChurnDriver {
+	return newChurnDriver(s, cfg)
+}
+
+// NewShardedChurnDriver prepares a driver over a sharded simulation.
+// Churn runs on the control plane, so the event sequence for a given
+// (cfg, S) is one deterministic stream regardless of worker count.
+func NewShardedChurnDriver(ss *ShardedSim, cfg ChurnConfig) *ChurnDriver {
+	return newChurnDriver(ss, cfg)
+}
+
+func newChurnDriver(s churnSim, cfg ChurnConfig) *ChurnDriver {
 	return &ChurnDriver{
 		s:      s,
 		cfg:    cfg,
@@ -97,14 +124,15 @@ func NewChurnDriver(s *Sim, cfg ChurnConfig) *ChurnDriver {
 // engine's current time, so a driver can be started mid-scenario (at
 // time zero this is identical to the original absolute schedule).
 func (d *ChurnDriver) Start() {
-	base := d.s.Eng.Now()
+	eng := d.s.ctl()
+	base := eng.Now()
 	for i := 0; i < d.cfg.InitialNodes; i++ {
 		at := base + sim.Time(int64(i)*int64(d.cfg.JoinGap))
-		d.s.Eng.At(at, func(sim.Time) { d.join() })
+		eng.At(at, func(sim.Time) { d.join() })
 	}
 	d.ChurnStart = base + sim.Time(int64(d.cfg.InitialNodes)*int64(d.cfg.JoinGap))
 	if d.cfg.MeanEventGap > 0 {
-		d.s.Eng.At(d.ChurnStart, d.churnEvent)
+		eng.At(d.ChurnStart, d.churnEvent)
 	}
 }
 
@@ -113,7 +141,7 @@ func (d *ChurnDriver) Start() {
 func (d *ChurnDriver) Stop() { d.stopped = true }
 
 func (d *ChurnDriver) randomPoint() geom.Point {
-	p := make(geom.Point, d.s.Ov.Dims())
+	p := make(geom.Point, d.s.dims())
 	for i := range p {
 		p[i] = d.points.Float64() * 0.999999
 	}
@@ -142,7 +170,7 @@ func (d *ChurnDriver) join() {
 }
 
 func (d *ChurnDriver) depart() {
-	ids := d.s.hostIDs()
+	ids := d.s.HostIDs()
 	if len(ids) == 0 {
 		return
 	}
@@ -180,7 +208,7 @@ func (d *ChurnDriver) churnEvent(sim.Time) {
 	if gap < sim.Millisecond {
 		gap = sim.Millisecond
 	}
-	d.s.Eng.After(gap, d.churnEvent)
+	d.s.ctl().After(gap, d.churnEvent)
 }
 
 // SamplePoint is one broken-link measurement.
@@ -191,14 +219,24 @@ type SamplePoint struct {
 	Nodes   int
 }
 
+// linkOracle is the surface SampleBrokenLinks needs; both *Sim and
+// *ShardedSim provide it. The sweep reads every host's view, so under a
+// sharded simulation it runs on the control plane (shards quiesced).
+type linkOracle interface {
+	BrokenLinks() (missing, stale int)
+	AliveHosts() int
+	ctl() *sim.Engine
+}
+
 // SampleBrokenLinks installs a periodic oracle measurement from start
 // until the engine stops, appending to the returned slice.
-func SampleBrokenLinks(s *Sim, start sim.Time, every sim.Duration, out *[]SamplePoint) {
+func SampleBrokenLinks(s linkOracle, start sim.Time, every sim.Duration, out *[]SamplePoint) {
+	eng := s.ctl()
 	var tick func(now sim.Time)
 	tick = func(now sim.Time) {
 		missing, stale := s.BrokenLinks()
 		*out = append(*out, SamplePoint{At: now, Missing: missing, Stale: stale, Nodes: s.AliveHosts()})
-		s.Eng.After(every, tick)
+		eng.After(every, tick)
 	}
-	s.Eng.At(start, tick)
+	eng.At(start, tick)
 }

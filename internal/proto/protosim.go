@@ -47,6 +47,15 @@ type Sim struct {
 	unionScratch []can.NodeID
 	recScratch   []Record
 	introScratch []Record
+
+	// Sharded-simulation identity: parent is non-nil when this Sim is
+	// one shard of a ShardedSim (sharing the overlay and a facet
+	// transport), and shard is its index. All cross-shard indirection
+	// (host lookup, message rebinding, control-plane scheduling) hangs
+	// off these two fields; both are nil/zero for a serial Sim, and
+	// every helper below degenerates to the serial behavior.
+	parent *ShardedSim
+	shard  int
 }
 
 // NewSim creates a protocol simulation over a d-dimensional CAN with
@@ -76,6 +85,42 @@ func NewSimOn(eng *sim.Engine, dims int, cfg Config) *Sim {
 
 // Host returns the protocol host for a live node, or nil.
 func (s *Sim) Host(id can.NodeID) *Host { return s.hosts[id] }
+
+// hostOf resolves a live host across shard boundaries: the serial Sim's
+// own map, or the owning shard's map under a ShardedSim. Safe for
+// concurrent reads during parallel windows (the maps are written only
+// in control phases).
+func (s *Sim) hostOf(id can.NodeID) *Host {
+	if s.parent != nil {
+		return s.parent.hostOf(id)
+	}
+	return s.hosts[id]
+}
+
+// simOf resolves the Sim owning a node's shard (self when serial).
+// Pooled messages are rebound to simOf(dst) at send time so delivery
+// looks up the destination's host map and recycles into the
+// destination's pool — state owned by the destination shard's worker.
+func (s *Sim) simOf(id can.NodeID) *Sim {
+	if s.parent != nil {
+		return s.parent.simOf(id)
+	}
+	return s
+}
+
+// ctl returns the engine churn continuations belong on: the serial
+// engine itself, or the sharded control plane — takeover procedures
+// mutate hosts across shards and read the overlay, so they must run
+// with every shard quiesced.
+func (s *Sim) ctl() *sim.Engine {
+	if s.parent != nil {
+		return s.parent.SE.Global()
+	}
+	return s.Eng
+}
+
+// dims returns the overlay dimensionality (churn-driver hook).
+func (s *Sim) dims() int { return s.Ov.Dims() }
 
 // AliveHosts returns the number of live protocol hosts.
 func (s *Sim) AliveHosts() int { return len(s.hosts) }
@@ -108,23 +153,31 @@ func (s *Sim) Join(p geom.Point) (*can.Node, error) {
 // record, for drivers that couple the protocol plane to an execution
 // plane and need the heterogeneity-aware placement inputs populated.
 func (s *Sim) JoinNode(p geom.Point, caps *resource.NodeCaps) (*can.Node, error) {
-	now := s.Eng.Now()
 	owner := s.Ov.Owner(p)
 	node, err := s.Ov.Join(p, caps)
 	if err != nil {
 		return nil, err
 	}
+	return s.completeJoin(node, owner), nil
+}
 
+// completeJoin runs the protocol side of an admission after the overlay
+// split: host creation, the owner's table handoff, per-face discovery
+// and the join announcements. Split out from JoinNode so a ShardedSim
+// can register the node's shard between the overlay join and the first
+// message (the transport routes by that assignment).
+func (s *Sim) completeJoin(node *can.Node, owner *can.Node) *can.Node {
+	now := s.Eng.Now()
 	h := newHost(s, node.ID, node.Zone)
 	s.hosts[node.ID] = h
 
 	if owner == nil {
 		// First node: owns everything, knows no one.
 		h.scheduleFirstTick(sim.Duration(s.phase.Float64() * float64(s.Cfg.HeartbeatPeriod)))
-		return node, nil
+		return node
 	}
 
-	oh := s.hosts[owner.ID]
+	oh := s.hostOf(owner.ID)
 	// Snapshot the owner's pre-split table into scratch (the announce
 	// loop below still needs it after the view mutates; Records are
 	// stored by value everywhere, so the backing array is reusable).
@@ -172,7 +225,7 @@ func (s *Sim) JoinNode(p geom.Point, caps *resource.NodeCaps) (*can.Node, error)
 		s.Net.Send(nbID, node.ID, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, func(sim.Time) {})
 		h.view.direct(Record{ID: nbID, Zone: nb.Zone.Clone()}, now)
 		// The discovered neighbor learns the newcomer symmetrically.
-		if nh := s.hosts[nbID]; nh != nil && nh.alive {
+		if nh := s.hostOf(nbID); nh != nil && nh.alive {
 			nh.view.direct(h.selfRecord(), now)
 		}
 	}
@@ -185,7 +238,7 @@ func (s *Sim) JoinNode(p geom.Point, caps *resource.NodeCaps) (*can.Node, error)
 	}
 
 	h.scheduleFirstTick(sim.Duration(s.phase.Float64() * float64(s.Cfg.HeartbeatPeriod)))
-	return node, nil
+	return node
 }
 
 // LeaveVoluntary removes a node gracefully: it hands its zone and full
@@ -220,7 +273,7 @@ func (s *Sim) LeaveVoluntary(id can.NodeID) error {
 	}
 	// Handoff message: the departing node's record plus its table.
 	s.Net.Send(id, takerID, FullMessageBytes(s.Ov.Dims(), len(table)), netsim.KindFull, func(now sim.Time) {
-		taker := s.hosts[takerID]
+		taker := s.hostOf(takerID)
 		if taker == nil || !taker.alive {
 			return
 		}
@@ -258,8 +311,10 @@ func (s *Sim) Fail(id can.NodeID) error {
 	if plan.Merged != nil {
 		mergedID = plan.Merged.ID
 	}
-	s.Eng.After(s.Cfg.timeout(), func(now sim.Time) {
-		taker := s.hosts[takerID]
+	// The timeout continuation mutates the taker (possibly in another
+	// shard) and reads the overlay, so it runs on the control plane.
+	s.ctl().After(s.Cfg.timeout(), func(now sim.Time) {
+		taker := s.hostOf(takerID)
 		if taker == nil || !taker.alive {
 			return
 		}
@@ -285,10 +340,10 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 	// When the taker comes from deeper in the sibling subtree, it first
 	// hands its current zone to its pair partner, which merges.
 	if mergedID >= 0 {
-		if mh := s.hosts[mergedID]; mh != nil && mh.alive {
+		if mh := s.hostOf(mergedID); mh != nil && mh.alive {
 			recs := s.replyTable(now, taker.view) // pooled: consumed at delivery
 			s.Net.Send(taker.id, mergedID, FullMessageBytes(s.Ov.Dims(), len(recs)), netsim.KindFull, func(now2 sim.Time) {
-				m := s.hosts[mergedID]
+				m := s.hostOf(mergedID)
 				gm := s.Ov.Node(mergedID)
 				if m == nil || !m.alive || gm == nil {
 					return
@@ -403,7 +458,18 @@ func (s *Sim) replyTable(now sim.Time, v *view) []Record {
 	slices.Sort(ids) // generic sort: no reflect, no allocation
 	s.replyIDs = ids
 	buf.recs = v.recordsOfInto(buf.recs[:0], ids)
-	buf.busyUntil = now.Add(s.Net.Latency())
+	// Serial retention is exactly one latency (the delivery instant,
+	// with the strict > reuse check covering same-instant ordering).
+	// Sharded retention is two: the delivery may execute on another
+	// shard's worker anywhere inside the window containing it, and
+	// windows span up to one latency — retiring the buffer a full
+	// window after delivery keeps the rebuild in a strictly later
+	// window, whose barrier orders it after the read.
+	retain := s.Net.Latency()
+	if s.parent != nil {
+		retain *= 2
+	}
+	buf.busyUntil = now.Add(retain)
 	s.replyPool = append(s.replyPool, buf)
 	return buf.recs
 }
@@ -446,8 +512,12 @@ func (s *Sim) sendFull(src, dst can.NodeID, self Record, table []Record, ranked 
 		s.fullPool[k-1] = nil
 		s.fullPool = s.fullPool[:k-1]
 	} else {
-		m = &fullMsg{s: s}
+		m = &fullMsg{}
 	}
+	// Rebind to the destination's Sim: delivery then reads the right
+	// host map and recycles into the right pool (each pool has a single
+	// writer — its own shard's worker). Serial: simOf(dst) == s.
+	m.s = s.simOf(dst)
 	m.self, m.table, m.ranked, m.dst = self, table, ranked, dst
 	s.Net.SendMsg(src, dst, FullMessageBytes(s.Ov.Dims(), len(table)), netsim.KindFull, m)
 }
@@ -474,8 +544,9 @@ func (s *Sim) sendCompact(src, dst can.NodeID, self Record, dims int, ranked boo
 		s.compactPool[k-1] = nil
 		s.compactPool = s.compactPool[:k-1]
 	} else {
-		m = &compactMsg{s: s}
+		m = &compactMsg{}
 	}
+	m.s = s.simOf(dst)
 	m.self, m.ranked, m.dst = self, ranked, dst
 	s.Net.SendMsg(src, dst, CompactMessageBytes(dims), netsim.KindCompact, m)
 }
@@ -520,8 +591,9 @@ func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
 		s.announcePool[k-1] = nil
 		s.announcePool = s.announcePool[:k-1]
 	} else {
-		m = &announceMsg{s: s}
+		m = &announceMsg{}
 	}
+	m.s = s.simOf(dst)
 	m.dst, m.gone, m.owner = dst, gone, owner
 	s.Net.SendMsg(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
 }
@@ -551,8 +623,9 @@ func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
 		s.introPool[k-1] = nil
 		s.introPool = s.introPool[:k-1]
 	} else {
-		m = &introMsg{s: s}
+		m = &introMsg{}
 	}
+	m.s = s.simOf(dst)
 	m.dst, m.splitter, m.newbie = dst, splitter, newbie
 	s.Net.SendMsg(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
 }
@@ -564,8 +637,9 @@ func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {
 		s.requestPool[k-1] = nil
 		s.requestPool = s.requestPool[:k-1]
 	} else {
-		m = &requestMsg{s: s}
+		m = &requestMsg{}
 	}
+	m.s = s.simOf(dst)
 	m.self, m.dst = self, dst
 	s.Net.SendMsg(src, dst, RequestBytes(s.Ov.Dims()), netsim.KindRequest, m)
 }
@@ -579,7 +653,7 @@ func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {
 func (s *Sim) BrokenLinks() (missing, stale int) {
 	perFace := s.Cfg.MaxPerFace
 	for _, n := range s.Ov.Nodes() {
-		h := s.hosts[n.ID]
+		h := s.hostOf(n.ID)
 		nbrs := s.Ov.BoundedNeighborIDs(n.ID, perFace)
 		if h == nil {
 			missing += len(nbrs)

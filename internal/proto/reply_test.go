@@ -27,9 +27,9 @@ func TestReplyTableRetention(t *testing.T) {
 	lat := sim.Time(s.Net.Latency())
 	t0 := sim.Time(1000)
 	a := s.replyTable(t0, v)
-	b := s.replyTable(t0, v)          // same instant: a still busy
-	c := s.replyTable(t0+lat, v)      // now == busyUntil: still busy (seq hazard)
-	d := s.replyTable(t0+lat+1, v)    // strictly past: reuse allowed
+	b := s.replyTable(t0, v)       // same instant: a still busy
+	c := s.replyTable(t0+lat, v)   // now == busyUntil: still busy (seq hazard)
+	d := s.replyTable(t0+lat+1, v) // strictly past: reuse allowed
 	if &a[0] == &b[0] || &a[0] == &c[0] {
 		t.Fatal("reply buffer reused while still in flight")
 	}

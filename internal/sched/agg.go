@@ -24,6 +24,7 @@ var (
 	cntAggChurnSplice = perf.NewCounter("sched.agg_churn_splice_refreshes")
 	cntAggChurnBatch  = perf.NewCounter("sched.agg_churn_batch_refreshes")
 	cntAggChurnEvents = perf.NewCounter("sched.agg_churn_events")
+	cntAggCarried     = perf.NewCounter("sched.agg_loads_carried")
 	tmrAggRefresh     = perf.NewTimer("sched.agg_refresh")
 )
 
@@ -72,6 +73,7 @@ type AggStats struct {
 	ChurnEvents    int64 // cumulative journal events absorbed by splices
 	DirtyDrained   int64 // cumulative dirty-node notifications processed
 	FenwickUpdates int64 // cumulative Fenwick tree-node updates applied
+	CarriedLoads   int64 // full-rebuild load rows reused instead of re-queried
 	LastDirty      int   // dirty nodes consumed by the most recent refresh
 }
 
@@ -160,8 +162,18 @@ type AggTable struct {
 	onChurn   func(can.ChurnEvent) // applyChurn, bound once for the same reason
 	onCollect func(can.ChurnEvent) // collectChurn, bound once for the batch path
 	onDiscard func(can.NodeID)     // no-op drain sink for the full-rebuild path
+	onStale   func(can.NodeID)     // stale-set collector for the carry-over rebuild
 	cl        *exec.Cluster        // the cluster being drained, valid during Refresh only
 	changed   bool                 // a drained delta was nonzero (epoch must advance)
+
+	// Carry-over state for the full-rebuild fallback (rebuildDelta): the
+	// previous generation's id→index map and load rows, double-buffered
+	// with idx/loads across rebuilds so surviving nodes' loads can be
+	// copied instead of re-queried, plus the drained stale-node set that
+	// says which survivors must be re-queried anyway.
+	prevIdx   map[can.NodeID]int32
+	prevLoads []CELoad
+	staleSet  map[can.NodeID]struct{}
 
 	// Batch-splice scratch (batchSplice), reused across refreshes.
 	batchIDs   []can.NodeID // affected ids collected from the journal
@@ -181,6 +193,8 @@ func NewAggTable(dims int, gpuSlots int) *AggTable {
 	a.onChurn = a.applyChurn
 	a.onCollect = a.collectChurn
 	a.onDiscard = func(can.NodeID) {}
+	a.staleSet = make(map[can.NodeID]struct{})
+	a.onStale = func(id can.NodeID) { a.staleSet[id] = struct{}{} }
 	return a
 }
 
@@ -298,8 +312,10 @@ func (a *AggTable) rebuildTopology(ov *can.Overlay) {
 
 // rebuildLoads recomputes every node's load, the grid totals and the
 // per-dimension Fenwick trees from scratch against the cached topology,
-// then advances the epoch. O(n·d) — the fallback for first use, a
-// churn-journal gap and a non-enumerable dirty set.
+// then advances the epoch. O(n·d) — the fallback for first use and a
+// non-enumerable dirty set; a churn-journal gap with an enumerable
+// dirty set takes rebuildDelta instead, which skips the per-node
+// DemandOn queries for unchanged survivors.
 func (a *AggTable) rebuildLoads(cl *exec.Cluster) {
 	nodes := a.nodes
 	n := len(nodes)
@@ -331,6 +347,95 @@ func (a *AggTable) rebuildLoads(cl *exec.Cluster) {
 		a.buildFenwick(d)
 	}
 	a.epoch++
+}
+
+// rebuildDelta is the full-rebuild fallback with the O(n) DemandOn
+// sweep removed: membership still re-sorts from scratch (the journal
+// could not cover the gap), but load rows are carried over from the
+// previous generation for every surviving node the cluster did not
+// mark dirty, so only joined or load-changed nodes pay the
+// Runtime+DemandOn lookups. The drained dirty set is exactly the set
+// of nodes whose DemandOn-relevant state changed since the loads were
+// last read (exec.Cluster's channel contract), so a carried row equals
+// what the query would return, bit for bit; totals are re-summed in
+// the same index order as rebuildLoads over the same exact-integer
+// rows, so the Fenwick input — and hence every aggregate — is
+// bit-identical to the sweep it replaces.
+//
+// Call order matters: the dirty set must be drained into staleSet and
+// idx/loads swapped into prevIdx/prevLoads BEFORE rebuildTopology
+// overwrites them; rebuildFull below owns that sequence.
+func (a *AggTable) rebuildDelta(cl *exec.Cluster) {
+	nodes := a.nodes
+	n := len(nodes)
+	nt := a.ntypes
+
+	a.loads = grow(a.loads, n*nt)
+	a.tot = grow(a.tot, nt)
+	for t := range a.tot {
+		a.tot[t] = CELoad{}
+	}
+	for i, nd := range nodes {
+		row := a.loads[i*nt : (i+1)*nt]
+		if oi, ok := a.prevIdx[nd.ID]; ok {
+			if _, stale := a.staleSet[nd.ID]; !stale {
+				copy(row, a.prevLoads[int(oi)*nt:(int(oi)+1)*nt])
+				a.stats.CarriedLoads++
+				cntAggCarried.Inc()
+				for t := 0; t < nt; t++ {
+					a.tot[t] = a.tot[t].add(row[t])
+				}
+				continue
+			}
+		}
+		for t := range row {
+			row[t] = CELoad{}
+		}
+		if rt := cl.Runtime(nd.ID); rt != nil {
+			for t := 0; t < nt; t++ {
+				if req, cores, ok := rt.DemandOn(resource.CEType(t)); ok {
+					row[t] = CELoad{SumRequiredCores: float64(req), SumCores: float64(cores)}
+				}
+			}
+		}
+		for t := 0; t < nt; t++ {
+			a.tot[t] = a.tot[t].add(row[t])
+		}
+	}
+
+	for d := 0; d < a.dims; d++ {
+		a.buildFenwick(d)
+	}
+	a.epoch++
+}
+
+// rebuildFull is Refresh's fallback when the churn journal cannot
+// cover the membership gap. It drains the dirty set first (the old
+// path discarded it after the sweep; the new one needs its contents),
+// swaps the current id→index map and load rows into the prev buffers,
+// re-sorts the topology, and then rebuilds loads — carrying unchanged
+// survivors' rows over (rebuildDelta) when the dirty set enumerated
+// and the table has prior state for this overlay, re-querying every
+// node (rebuildLoads) otherwise.
+func (a *AggTable) rebuildFull(ov *can.Overlay, cl *exec.Cluster) {
+	clear(a.staleSet)
+	enumerable := cl.DrainDirty(a.onStale)
+	carry := enumerable && a.ov == ov && len(a.nodes) > 0
+
+	// Swap the generations: prevIdx/prevLoads hold the pre-rebuild
+	// mapping; rebuildTopology clears and refills the other buffer.
+	a.idx, a.prevIdx = a.prevIdx, a.idx
+	if a.idx == nil {
+		a.idx = make(map[can.NodeID]int32)
+	}
+	a.loads, a.prevLoads = a.prevLoads, a.loads
+
+	a.rebuildTopology(ov)
+	if carry {
+		a.rebuildDelta(cl)
+	} else {
+		a.rebuildLoads(cl)
+	}
 }
 
 // buildFenwick linearly reconstructs dimension d's Fenwick tree from
@@ -809,13 +914,12 @@ func (a *AggTable) Refresh(ov *can.Overlay, cl *exec.Cluster) {
 	a.stats.LastDirty = 0
 	if a.ov != ov || a.version != ov.Version() {
 		if !a.tryChurnSplice(ov, cl) {
-			a.rebuildTopology(ov)
-			a.rebuildLoads(cl)
+			// rebuildFull consumes the dirty set up front (it needs the
+			// stale ids to decide which rows to carry), so a pending
+			// all-dirty poison is absorbed here rather than forcing a
+			// second rebuild next round.
+			a.rebuildFull(ov, cl)
 			a.stats.FullRebuilds++
-			// The rebuild consumed every load; queued dirty entries (and a
-			// pending all-dirty poison) describe state the sweep already
-			// read, so discard them rather than rebuild again next round.
-			cl.DrainDirty(a.onDiscard)
 			return
 		}
 		a.stats.ChurnRefreshes++

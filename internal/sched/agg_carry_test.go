@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/exec"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/resource"
+	"hetgrid/internal/rng"
+	"hetgrid/internal/sim"
+)
+
+// TestRebuildDeltaCarriesLoads pins the carry-over full rebuild: when
+// the churn journal cannot cover a membership gap, the fallback must
+// still skip the DemandOn queries for survivors the cluster did not
+// mark dirty (carrying their stored rows bit-for-bit), re-query the
+// dirtied ones, and fall back to the all-queries sweep when the dirty
+// set is poisoned. Every arm is compared against the full-recompute
+// reference, so a stale carried row cannot slip through.
+func TestRebuildDeltaCarriesLoads(t *testing.T) {
+	const dims = 2
+	eng := sim.New()
+	ov := can.NewOverlay(dims)
+	cl := exec.NewCluster(eng, exec.DefaultConfig())
+	s := rng.NewSplit(11, "agg-carry")
+	var ids []can.NodeID
+	addOne := func() {
+		caps := &resource.NodeCaps{
+			CEs:  []resource.CE{{Type: resource.TypeCPU, Clock: 1, Cores: 4}},
+			Disk: 100,
+		}
+		for try := 0; try < 8; try++ {
+			p := geom.Point{s.Float64(), s.Float64()}
+			if n, err := ov.Join(p, caps); err == nil {
+				cl.AddNode(n.ID, caps)
+				ids = append(ids, n.ID)
+				return
+			}
+		}
+		t.Fatal("could not place a new node")
+	}
+	for i := 0; i < 24; i++ {
+		addOne()
+	}
+	inc := NewAggTable(dims, 0)
+	ref := NewAggTable(dims, 0)
+	check := func() {
+		t.Helper()
+		inc.Refresh(ov, cl)
+		ref.RefreshFull(ov, cl)
+		compareAggTables(t, ov, inc, ref, dims)
+	}
+	check() // first use: nothing to carry from
+	if got := inc.Stats(); got.FullRebuilds != 1 || got.CarriedLoads != 0 {
+		t.Fatalf("first refresh: %+v, want one rebuild with no carried rows", got)
+	}
+
+	// Dirty two survivors' loads, then overflow the journal so the next
+	// refresh must rebuild. The untouched survivors' rows must be
+	// carried; the loaded ones re-queried (the reference compare catches
+	// a stale carry).
+	for k := 0; k < 2; k++ {
+		j := &exec.Job{
+			ID:           exec.JobID(k + 1),
+			Req:          cpuReq(2),
+			Dominant:     resource.TypeCPU,
+			BaseDuration: 100 * sim.Second,
+		}
+		if err := cl.Submit(j, ids[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	survivors := len(ids)
+	for i := 0; i <= ov.JournalCap(); i++ {
+		addOne()
+	}
+	check()
+	st := inc.Stats()
+	if st.FullRebuilds != 2 {
+		t.Fatalf("journal overflow: %+v, want a second full rebuild", st)
+	}
+	if want := int64(survivors - 2); st.CarriedLoads != want {
+		t.Fatalf("carried %d rows, want exactly the %d untouched survivors", st.CarriedLoads, want)
+	}
+
+	// A poisoned dirty set makes every stored row suspect: the rebuild
+	// must re-query everything and carry nothing.
+	carried := st.CarriedLoads
+	for i := 0; i <= ov.JournalCap(); i++ {
+		addOne()
+	}
+	cl.MarkAllDirty()
+	check()
+	st = inc.Stats()
+	if st.FullRebuilds != 3 || st.CarriedLoads != carried {
+		t.Fatalf("poisoned rebuild: %+v, want no new carried rows", st)
+	}
+}

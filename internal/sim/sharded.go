@@ -1,0 +1,396 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShardedEngine runs S per-shard Engines plus one serial control-plane
+// Engine under conservative (Chandy–Misra style) time-window
+// synchronization, on up to W worker goroutines.
+//
+// # Model
+//
+// The shard count S is a model parameter, fixed by configuration like a
+// seed: it determines which engine every event lands on and therefore
+// the exact event interleavings of a run. The worker count W is purely
+// an execution parameter. A run's output is a function of (config,
+// seed, S) and byte-identical for every W — the determinism contract —
+// because nothing observable depends on how shards are dealt to
+// workers:
+//
+//   - Intra-shard order is the per-shard engine's (time, seq) heap
+//     order, assigned and consumed by one goroutine at a time.
+//   - Cross-shard sends are buffered in per-(src,dst) mailboxes, each
+//     written only by the goroutine executing src, and flushed at
+//     window barriers sorted by (arrival time, sender key, per-sender
+//     emission order) — so destination-side seq assignment (the
+//     tie-break among same-time arrivals) is identical regardless of W,
+//     and, when the key identifies the logical sender rather than its
+//     shard, regardless of S as well (see Post).
+//   - Control-plane (global) events run with every shard quiesced, on
+//     the single caller goroutine, in the global engine's own
+//     (time, seq) order. Ties between a global event and shard events
+//     at the same instant resolve global-first.
+//
+// # Windows and lookahead
+//
+// Every cross-shard interaction carries at least the lookahead L (the
+// fixed netsim latency): a message sent at time t arrives at t+L. Let m
+// be the earliest pending shard event and g the earliest pending global
+// event. All shard events in [m, end) with end = min(m+L, g) are safe
+// to execute in parallel: any cross-shard message that could influence
+// an event at t < end would have to have been sent at t−L < m, i.e. by
+// an event that already executed, and its arrival is already flushed
+// into the destination queue. Mail posted during the window has arrival
+// ≥ window start + L ≥ end, so it lands in a strictly later window —
+// which also means the barrier's happens-before edge covers everything
+// the sender wrote before sending. Post enforces the invariant.
+type ShardedEngine struct {
+	shards []*Engine
+	global *Engine
+	look   Duration
+
+	// mail[src*(S+1)+dst] buffers cross-shard sends; column S is the
+	// global engine. Row block src is written only by the goroutine
+	// executing shard src (or the serial control phase). flushBuf is
+	// barrier-local scratch for the per-destination merge sort.
+	mail     [][]mailEntry
+	flushBuf []mailEntry
+
+	windowEnd Time // exclusive bound of the current/last window
+
+	workers int
+	started bool
+	work    []chan Time
+	wg      sync.WaitGroup
+}
+
+type mailEntry struct {
+	at  Time
+	key uint64 // sender identity; orders same-instant deliveries
+	c   Caller
+	h   Handler
+}
+
+// NewSharded creates a sharded engine with the given shard count and
+// lookahead (the minimum virtual-time distance every cross-shard send
+// must cover — the netsim latency). Workers defaults to 1; SetWorkers
+// raises it.
+func NewSharded(shards int, lookahead Duration) *ShardedEngine {
+	if shards < 1 {
+		panic("sim: sharded engine needs at least one shard")
+	}
+	if lookahead < 1 {
+		panic("sim: sharded engine needs positive lookahead")
+	}
+	se := &ShardedEngine{
+		shards:  make([]*Engine, shards),
+		global:  New(),
+		look:    lookahead,
+		mail:    make([][]mailEntry, shards*(shards+1)),
+		workers: 1,
+	}
+	for i := range se.shards {
+		se.shards[i] = New()
+	}
+	return se
+}
+
+// Shards returns the shard count S.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i's engine. Outside a Run/RunUntil call it may be
+// used freely; during one it must only be touched by the goroutine
+// currently executing shard i or by global-phase handlers.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Global returns the serial control-plane engine. Events scheduled on
+// it (churn, takeover continuations, measurement sweeps) run with every
+// shard quiesced and advanced to the event's time, so they may touch
+// any shard's state.
+func (se *ShardedEngine) Global() *Engine { return se.global }
+
+// Lookahead returns the conservative lookahead L.
+func (se *ShardedEngine) Lookahead() Duration { return se.look }
+
+// Workers returns the worker-goroutine count W.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// SetWorkers sets the worker count, clamped to [1, S]. It must be
+// called before the first Run/RunUntil; W never affects results, only
+// wall-clock time.
+func (se *ShardedEngine) SetWorkers(w int) {
+	if se.started {
+		panic("sim: SetWorkers after the sharded engine started running")
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > len(se.shards) {
+		w = len(se.shards)
+	}
+	se.workers = w
+}
+
+// Now returns the control-plane clock (all clocks agree at barriers and
+// after Run/RunUntil returns).
+func (se *ShardedEngine) Now() Time { return se.global.Now() }
+
+// Pending returns the total number of scheduled events across all
+// queues (including unflushed mail).
+func (se *ShardedEngine) Pending() int {
+	n := se.global.Pending()
+	for _, sh := range se.shards {
+		n += sh.Pending()
+	}
+	for _, row := range se.mail {
+		n += len(row)
+	}
+	return n
+}
+
+// Stats returns the deterministic merge of every engine's Stats, in
+// shard order then the global engine.
+func (se *ShardedEngine) Stats() Stats {
+	var s Stats
+	for _, sh := range se.shards {
+		s.add(sh.Stats())
+	}
+	s.add(se.global.Stats())
+	return s
+}
+
+// Post buffers a message event: c.Call fires at time at on shard dst
+// (src == dst is allowed and routes through the same mailbox — a model
+// whose every message takes the mailbox path gets delivery order that
+// is independent of the shard partition). It must be called from the
+// goroutine currently executing shard src (workers own disjoint src
+// rows) or from a global-phase handler.
+//
+// key identifies the logical sender (e.g. the sending node's id) and
+// must be a partition-independent property of the model: same-instant
+// deliveries at a destination fire in (key, per-sender emission) order,
+// which is what makes a run's tie-breaks — and therefore its output — a
+// function of (config, seed) alone rather than of which shard each
+// sender happens to live on.
+//
+// Posting below the current window bound panics — it would mean a
+// cross-shard message carried less than one lookahead, breaking the
+// conservative execution invariant.
+func (se *ShardedEngine) Post(src, dst int, at Time, key uint64, c Caller) {
+	if at < se.windowEnd {
+		panic(fmt.Sprintf("sim: cross-shard post at %d below window bound %d (message carried less than one lookahead)", at, se.windowEnd))
+	}
+	i := src*(len(se.shards)+1) + dst
+	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, c: c})
+}
+
+// PostGlobal buffers a handler for the serial control plane: h fires at
+// time at on the global engine, with every shard quiesced. Same calling
+// rules, key semantics and window-bound invariant as Post.
+func (se *ShardedEngine) PostGlobal(src int, at Time, key uint64, h Handler) {
+	if at < se.windowEnd {
+		panic(fmt.Sprintf("sim: global post at %d below window bound %d (message carried less than one lookahead)", at, se.windowEnd))
+	}
+	S := len(se.shards)
+	i := src*(S+1) + S
+	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, h: h})
+}
+
+// flushMail drains every mailbox into its destination queue. Each
+// destination's entries are gathered across source rows (ascending) and
+// stable-sorted by (arrival time, sender key): equal keys come from one
+// sender's single row, so the stable sort preserves its emission order.
+// Destination seq assignment — the same-time tie-break — is therefore a
+// pure function of the model: independent of worker scheduling, and of
+// the shard partition itself whenever keys identify logical senders.
+//
+// Window boundaries are themselves partition-independent (the window
+// bound is a min over every pending shard event, however the shards are
+// drawn), so the interleaving of flushed arrivals with locally
+// scheduled events is too: everything scheduled during window k
+// precedes everything flushed at barrier k.
+func (se *ShardedEngine) flushMail() {
+	S := len(se.shards)
+	for dst := 0; dst <= S; dst++ {
+		buf := se.flushBuf[:0]
+		for src := 0; src < S; src++ {
+			i := src*(S+1) + dst
+			row := se.mail[i]
+			if len(row) == 0 {
+				continue
+			}
+			buf = append(buf, row...)
+			clear(row)
+			se.mail[i] = row[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.SliceStable(buf, func(i, j int) bool {
+			if buf[i].at != buf[j].at {
+				return buf[i].at < buf[j].at
+			}
+			return buf[i].key < buf[j].key
+		})
+		eng := se.global
+		if dst < S {
+			eng = se.shards[dst]
+		}
+		for _, m := range buf {
+			if m.c != nil {
+				eng.AtCall(m.at, m.c)
+			} else {
+				eng.At(m.at, m.h)
+			}
+		}
+		clear(buf)
+		se.flushBuf = buf[:0]
+	}
+}
+
+// minShardNext returns the earliest pending event time across shards.
+func (se *ShardedEngine) minShardNext() (Time, bool) {
+	var m Time
+	ok := false
+	for _, sh := range se.shards {
+		if t, has := sh.NextAt(); has && (!ok || t < m) {
+			m, ok = t, true
+		}
+	}
+	return m, ok
+}
+
+// Run fires events until every queue (and mailbox) drains.
+func (se *ShardedEngine) Run() { se.run(0, false) }
+
+// RunUntil fires events with time ≤ deadline, then advances every clock
+// to the deadline. Events beyond the deadline remain queued.
+func (se *ShardedEngine) RunUntil(deadline Time) { se.run(deadline, true) }
+
+func (se *ShardedEngine) run(deadline Time, bounded bool) {
+	se.ensureWorkers()
+	for {
+		se.flushMail()
+		m, okm := se.minShardNext()
+		g, okg := se.global.NextAt()
+		if !okm && !okg {
+			break
+		}
+		if okg && (!okm || g <= m) {
+			// Control phase: the earliest work is a global event. Ties
+			// with shard events resolve global-first (g == m). Quiesce
+			// and align every shard clock so the handler sees one
+			// consistent instant, then fire exactly one event — it may
+			// schedule shard events, post mail, or enqueue more global
+			// events, so everything is recomputed next iteration.
+			if bounded && g > deadline {
+				break
+			}
+			for _, sh := range se.shards {
+				sh.AdvanceTo(g)
+			}
+			se.global.Step()
+			continue
+		}
+		if bounded && m > deadline {
+			break
+		}
+		end := m.Add(se.look)
+		if okg && g < end {
+			end = g
+		}
+		if bounded && deadline+1 < end {
+			end = deadline + 1
+		}
+		se.windowEnd = end
+		se.runWindow(end)
+	}
+	if bounded {
+		for _, sh := range se.shards {
+			sh.AdvanceTo(deadline)
+		}
+		se.global.AdvanceTo(deadline)
+	}
+}
+
+// runWindow executes every shard's events strictly before end. With one
+// worker (or one active shard) it runs inline; otherwise shards are
+// dealt round-robin to the persistent workers and the caller acts as
+// worker 0. The deal is static, but since each shard's execution and
+// each mailbox row are self-contained, the partition cannot influence
+// results.
+func (se *ShardedEngine) runWindow(end Time) {
+	active, last := 0, -1
+	for i, sh := range se.shards {
+		if t, ok := sh.NextAt(); ok && t < end {
+			active++
+			last = i
+		}
+	}
+	switch {
+	case active == 0:
+		return
+	case active == 1:
+		se.shards[last].RunBefore(end)
+		return
+	case se.workers == 1:
+		for _, sh := range se.shards {
+			sh.RunBefore(end)
+		}
+		return
+	}
+	se.wg.Add(se.workers - 1)
+	for k := 1; k < se.workers; k++ {
+		se.work[k] <- end
+	}
+	se.runWorker(0, end)
+	se.wg.Wait()
+}
+
+func (se *ShardedEngine) runWorker(k int, end Time) {
+	for i := k; i < len(se.shards); i += se.workers {
+		se.shards[i].RunBefore(end)
+	}
+}
+
+// ensureWorkers lazily starts the W−1 persistent worker goroutines (the
+// caller is worker 0). Channel send/receive and the barrier WaitGroup
+// provide the happens-before edges: workers see all mail flushed before
+// a window, and the caller sees all shard state after it.
+func (se *ShardedEngine) ensureWorkers() {
+	if se.started {
+		return
+	}
+	se.started = true
+	if se.workers <= 1 {
+		return
+	}
+	se.work = make([]chan Time, se.workers)
+	for k := 1; k < se.workers; k++ {
+		ch := make(chan Time)
+		se.work[k] = ch
+		go func(k int, ch chan Time) {
+			for end := range ch {
+				se.runWorker(k, end)
+				se.wg.Done()
+			}
+		}(k, ch)
+	}
+}
+
+// Close stops the worker goroutines. The engine remains usable with a
+// single worker afterwards; Close is idempotent and safe on an engine
+// that never ran.
+func (se *ShardedEngine) Close() {
+	for k := 1; k < len(se.work); k++ {
+		if se.work[k] != nil {
+			close(se.work[k])
+			se.work[k] = nil
+		}
+	}
+	se.work = nil
+	se.workers = 1
+}

@@ -15,13 +15,38 @@ import (
 )
 
 // Registry instrumentation for the engine hot path (telemetry only;
-// never feeds back into simulation state).
+// never feeds back into simulation state). These are process-wide
+// atomics: with several engines in one process (scenario tests, the
+// sharded core's per-shard engines) they aggregate across all of them.
+// Per-engine accounting lives in Engine.Stats, which each engine owns
+// exclusively — the registry totals are for -perfstats style telemetry
+// only and must never be read back as one engine's count.
 var (
 	cntScheduled = perf.NewCounter("sim.events_scheduled")
 	cntFired     = perf.NewCounter("sim.events_fired")
 	cntCancelled = perf.NewCounter("sim.events_cancelled")
 	cntPooled    = perf.NewCounter("sim.events_pooled")
 )
+
+// Stats is one engine's lifetime event-queue accounting. Unlike the
+// process-wide perf registry counters (which sum over every engine in
+// the process), a Stats value is scoped to a single engine, so two
+// engines running in one process — or one process' worth of shard
+// engines — never cross-contaminate each other's counts.
+type Stats struct {
+	Scheduled uint64
+	Fired     uint64
+	Cancelled uint64
+	Pooled    uint64
+}
+
+// add accumulates other into s (the deterministic shard-merge).
+func (s *Stats) add(o Stats) {
+	s.Scheduled += o.Scheduled
+	s.Fired += o.Fired
+	s.Cancelled += o.Cancelled
+	s.Pooled += o.Pooled
+}
 
 // Time is a point in virtual time, measured in Ticks since the start of
 // the simulation.
@@ -140,6 +165,7 @@ type Engine struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+	stats   Stats
 }
 
 // New returns a new engine with the clock at zero.
@@ -150,6 +176,9 @@ func (e *Engine) Now() Time { return e.now }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// Stats returns this engine's own event accounting (see Stats).
+func (e *Engine) Stats() Stats { return e.stats }
 
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -196,6 +225,7 @@ func (e *Engine) schedule(at Time, h Handler, c Caller) EventID {
 	ev.seq = e.nextSeq
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	e.stats.Scheduled++
 	cntScheduled.Inc()
 	return EventID{ev: ev, gen: ev.gen}
 }
@@ -207,6 +237,7 @@ func (e *Engine) recycle(ev *event) {
 	ev.handler = nil // release the closure promptly
 	ev.caller = nil
 	e.pool = append(e.pool, ev)
+	e.stats.Pooled++
 	cntPooled.Inc()
 }
 
@@ -228,6 +259,7 @@ func (e *Engine) Cancel(id EventID) bool {
 	heap.Remove(&e.queue, id.ev.index)
 	id.ev.index = -1
 	e.recycle(id.ev)
+	e.stats.Cancelled++
 	cntCancelled.Inc()
 	return true
 }
@@ -245,6 +277,7 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.fired++
+	e.stats.Fired++
 	cntFired.Inc()
 	// Capture the handler, then recycle before invoking it: the handler
 	// may schedule new events, which are welcome to reuse this slot.
@@ -263,6 +296,44 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+}
+
+// NextAt reports the time of the earliest pending event, or ok=false
+// when the queue is empty. It is the lookahead probe of the sharded
+// engine's window computation.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// RunBefore fires every pending event with time strictly before end, in
+// (time, seq) order, and reports how many fired. Events at or beyond
+// end stay queued and the clock is left at the last fired event (it is
+// not advanced to end). This is the per-shard body of one conservative
+// time window: end is chosen so that no event below it can still be
+// influenced from outside the shard.
+func (e *Engine) RunBefore(end Time) int {
+	fired := 0
+	for len(e.queue) > 0 && e.queue[0].at < end {
+		e.Step()
+		fired++
+	}
+	return fired
+}
+
+// AdvanceTo moves the clock forward to t without firing anything.
+// Advancing past a pending event panics — it would silently reorder
+// causality — and a t at or before the current clock is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if len(e.queue) > 0 && e.queue[0].at < t {
+		panic(fmt.Sprintf("sim: advancing clock to %d past pending event at %d", t, e.queue[0].at))
+	}
+	e.now = t
 }
 
 // RunUntil fires events with time ≤ deadline, then advances the clock to
