@@ -1,12 +1,13 @@
 # hetgrid build/verify harness.
 #
 #   make verify   — everything the CI gate runs: build, vet, race tests,
-#                   a short benchmark pass that regenerates BENCH_7.json
-#                   against the BENCH_6.json baseline and fails on >15%
+#                   a short benchmark pass that regenerates BENCH_8.json
+#                   against the BENCH_7.json baseline and fails on >15%
 #                   ns/op or allocs/op regressions, the 10k-node ScaleXL,
 #                   100k-node ScaleXXL and 1M-node ScaleXXXL smoke runs,
-#                   and a telemetry smoke run that exercises the
-#                   metrics/trace exports.
+#                   and telemetry smoke runs that exercise the
+#                   metrics/trace exports — including the sharded
+#                   telemetry plane and the scenario metric checkpoints.
 
 GO ?= go
 BENCHTMP ?= /tmp/hetgrid_bench
@@ -28,7 +29,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_7.json: the figure drivers run at 3 iterations
+# bench regenerates BENCH_8.json: the figure drivers run at 3 iterations
 # (each iteration is a full reduced-scale experiment); the hot-path
 # micro-benchmarks run at 1000 so the overlay caches' one-time build
 # cost amortizes out and ns/op reflects the steady state (the pre-cache
@@ -38,7 +39,7 @@ race:
 # run per benchmark — the low-noise estimator (external interference
 # only ever adds time, so min-of-N converges on the true cost as N
 # grows; 3 was not enough on busy shared runners) — before
-# embedding BENCH_5.json entries as baselines; the gate then fails the
+# embedding BENCH_7.json entries as baselines; the gate then fails the
 # build when any entry regresses >15% ns/op, or grows its allocs/op by
 # more than 15% and at least one whole allocation (so the zero-alloc
 # hot paths fail on any new allocation). The microsecond-scale hot
@@ -54,7 +55,10 @@ race:
 # independent processes. The sharded-engine suite runs as two processes
 # for the same reason; its entries carry the runner's GOMAXPROCS in the
 # JSON, and the gate only compares them against baselines measured at
-# the same parallelism (see cmd/benchjson).
+# the same parallelism (see cmd/benchjson). The sharded telemetry
+# overhead pair (metrics=off / metrics=on over the identical heartbeat
+# workload) also runs as two processes; its gated entries keep the
+# plane's barrier-merge cost from creeping.
 bench:
 	$(GO) test -run '^$$' -bench 'Placement|PlaceSteadyState|AggRefresh$$' \
 		-benchmem -benchtime 1000x -count 10 . | tee $(BENCHTMP)_hot.txt
@@ -66,14 +70,19 @@ bench:
 		-benchmem -benchtime 100x -count 3 . | tee $(BENCHTMP)_shard1.txt
 	$(GO) test -run '^$$' -bench 'ShardedEngine' \
 		-benchmem -benchtime 100x -count 3 . | tee $(BENCHTMP)_shard2.txt
+	$(GO) test -run '^$$' -bench 'ShardedHeartbeatMetricsOverhead' \
+		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_tele1.txt
+	$(GO) test -run '^$$' -bench 'ShardedHeartbeatMetricsOverhead' \
+		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_tele2.txt
 	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|ChurnRound|WorkloadGen' \
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_figs1.txt
 	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|ChurnRound|WorkloadGen' \
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_figs2.txt
 	cat $(BENCHTMP)_figs1.txt $(BENCHTMP)_figs2.txt \
 		$(BENCHTMP)_agg1.txt $(BENCHTMP)_agg2.txt \
-		$(BENCHTMP)_shard1.txt $(BENCHTMP)_shard2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
-	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 7 -prev BENCH_6.json -gate 15 -out BENCH_7.json
+		$(BENCHTMP)_shard1.txt $(BENCHTMP)_shard2.txt \
+		$(BENCHTMP)_tele1.txt $(BENCHTMP)_tele2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
+	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 8 -prev BENCH_7.json -gate 15 -out BENCH_8.json
 
 # bench-xl is the extra-large smoke: one full 10,000-node load-balance
 # run (reduced job count), proving the incremental aggregation plane
@@ -109,9 +118,10 @@ bench-xxxl:
 
 # metrics-smoke exercises the whole telemetry plane end to end at tiny
 # scale: the measured heartbeat-volume figure with sampled metrics, a
-# load-balancing run with metrics + placement-span tracing, and the
-# traceview span tree over the result. Artifacts land in $(ARTIFACTS)/
-# (uploaded by CI).
+# load-balancing run with metrics + placement-span tracing, the
+# traceview span tree over the result, and the sharded core's
+# barrier-merged telemetry exported as both JSONL and CSV. Artifacts
+# land in $(ARTIFACTS)/ (uploaded by CI).
 metrics-smoke: build
 	mkdir -p $(ARTIFACTS)
 	$(GO) run ./cmd/figures -fig hb -scale 0.04 -seed 1 \
@@ -121,27 +131,46 @@ metrics-smoke: build
 		> $(ARTIFACTS)/lb.txt
 	$(GO) run ./cmd/traceview -spans -top 5 $(ARTIFACTS)/lb_trace.jsonl \
 		> $(ARTIFACTS)/lb_spans.txt
+	$(GO) run ./cmd/figures -fig sharded -scale 0.04 -seed 1 -metrics-interval 10 \
+		-metrics $(ARTIFACTS)/sharded_metrics.jsonl \
+		-metrics-csv $(ARTIFACTS)/sharded_metrics.csv -out $(ARTIFACTS)/sharded.txt
 	@test -s $(ARTIFACTS)/fighb_metrics.jsonl || { echo "metrics-smoke: empty figure telemetry"; exit 1; }
 	@test -s $(ARTIFACTS)/lb_metrics.jsonl || { echo "metrics-smoke: empty run telemetry"; exit 1; }
+	@test -s $(ARTIFACTS)/sharded_metrics.jsonl || { echo "metrics-smoke: empty sharded telemetry"; exit 1; }
+	@test -s $(ARTIFACTS)/sharded_metrics.csv || { echo "metrics-smoke: empty sharded CSV telemetry"; exit 1; }
 	@grep -q place.match $(ARTIFACTS)/lb_trace.jsonl || { echo "metrics-smoke: no placement spans in trace"; exit 1; }
-	@echo "metrics-smoke: ok ($$(wc -l < $(ARTIFACTS)/lb_metrics.jsonl) metric points, $$(wc -l < $(ARTIFACTS)/lb_trace.jsonl) trace events)"
+	@echo "metrics-smoke: ok ($$(wc -l < $(ARTIFACTS)/lb_metrics.jsonl) metric points, $$(wc -l < $(ARTIFACTS)/lb_trace.jsonl) trace events, $$(wc -l < $(ARTIFACTS)/sharded_metrics.jsonl) sharded points)"
 
 # scenario-smoke lints and executes the whole fault-injection corpus
 # (examples/scenarios/) through the CLI, failing on any assertion
-# violation, then re-runs one scenario and byte-compares the reports —
-# the determinism contract the engine promises. Reports land in
+# violation, then re-runs one scenario with telemetry export and
+# byte-compares both the reports and the exported streams — the
+# determinism contract the engine promises. It also tightens a metric
+# checkpoint past what the run achieves and requires the CLI to exit
+# non-zero, proving checkpoints actually gate. Reports land in
 # $(ARTIFACTS)/ (uploaded by CI).
 scenario-smoke: build
 	mkdir -p $(ARTIFACTS)
 	$(GO) run ./cmd/hetgridsim validate examples/scenarios/*.yaml
 	$(GO) run ./cmd/hetgridsim run examples/scenarios/*.yaml \
 		| tee $(ARTIFACTS)/scenarios.txt
-	$(GO) run ./cmd/hetgridsim run examples/scenarios/rack_failure.yaml \
-		> $(ARTIFACTS)/rack_failure_a.txt
-	$(GO) run ./cmd/hetgridsim run examples/scenarios/rack_failure.yaml \
-		> $(ARTIFACTS)/rack_failure_b.txt
+	$(GO) run ./cmd/hetgridsim run -metrics $(ARTIFACTS)/rack_failure_a.jsonl \
+		examples/scenarios/rack_failure.yaml > $(ARTIFACTS)/rack_failure_a.txt
+	$(GO) run ./cmd/hetgridsim run -metrics $(ARTIFACTS)/rack_failure_b.jsonl \
+		examples/scenarios/rack_failure.yaml > $(ARTIFACTS)/rack_failure_b.txt
 	@cmp $(ARTIFACTS)/rack_failure_a.txt $(ARTIFACTS)/rack_failure_b.txt \
 		|| { echo "scenario-smoke: report not byte-identical across runs"; exit 1; }
-	@echo "scenario-smoke: ok ($$(ls examples/scenarios/*.yaml | wc -l) scenarios)"
+	@cmp $(ARTIFACTS)/rack_failure_a.jsonl $(ARTIFACTS)/rack_failure_b.jsonl \
+		|| { echo "scenario-smoke: telemetry not byte-identical across runs"; exit 1; }
+	@test -s $(ARTIFACTS)/rack_failure_a.jsonl \
+		|| { echo "scenario-smoke: empty scenario telemetry"; exit 1; }
+	@sed 's/^    min: 36$$/    min: 40/' examples/scenarios/checkpointed_recovery.yaml \
+		> $(ARTIFACTS)/checkpoint_violated.yaml
+	@if $(GO) run ./cmd/hetgridsim run $(ARTIFACTS)/checkpoint_violated.yaml \
+		> $(ARTIFACTS)/checkpoint_violated.txt 2>&1; then \
+		echo "scenario-smoke: violated checkpoint did not fail the run"; exit 1; fi
+	@grep -q 'below min 40' $(ARTIFACTS)/checkpoint_violated.txt \
+		|| { echo "scenario-smoke: checkpoint violation missing from report"; exit 1; }
+	@echo "scenario-smoke: ok ($$(ls examples/scenarios/*.yaml | wc -l) scenarios, checkpoint gate enforced)"
 
 verify: build vet race bench bench-xl bench-xxl bench-xxxl metrics-smoke scenario-smoke

@@ -839,6 +839,16 @@ func BenchmarkShardedEngine(b *testing.B) {
 // is pure parallel-phase work — the component the worker count
 // accelerates.
 func benchShardedHeartbeat(b *testing.B, nodes, shards, workers int) {
+	benchShardedHeartbeatEvery(b, nodes, shards, workers, 0)
+}
+
+// benchShardedHeartbeatEvery is benchShardedHeartbeat with an optional
+// telemetry plane: a non-zero sampleEvery attaches a barrier-merged
+// ShardedPlane (the full proto + per-kind transport registration the
+// figure driver wires) sampling at that cadence through the timed
+// window, so the metrics-on/off pair prices the facet reads and
+// reductions the telemetry plane adds per barrier.
+func benchShardedHeartbeatEvery(b *testing.B, nodes, shards, workers int, sampleEvery sim.Duration) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		cfg := proto.DefaultConfig(proto.Adaptive)
@@ -850,6 +860,15 @@ func benchShardedHeartbeat(b *testing.B, nodes, shards, workers int) {
 		churn.Seed = int64(i + 1)
 		d := proto.NewShardedChurnDriver(ss, churn)
 		d.Start()
+		var m *metrics.Plane
+		if sampleEvery > 0 {
+			m = metrics.New(sampleEvery, 0)
+			m.Attach(ss.SE)
+			sp := metrics.NewShardedPlane(m, ss.Shards())
+			metricsreg.RegisterShardedProtoGauges(sp, ss)
+			metricsreg.RegisterShardedNetCounters(sp, ss.Net, "net")
+			m.Poke()
+		}
 		ss.RunUntil(d.ChurnStart.Add(5 * sim.Second))
 		// Flush the join storm's garbage (and any prior sub-benchmark's
 		// lingering heap) before timing, so the measured window reflects
@@ -863,8 +882,31 @@ func benchShardedHeartbeat(b *testing.B, nodes, shards, workers int) {
 		if alive < nodes*9/10 {
 			b.Fatalf("population collapsed: %d of %d alive", alive, nodes)
 		}
+		if m != nil && m.Samples() == 0 {
+			b.Fatal("telemetry plane took no samples in the timed window")
+		}
 		b.StartTimer()
 	}
+}
+
+// BenchmarkShardedHeartbeatMetricsOverhead prices the sharded
+// telemetry plane: the identical modest-scale heartbeat workload with
+// no plane and with a 5-second barrier-merged sampling cadence. The
+// off/on ns/op gap is the whole cost of telemetry — the determinism
+// contract guarantees the event history itself is unchanged, so any
+// difference is facet reads, reductions and ring writes at barriers.
+func BenchmarkShardedHeartbeatMetricsOverhead(b *testing.B) {
+	const nodes, shards = 2000, 4
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shards {
+		workers = shards
+	}
+	b.Run("metrics=off", func(b *testing.B) {
+		benchShardedHeartbeatEvery(b, nodes, shards, workers, 0)
+	})
+	b.Run("metrics=on", func(b *testing.B) {
+		benchShardedHeartbeatEvery(b, nodes, shards, workers, 5*sim.Second)
+	})
 }
 
 // BenchmarkShardedHeartbeat100k is the bench-xxl speedup smoke for the

@@ -24,16 +24,18 @@ import (
 	"strings"
 
 	"hetgrid/internal/experiments"
+	"hetgrid/internal/metrics"
 	"hetgrid/internal/perf"
 	"hetgrid/internal/sim"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 8a, 8b, hb or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 8a, 8b, hb, sharded or all")
 	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "root random seed")
 	out := flag.String("out", "", "output file (default stdout)")
 	metricsPath := flag.String("metrics", "", "write sampled telemetry (JSONL) to this file")
+	metricsCSV := flag.String("metrics-csv", "", "write sampled telemetry (CSV) to this file (-fig sharded only)")
 	metricsEvery := flag.Float64("metrics-interval", 60, "telemetry sampling interval in virtual seconds")
 	pprofPath := flag.String("pprof", "", "write a CPU profile to this file")
 	perfStats := flag.Bool("perfstats", false, "enable perf timers and print the counter report to stderr")
@@ -70,6 +72,12 @@ func main() {
 	}
 
 	want := strings.ToLower(*fig)
+	if want == "sharded" {
+		// The sharded-core cell manages its own plane (one simulation,
+		// barrier-merged facets) rather than the per-figure collector.
+		runSharded(w, s, *seed, *metricsPath, *metricsCSV, *metricsEvery)
+		return
+	}
 	matched := false
 	if want == "all" || want == "5" {
 		matched = true
@@ -92,7 +100,7 @@ func main() {
 		run("Figure HB", func() error { _, err := experiments.FigureHB(w, s, *seed, mc); return err })
 	}
 	if !matched {
-		fatal(fmt.Errorf("unknown -fig %q (want 5, 6, 7, 8, hb or all)", *fig))
+		fatal(fmt.Errorf("unknown -fig %q (want 5, 6, 7, 8, hb, sharded or all)", *fig))
 	}
 
 	if mc != nil {
@@ -107,6 +115,46 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d metric points to %s\n", mc.Len(), *metricsPath)
+	}
+}
+
+// runSharded drives the sharded-telemetry figure: one Figure 8 cell on
+// the sharded core, with the merged stream exported as JSONL and/or
+// CSV. The figure text and both exports are byte-identical for any
+// shard/worker count (and the text for telemetry on/off) — the sharded
+// plane's determinism contract.
+func runSharded(w io.Writer, s experiments.Scale, seed int64, jsonlPath, csvPath string, every float64) {
+	var plane *metrics.Plane
+	if jsonlPath != "" || csvPath != "" {
+		plane = metrics.New(sim.FromSeconds(every), 0)
+	}
+	fmt.Fprintf(w, "==== Figure 8 on the sharded core (scale %.2f, seed %d) ====\n", float64(s), seed)
+	if _, err := experiments.FigureSharded(w, s, seed, plane); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(w)
+	if plane == nil {
+		return
+	}
+	if jsonlPath != "" {
+		writeExport(jsonlPath, func(f io.Writer) error { return plane.WriteJSONL(f, "sharded") })
+	}
+	if csvPath != "" {
+		writeExport(csvPath, plane.WriteCSV)
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %d metric points (%d series)\n", plane.Len(), len(plane.Series()))
+}
+
+func writeExport(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

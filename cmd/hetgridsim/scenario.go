@@ -2,19 +2,26 @@ package main
 
 // Scenario subcommands:
 //
-//	hetgridsim run scenario.yaml [more.yaml...]       execute and report
-//	hetgridsim validate scenario.yaml [more.yaml...]  parse and check only
+//	hetgridsim run [-metrics out.jsonl] scenario.yaml [more.yaml...]
+//	hetgridsim validate scenario.yaml [more.yaml...]
 //
 // `run` prints each scenario's deterministic report and exits non-zero
 // if any assertion fails — the contract the CI corpus gate relies on.
-// `validate` decodes and validates without running anything, so a whole
-// corpus can be linted cheaply.
+// `-metrics` additionally exports every scenario's sampled telemetry
+// stream as JSONL, each line stamped with the scenario name; the
+// stream is as deterministic as the report, and the report itself is
+// byte-identical with or without the export. `validate` decodes and
+// validates without running anything, so a whole corpus can be linted
+// cheaply.
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hetgrid/internal/scenario"
+	"hetgrid/internal/sim"
 )
 
 // dispatchScenario handles the subcommand forms; it returns false when
@@ -32,12 +39,29 @@ func dispatchScenario(args []string) bool {
 	return false
 }
 
-func runScenarios(paths []string) int {
+func runScenarios(args []string) int {
+	fs := flag.NewFlagSet("hetgridsim run", flag.ExitOnError)
+	metricsPath := fs.String("metrics", "", "write every scenario's sampled telemetry (JSONL, run = scenario name) to this file")
+	metricsEvery := fs.Float64("metrics-interval", 60, "telemetry sampling interval in virtual seconds")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
 	if len(paths) == 0 {
 		fmt.Fprintln(os.Stderr, "hetgridsim run: no scenario files given")
 		return 2
 	}
+	var export io.WriteCloser
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
+			return 1
+		}
+		export = f
+	}
 	status := 0
+	points := 0
 	for i, path := range paths {
 		if i > 0 {
 			fmt.Println()
@@ -48,7 +72,7 @@ func runScenarios(paths []string) int {
 			status = 1
 			continue
 		}
-		res, err := scenario.Run(spec)
+		res, err := scenario.RunSampled(spec, sim.FromSeconds(*metricsEvery))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
 			status = 1
@@ -58,6 +82,20 @@ func runScenarios(paths []string) int {
 		if !res.Passed() {
 			status = 1
 		}
+		if export != nil {
+			if err := res.Telemetry.WriteJSONL(export, spec.Name); err != nil {
+				fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
+				status = 1
+			}
+			points += res.Telemetry.Len()
+		}
+	}
+	if export != nil {
+		if err := export.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
+			status = 1
+		}
+		fmt.Fprintf(os.Stderr, "hetgridsim run: wrote %d metric points to %s\n", points, *metricsPath)
 	}
 	return status
 }

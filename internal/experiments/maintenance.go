@@ -212,8 +212,11 @@ func summarizeScalability(cfg ScalabilityConfig, avgNeighbors float64, alive int
 // can pick the parallelism that fits the machine without perturbing
 // the figures (shards and workers ≤ 0 select GOMAXPROCS).
 //
-// cfg.Metrics is ignored: the telemetry plane samples on a serial
-// engine's clock and is not yet wired to the sharded core.
+// cfg.Metrics, when non-nil, samples the run through per-shard metric
+// facets merged at window barriers (metrics.ShardedPlane): the sampler
+// runs on the serial control plane with all shards quiesced, so the
+// exported stream is byte-identical for any (shards, workers) pair and
+// the cell's figures are byte-identical to a metrics-off run.
 func RunScalabilitySharded(cfg ScalabilityConfig, shards, workers int) *ScalabilityResult {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -234,6 +237,7 @@ func RunScalabilitySharded(cfg ScalabilityConfig, shards, workers int) *Scalabil
 	cc.Seed = cfg.Seed
 	d := proto.NewShardedChurnDriver(ss, cc)
 	d.Start()
+	attachShardedProtoMetrics(cfg.Metrics, ss)
 
 	ss.RunUntil(d.ChurnStart.Add(cfg.Warmup))
 	ss.Net.ResetWindow()
@@ -252,6 +256,21 @@ func attachProtoMetrics(m *metrics.Plane, s *proto.Sim) {
 	m.Attach(s.Eng)
 	metricsreg.RegisterProtoGauges(m, s)
 	metricsreg.RegisterNetCounters(m, s.Net, "net")
+	m.Poke()
+}
+
+// attachShardedProtoMetrics wires the same series as attachProtoMetrics
+// against a sharded run: the plane samples on the control plane at
+// window barriers, reading per-shard facets merged in stable shard
+// order (metrics.ShardedPlane).
+func attachShardedProtoMetrics(m *metrics.Plane, ss *proto.ShardedSim) {
+	if m == nil {
+		return
+	}
+	m.Attach(ss.SE)
+	sp := metrics.NewShardedPlane(m, ss.Shards())
+	metricsreg.RegisterShardedProtoGauges(sp, ss)
+	metricsreg.RegisterShardedNetCounters(sp, ss.Net, "net")
 	m.Poke()
 }
 

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/metrics"
+	"hetgrid/internal/sim"
+)
+
+// shardedStream runs one sharded Figure 8 cell with a telemetry plane
+// attached and returns the exported JSONL stream plus the rendered cell.
+func shardedStream(t *testing.T, cfg ScalabilityConfig, shards, workers int) (stream []byte, cell string) {
+	t.Helper()
+	m := metrics.New(2*sim.Second, 0)
+	cfg.Metrics = m
+	res := RunScalabilitySharded(cfg, shards, workers)
+	var b bytes.Buffer
+	if err := m.WriteJSONL(&b, "cell"); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if m.Samples() == 0 || m.Len() == 0 {
+		t.Fatalf("S=%d W=%d: plane took %d samples, retained %d points", shards, workers, m.Samples(), m.Len())
+	}
+	return b.Bytes(), renderScalabilityResult(res)
+}
+
+// TestShardedTelemetryDeterminism pins the tentpole contract of the
+// sharded telemetry plane: with per-shard facets merged at window
+// barriers, the exported stream is a pure model property — the same
+// seed produces a byte-identical stream for (S=1,W=1), (S=4,W=1) and
+// (S=4,W=4) — and attaching the plane leaves the cell's figures
+// byte-identical to a metrics-off run.
+func TestShardedTelemetryDeterminism(t *testing.T) {
+	cfg := shardedScaleTestConfig()
+
+	off := renderScalabilityResult(RunScalabilitySharded(cfg, 1, 1))
+	wantStream, wantCell := shardedStream(t, cfg, 1, 1)
+	if wantCell != off {
+		t.Fatalf("metrics-on diverged from metrics-off:\n--- off\n%s\n--- on\n%s", off, wantCell)
+	}
+	for _, series := range []string{"proto.alive_hosts", "proto.mean_view", "net.msgs_sent", "net.full.msgs_sent"} {
+		if !bytes.Contains(wantStream, []byte(`"series":"`+series+`"`)) {
+			t.Fatalf("stream lacks series %s", series)
+		}
+	}
+
+	for _, c := range [][2]int{{4, 1}, {4, 4}} {
+		gotStream, gotCell := shardedStream(t, cfg, c[0], c[1])
+		if gotCell != wantCell {
+			t.Errorf("S=%d W=%d cell diverged from S=1:\n--- S=1\n%s\n--- S=%d W=%d\n%s",
+				c[0], c[1], wantCell, c[0], c[1], gotCell)
+		}
+		if !bytes.Equal(gotStream, wantStream) {
+			t.Errorf("S=%d W=%d stream diverged from S=1: %s",
+				c[0], c[1], firstDiff(wantStream, gotStream))
+		}
+	}
+}
+
+// TestShardedTelemetryMatchesSerialNames pins series parity: a sharded
+// registration exports exactly the series, in exactly the order, of the
+// serial registration — so downstream consumers never care which core
+// produced a stream.
+func TestShardedTelemetryMatchesSerialNames(t *testing.T) {
+	cfg := shardedScaleTestConfig()
+
+	serial := metrics.New(2*sim.Second, 0)
+	scfg := cfg
+	scfg.Metrics = serial
+	RunScalability(scfg)
+
+	sharded := metrics.New(2*sim.Second, 0)
+	mcfg := cfg
+	mcfg.Metrics = sharded
+	RunScalabilitySharded(mcfg, 4, 2)
+
+	var a, b []string
+	for _, s := range serial.Series() {
+		a = append(a, s.Name)
+	}
+	for _, s := range sharded.Series() {
+		b = append(b, s.Name)
+	}
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("series mismatch:\nserial:  %v\nsharded: %v", a, b)
+	}
+}
+
+// FuzzShardedTelemetry fuzzes the telemetry determinism contract the
+// way FuzzShardedDeterminism fuzzes the engine's: for arbitrary seeds,
+// the merged stream must be byte-identical across shard partitions and
+// worker counts.
+func FuzzShardedTelemetry(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(7))
+	f.Add(int64(42))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		cfg := DefaultScalabilityConfig(MaintSchemes[int(uint64(seed)%3)], 2, 24)
+		cfg.HeartbeatPeriod = 1 * sim.Second
+		cfg.MeanEventGap = 400 * sim.Millisecond
+		cfg.Warmup = 1 * sim.Second
+		cfg.Measure = 4 * sim.Second
+		cfg.Seed = seed
+
+		run := func(shards, workers int) []byte {
+			m := metrics.New(sim.Second, 0)
+			c := cfg
+			c.Metrics = m
+			RunScalabilitySharded(c, shards, workers)
+			var b bytes.Buffer
+			if err := m.WriteJSONL(&b, ""); err != nil {
+				t.Fatalf("WriteJSONL: %v", err)
+			}
+			return b.Bytes()
+		}
+		want := run(1, 1)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty stream", seed)
+		}
+		for _, c := range [][2]int{{3, 1}, {3, 2}, {4, 4}} {
+			if got := run(c[0], c[1]); !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: S=%d W=%d stream diverged: %s",
+					seed, c[0], c[1], firstDiff(want, got))
+			}
+		}
+	})
+}

@@ -67,6 +67,21 @@ func (s *Series) record(p Point) {
 // Len returns the number of retained points.
 func (s *Series) Len() int { return len(s.pts) }
 
+// Last returns the most recently recorded point, if any.
+func (s *Series) Last() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	i := len(s.pts) - 1
+	if s.full {
+		i = s.head - 1
+		if i < 0 {
+			i = len(s.pts) - 1
+		}
+	}
+	return s.pts[i], true
+}
+
 // Points returns the retained points in chronological order (a copy).
 func (s *Series) Points() []Point {
 	out := make([]Point, 0, len(s.pts))
@@ -121,6 +136,20 @@ type GaugeFunc func(sink *Sink)
 // per-interval delta (the first interval is measured from Attach).
 type CounterFunc func() int64
 
+// Engine is the scheduling surface a plane samples on: the serial
+// sim.Engine, or a sim.ShardedEngine — whose AtCall/AfterCall schedule
+// on the serial control plane, so every sampling pass runs at a window
+// barrier with all shards quiesced and all clocks aligned. Pending
+// must count every queue (a sharded engine includes shard queues and
+// unflushed mailboxes), so dormancy decisions are a pure model
+// property, independent of the shard partition and the worker count.
+type Engine interface {
+	Now() sim.Time
+	Pending() int
+	AtCall(at sim.Time, c sim.Caller) sim.EventID
+	AfterCall(d sim.Duration, c sim.Caller) sim.EventID
+}
+
 type gaugeReg struct {
 	series *Series
 	fn     GaugeFunc
@@ -137,7 +166,7 @@ type counterReg struct {
 // while the simulation has work pending. A Plane is single-threaded,
 // like the engine it watches.
 type Plane struct {
-	eng      *sim.Engine
+	eng      Engine
 	interval sim.Duration
 	maxPts   int
 
@@ -188,7 +217,7 @@ func (p *Plane) RegisterCounter(name string, fn CounterFunc) {
 // so the first sample reports only post-Attach activity. It does not
 // schedule a sampler event: call Poke to arm it (this keeps an attached
 // but idle plane from pinning the event queue open).
-func (p *Plane) Attach(eng *sim.Engine) {
+func (p *Plane) Attach(eng Engine) {
 	p.eng = eng
 	for i := range p.counters {
 		p.counters[i].last = p.counters[i].fn()
@@ -296,8 +325,12 @@ type exportPoint struct {
 // points) as one JSON object per line. A non-empty run label is stamped
 // on every line so collected multi-run streams stay attributable.
 func (p *Plane) WriteJSONL(w io.Writer, run string) error {
+	return writeSeriesJSONL(w, run, p.series)
+}
+
+func writeSeriesJSONL(w io.Writer, run string, series []*Series) error {
 	enc := json.NewEncoder(w)
-	for _, s := range p.series {
+	for _, s := range series {
 		name := s.Name
 		if err := s.each(func(pt Point) error {
 			return enc.Encode(exportPoint{Run: run, Series: name, T: pt.T, Node: pt.Node, V: pt.V})

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+// TestShardedMergeMath pins the three reductions: sum gauges add facet
+// values, ratio gauges divide global sums (not average per-shard
+// ratios), and sum counters export the per-interval delta of the
+// shard-summed total with baselines captured at registration.
+func TestShardedMergeMath(t *testing.T) {
+	eng := sim.New()
+	p := New(10*sim.Second, 0)
+	p.Attach(eng)
+	sp := NewShardedPlane(p, 3)
+
+	vals := []float64{1, 2, 3}
+	nums := []float64{10, 0, 2}
+	dens := []float64{4, 0, 1}
+	counts := []int64{100, 200, 300} // pre-registration activity must not appear
+	sp.RegisterSumGauge("g", func(sh int) float64 { return vals[sh] })
+	sp.RegisterRatioGauge("r", func(sh int) (float64, float64) { return nums[sh], dens[sh] })
+	sp.RegisterSumCounter("c", func(sh int) int64 { return counts[sh] })
+
+	p.SampleNow()
+	counts[0] += 7
+	counts[2] += 5
+	vals[1] = 20
+	p.SampleNow()
+
+	check := func(name string, want []float64) {
+		t.Helper()
+		pts := p.SeriesByName(name).Points()
+		if len(pts) != len(want) {
+			t.Fatalf("%s: got %d points, want %d", name, len(pts), len(want))
+		}
+		for i, w := range want {
+			if pts[i].V != w || pts[i].Node != -1 {
+				t.Fatalf("%s point %d = %+v, want V=%v Node=-1", name, i, pts[i], w)
+			}
+		}
+	}
+	check("g", []float64{6, 24})
+	check("r", []float64{12.0 / 5.0, 12.0 / 5.0})
+	check("c", []float64{0, 12})
+
+	// Facet series carry the per-shard view: Node = shard index, and a
+	// shard with an empty denominator reports ratio 0.
+	fpts := sp.FacetSeries("r").Points()
+	wantFacet := []Point{
+		{T: 0, Node: 0, V: 2.5}, {T: 0, Node: 1, V: 0}, {T: 0, Node: 2, V: 2},
+		{T: 0, Node: 0, V: 2.5}, {T: 0, Node: 1, V: 0}, {T: 0, Node: 2, V: 2},
+	}
+	if len(fpts) != len(wantFacet) {
+		t.Fatalf("facet r: got %d points, want %d", len(fpts), len(wantFacet))
+	}
+	for i, w := range wantFacet {
+		if fpts[i] != w {
+			t.Fatalf("facet r point %d = %+v, want %+v", i, fpts[i], w)
+		}
+	}
+	cpts := sp.FacetSeries("c").Points()
+	wantC := []float64{0, 0, 0, 7, 0, 5}
+	for i, w := range wantC {
+		if cpts[i].V != w {
+			t.Fatalf("facet c point %d = %+v, want V=%v", i, cpts[i], w)
+		}
+	}
+}
+
+// TestShardedFacetsExcludedFromExport: the wrapped plane's canonical
+// export carries only the merged (partition-independent) series; the
+// S-dependent facet streams come out solely via WriteFacetJSONL.
+func TestShardedFacetsExcludedFromExport(t *testing.T) {
+	eng := sim.New()
+	p := New(10*sim.Second, 0)
+	p.Attach(eng)
+	sp := NewShardedPlane(p, 2)
+	sp.RegisterSumGauge("g", func(sh int) float64 { return float64(sh + 1) })
+	p.SampleNow()
+
+	var merged bytes.Buffer
+	if err := p.WriteJSONL(&merged, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.String(), `{"series":"g","t":0,"node":-1,"v":3}`+"\n"; got != want {
+		t.Fatalf("merged export:\n%s\nwant:\n%s", got, want)
+	}
+
+	var facets bytes.Buffer
+	if err := sp.WriteFacetJSONL(&facets, "f"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(facets.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("facet export has %d lines, want 2:\n%s", len(lines), facets.String())
+	}
+	for sh, want := range []string{
+		`{"run":"f","series":"g","t":0,"node":0,"v":1}`,
+		`{"run":"f","series":"g","t":0,"node":1,"v":2}`,
+	} {
+		if lines[sh] != want {
+			t.Fatalf("facet line %d = %s, want %s", sh, lines[sh], want)
+		}
+	}
+}
+
+// TestShardedPlaneOnShardedEngine runs the plane against a real
+// ShardedEngine: the sampler lives on the serial control plane, ticks
+// at window barriers while shard work is pending, observes shard-local
+// mutations made inside parallel windows, and goes dormant so Run()
+// drains.
+func TestShardedPlaneOnShardedEngine(t *testing.T) {
+	se := sim.NewSharded(3, 100*sim.Millisecond)
+	defer se.Close()
+	se.SetWorkers(3)
+
+	counts := make([]int64, 3)
+	for sh := 0; sh < 3; sh++ {
+		sh := sh
+		se.Shard(sh).AfterCall(5*sim.Second, callerFunc(func(sim.Time) {
+			counts[sh] += int64(sh + 1)
+		}))
+		se.Shard(sh).AfterCall(15*sim.Second, callerFunc(func(sim.Time) {
+			counts[sh] += 10 * int64(sh+1)
+		}))
+	}
+
+	p := New(10*sim.Second, 0)
+	p.Attach(se)
+	sp := NewShardedPlane(p, 3)
+	sp.RegisterSumCounter("c", func(sh int) int64 { return counts[sh] })
+	p.Poke()
+	se.Run() // must terminate: the sampler disarms once shards drain
+
+	// t=10: deltas 1+2+3; t=20: 10+20+30; the sampler found the queues
+	// empty at t=20 and went dormant.
+	pts := p.SeriesByName("c").Points()
+	want := []float64{6, 60}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d: %+v", len(pts), len(want), pts)
+	}
+	for i, w := range want {
+		if pts[i].V != w {
+			t.Fatalf("point %d = %+v, want V=%v", i, pts[i], w)
+		}
+	}
+	if p.armed {
+		t.Fatal("sampler still armed after drain")
+	}
+}
+
+// callerFunc adapts a func to sim.Caller for shard-local test events.
+type callerFunc func(sim.Time)
+
+func (f callerFunc) Call(now sim.Time) { f(now) }

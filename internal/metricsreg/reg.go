@@ -156,3 +156,39 @@ func RegisterProtoGauges(p *metrics.Plane, s *proto.Sim) {
 		k.Emit(-1, s.MeanViewSize())
 	})
 }
+
+// RegisterShardedProtoGauges registers the protocol health gauges of a
+// sharded simulation, reading per-shard facets and merging in stable
+// shard order. Series names and export semantics match
+// RegisterProtoGauges exactly, so the merged stream of a sharded run is
+// comparable (and, for the same event history, identical) to a serial
+// run's.
+func RegisterShardedProtoGauges(sp *metrics.ShardedPlane, ss *proto.ShardedSim) {
+	sp.RegisterSumGauge("proto.alive_hosts", func(sh int) float64 {
+		return float64(ss.ShardAliveHosts(sh))
+	})
+	sp.RegisterRatioGauge("proto.mean_view", func(sh int) (num, den float64) {
+		entries, hosts := ss.ShardViewStats(sh)
+		return float64(entries), float64(hosts)
+	})
+}
+
+// RegisterShardedNetCounters registers transport volume counters over a
+// sharded transport's facets: the same series names, order and
+// per-interval-delta semantics as RegisterNetCounters, with each value
+// the stable shard-order sum of the per-facet counters.
+func RegisterShardedNetCounters(sp *metrics.ShardedPlane, sn *netsim.ShardedNet, prefix string) {
+	sp.RegisterSumCounter(prefix+".msgs_sent", func(sh int) int64 { return sn.Facet(sh).Total().MsgsSent })
+	sp.RegisterSumCounter(prefix+".bytes_sent", func(sh int) int64 { return sn.Facet(sh).Total().BytesSent })
+	sp.RegisterSumCounter(prefix+".msgs_recv", func(sh int) int64 { return sn.Facet(sh).Total().MsgsRecv })
+	sp.RegisterSumCounter(prefix+".bytes_recv", func(sh int) int64 { return sn.Facet(sh).Total().BytesRecv })
+	for _, k := range netsim.AllKinds {
+		kind := k
+		sp.RegisterSumCounter(fmt.Sprintf("%s.%s.msgs_sent", prefix, kind), func(sh int) int64 {
+			return sn.Facet(sh).KindTotal(kind).MsgsSent
+		})
+		sp.RegisterSumCounter(fmt.Sprintf("%s.%s.bytes_sent", prefix, kind), func(sh int) int64 {
+			return sn.Facet(sh).KindTotal(kind).BytesSent
+		})
+	}
+}

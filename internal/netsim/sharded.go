@@ -47,6 +47,9 @@ func (sn *ShardedNet) SetShardOf(f func(can.NodeID) int) { sn.shardOf = f }
 // send through it.
 func (sn *ShardedNet) Facet(i int) *Net { return sn.facets[i] }
 
+// Shards returns the facet count S.
+func (sn *ShardedNet) Shards() int { return len(sn.facets) }
+
 // Latency returns the one-way delivery latency.
 func (sn *ShardedNet) Latency() sim.Duration { return sn.latency }
 

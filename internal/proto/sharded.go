@@ -178,6 +178,22 @@ func (ss *ShardedSim) MeanViewSize() float64 {
 	return float64(total) / float64(hosts)
 }
 
+// ShardAliveHosts returns shard i's live host count. Control-plane (or
+// quiesced-engine) use only — the telemetry facet reader.
+func (ss *ShardedSim) ShardAliveHosts(i int) int { return len(ss.shards[i].hosts) }
+
+// ShardViewStats returns shard i's total believed-neighbor entries and
+// its live host count, the per-facet numerator and denominator of the
+// global mean view size (Σentries/Σhosts == MeanViewSize). Control-plane
+// use only.
+func (ss *ShardedSim) ShardViewStats(i int) (entries, hosts int) {
+	s := ss.shards[i]
+	for _, h := range s.hosts {
+		entries += len(h.view.entries)
+	}
+	return entries, len(s.hosts)
+}
+
 // Join admits a capability-less node at point p (control plane).
 func (ss *ShardedSim) Join(p geom.Point) (*can.Node, error) {
 	return ss.JoinNode(p, nil)

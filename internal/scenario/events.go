@@ -20,31 +20,37 @@ func (w *World) scheduleEvent(ev *Event, idx int) {
 	at := sim.Time(ev.At)
 	switch ev.Kind {
 	case "fail_nodes":
-		w.eng.At(at, func(sim.Time) {
+		w.eng.At(at, func(now sim.Time) {
 			for _, id := range w.pickVictims(ev.Count) {
 				w.failNode(id)
 			}
+			w.snapshot(now, fmt.Sprintf("fail_nodes(%d)", ev.Count))
 		})
 	case "fail_rack":
 		// A correlated failure: every live member of the rack fails at
 		// once — the grid sees the simultaneous-events regime the paper's
 		// high-churn analysis is about, plus the orphan re-match burst.
-		w.eng.At(at, func(sim.Time) {
+		w.eng.At(at, func(now sim.Time) {
 			for _, id := range w.rackMembers(ev.Rack) {
 				w.failNode(id)
 			}
+			w.snapshot(now, fmt.Sprintf("fail_rack(%d)", ev.Rack))
 		})
 	case "partition":
-		w.eng.At(at, func(sim.Time) {
+		w.eng.At(at, func(now sim.Time) {
 			if ev.Rack >= 0 {
 				w.part.Isolate(w.rackMembers(ev.Rack)...)
 			} else {
 				n := int(float64(len(w.aliveIDs()))*ev.Fraction + 0.5)
 				w.part.Isolate(w.pickVictims(n)...)
 			}
+			w.snapshot(now, "partition")
 		})
 	case "heal":
-		w.eng.At(at, func(sim.Time) { w.part.HealAll() })
+		w.eng.At(at, func(now sim.Time) {
+			w.part.HealAll()
+			w.snapshot(now, "heal")
+		})
 	case "burst":
 		// A flash crowd: Count jobs arrive back-to-back from the shared
 		// workload generator (shared so job ids stay unique), all at the
@@ -57,9 +63,10 @@ func (w *World) scheduleEvent(ev *Event, idx int) {
 			for i := 0; i < ev.Count; i++ {
 				w.submitNext(now)
 			}
+			w.snapshot(now, fmt.Sprintf("burst(%d)", ev.Count))
 		})
 	case "join_wave":
-		w.eng.At(at, func(sim.Time) {
+		w.eng.At(at, func(now sim.Time) {
 			for i := 0; i < ev.Count; i++ {
 				w.eng.After(sim.Duration(i)*ev.Gap, func(sim.Time) {
 					if _, err := w.admit(w.ngen.One()); err != nil {
@@ -67,6 +74,7 @@ func (w *World) scheduleEvent(ev *Event, idx int) {
 					}
 				})
 			}
+			w.snapshot(now, fmt.Sprintf("join_wave(%d)", ev.Count))
 		})
 	case "churn":
 		// Sustained background churn through the protocol driver: joins
@@ -97,9 +105,15 @@ func (w *World) scheduleEvent(ev *Event, idx int) {
 			w.requeue(w.cluster.RemoveNode(id))
 			w.checkConservation(fmt.Sprintf("after churn departure of node %d", id))
 		}
-		w.eng.At(at, func(sim.Time) { d.Start() })
+		w.eng.At(at, func(now sim.Time) {
+			d.Start()
+			w.snapshot(now, "churn_start")
+		})
 		if ev.Until > 0 {
-			w.eng.At(sim.Time(ev.Until), func(sim.Time) { d.Stop() })
+			w.eng.At(sim.Time(ev.Until), func(now sim.Time) {
+				d.Stop()
+				w.snapshot(now, "churn_stop")
+			})
 		}
 	}
 }

@@ -10,14 +10,22 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"hetgrid/internal/metrics"
 )
 
 // Result is the outcome of one scenario run.
 type Result struct {
 	Spec       *Spec
 	Metrics    map[string]float64
+	Timeline   []string // per-event metric snapshots + checkpoint rows, in firing order
 	Violations []string // empty iff every assertion held
 	Report     string   // deterministic plain-text rendering
+
+	// Telemetry is the run's sampled plane (always attached; see
+	// telemetry.go). Drivers may export it — the stream is as
+	// deterministic as the report.
+	Telemetry *metrics.Plane
 }
 
 // Passed reports whether every assertion held.
@@ -86,7 +94,9 @@ func (w *World) result() *Result {
 	r := &Result{
 		Spec:       w.spec,
 		Metrics:    w.metrics(),
+		Timeline:   append([]string(nil), w.timeline...),
 		Violations: append([]string(nil), w.violations...),
+		Telemetry:  w.plane,
 	}
 	r.Report = renderReport(r)
 	return r
@@ -97,6 +107,12 @@ func renderReport(r *Result) string {
 	fmt.Fprintf(&b, "scenario %s (seed %d, horizon %s)\n", r.Spec.Name, r.Spec.Seed, fmtDur(r.Spec.Duration))
 	for _, name := range metricNames {
 		fmt.Fprintf(&b, "  %-14s %s\n", name, fmtMetric(r.Metrics[name]))
+	}
+	if len(r.Timeline) > 0 {
+		b.WriteString("timeline:\n")
+		for _, row := range r.Timeline {
+			fmt.Fprintf(&b, "  %s\n", row)
+		}
 	}
 	if r.Passed() {
 		b.WriteString("PASS\n")

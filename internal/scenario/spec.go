@@ -18,13 +18,14 @@ import (
 
 // Spec is a fully decoded scenario.
 type Spec struct {
-	Name     string
-	Seed     int64
-	Duration sim.Duration // run horizon (virtual time)
-	Grid     GridSpec
-	Workload WorkloadSpec
-	Events   []Event
-	Assert   AssertSpec
+	Name        string
+	Seed        int64
+	Duration    sim.Duration // run horizon (virtual time)
+	Grid        GridSpec
+	Workload    WorkloadSpec
+	Events      []Event
+	Checkpoints []Checkpoint
+	Assert      AssertSpec
 }
 
 // GridSpec describes the fleet and the maintenance protocol.
@@ -59,6 +60,22 @@ type Event struct {
 	Gap          sim.Duration // join_wave spacing, churn mean event gap
 	FailFraction float64      // churn: silent-failure share of departures
 	Until        sim.Duration // churn: stop time (0 = run to horizon)
+}
+
+// Checkpoint is an `at:`-timed mid-run assertion over one sampled
+// telemetry series: the world forces a sampling pass at the instant and
+// bounds the observed value. Gauge series (proto.*) check the sampled
+// instantaneous value; counter series (jobs.*, net.*) check the
+// cumulative total since the scenario started, so the check never
+// depends on the sampling interval. A checkpoint firing at the same
+// instant as an event evaluates after it — it observes the event's
+// consequences.
+type Checkpoint struct {
+	At       sim.Duration
+	Series   string
+	Min, Max float64
+	HasMin   bool
+	HasMax   bool
 }
 
 // Bound is a numeric assertion over one report metric.
@@ -148,6 +165,16 @@ func Load(src string) (*Spec, error) {
 		}
 	}
 
+	if cv, ok := top["checkpoints"]; ok {
+		seq, isSeq := cv.([]any)
+		if !isSeq {
+			d.fail("checkpoints: expected a sequence")
+		}
+		for i, item := range seq {
+			spec.Checkpoints = append(spec.Checkpoints, d.checkpoint(item, i))
+		}
+	}
+
 	spec.Assert = AssertSpec{MaxLost: -1, MaxBrokenLinks: -1}
 	if av, ok := top["assert"]; ok {
 		a := d.mapping(av, "assert")
@@ -171,7 +198,7 @@ func Load(src string) (*Spec, error) {
 			"no_orphans", "max_lost", "min_finished", "max_broken_links", "bounds")
 	}
 
-	d.rejectUnknown(top, "scenario", "name", "seed", "duration", "grid", "workload", "events", "assert")
+	d.rejectUnknown(top, "scenario", "name", "seed", "duration", "grid", "workload", "events", "checkpoints", "assert")
 	d.rejectUnknown(g, "grid", "nodes", "racks", "gpu_slots", "protocol", "heartbeat", "scheduler", "refresh")
 
 	if d.err != nil {
@@ -225,6 +252,17 @@ func (s *Spec) validate() error {
 			if ev.Gap <= 0 {
 				return fmt.Errorf("scenario %s: events[%d]: churn needs a positive mean_gap", s.Name, i)
 			}
+		}
+	}
+	for i, cp := range s.Checkpoints {
+		if !validSeries(cp.Series) {
+			return fmt.Errorf("scenario %s: checkpoints[%d]: unknown series %q (known: %v)", s.Name, i, cp.Series, telemetrySeries())
+		}
+		if cp.At <= 0 || cp.At > s.Duration {
+			return fmt.Errorf("scenario %s: checkpoints[%d] (%s): at %s outside the horizon", s.Name, i, cp.Series, fmtDur(cp.At))
+		}
+		if !cp.HasMin && !cp.HasMax {
+			return fmt.Errorf("scenario %s: checkpoints[%d]: %s has neither min nor max", s.Name, i, cp.Series)
 		}
 	}
 	for _, b := range s.Assert.Bounds {
@@ -410,6 +448,19 @@ func (d *decoder) event(item any, i int) Event {
 		d.fail("events[%d]: no event kind given", i)
 	}
 	return ev
+}
+
+func (d *decoder) checkpoint(item any, i int) Checkpoint {
+	m := d.mapping(item, fmt.Sprintf("checkpoints[%d]", i))
+	cp := Checkpoint{At: d.dur(m, "at", 0), Series: d.str(m, "series", "")}
+	if _, ok := m["min"]; ok {
+		cp.Min, cp.HasMin = d.float(m, "min", 0), true
+	}
+	if _, ok := m["max"]; ok {
+		cp.Max, cp.HasMax = d.float(m, "max", 0), true
+	}
+	d.rejectUnknown(m, fmt.Sprintf("checkpoints[%d]", i), "at", "series", "min", "max")
+	return cp
 }
 
 func (d *decoder) bound(item any, i int) Bound {

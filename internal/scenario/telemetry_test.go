@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+const checkpointScenario = `
+name: checkpointed
+seed: 7
+duration: 10m
+
+grid:
+  nodes: 24
+  heartbeat: 10s
+
+workload:
+  jobs: 40
+  mean_gap: 2s
+  min_run: 20s
+  max_run: 1m
+
+events:
+  - at: 1m
+    fail_nodes: 2
+
+checkpoints:
+  - at: 2m
+    series: proto.alive_hosts
+    min: 10
+    max: 24
+  - at: 9m
+    series: jobs.finished
+    min: 1
+`
+
+// TestScenarioCheckpointsPass: a satisfiable checkpoint battery holds,
+// and both event snapshots and checkpoint evaluations appear in the
+// report's timeline.
+func TestScenarioCheckpointsPass(t *testing.T) {
+	res := mustRun(t, checkpointScenario)
+	if !res.Passed() {
+		t.Fatalf("checkpointed scenario failed:\n%s", res.Report)
+	}
+	for _, want := range []string{
+		"timeline:",
+		"fail_nodes(2): alive=22",
+		"checkpoint proto.alive_hosts=22",
+		"checkpoint jobs.finished=",
+	} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("report lacks %q:\n%s", want, res.Report)
+		}
+	}
+}
+
+// TestScenarioCheckpointViolation: an unsatisfiable checkpoint flips
+// the report to FAIL with a bound-style violation, without aborting
+// the run.
+func TestScenarioCheckpointViolation(t *testing.T) {
+	res := mustRun(t, strings.Replace(checkpointScenario, "min: 10", "min: 1000", 1))
+	if res.Passed() {
+		t.Fatal("impossible checkpoint passed")
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v, want 1", res.Violations)
+	}
+	want := "checkpoints[0]: proto.alive_hosts = 22 below min 1000 at 2m0s"
+	if res.Violations[0] != want {
+		t.Fatalf("violation = %q, want %q", res.Violations[0], want)
+	}
+	if !strings.Contains(res.Report, "FAIL (1 violations)") {
+		t.Errorf("report lacks FAIL banner:\n%s", res.Report)
+	}
+}
+
+// TestScenarioCheckpointValidation: unknown series and empty bounds are
+// load-time errors, so a corpus lint catches them before any run.
+func TestScenarioCheckpointValidation(t *testing.T) {
+	if _, err := Load(strings.Replace(checkpointScenario, "series: proto.alive_hosts", "series: bogus", 1)); err == nil || !strings.Contains(err.Error(), `unknown series "bogus"`) {
+		t.Errorf("unknown series: err = %v", err)
+	}
+	noBounds := strings.Replace(checkpointScenario, "    min: 10\n    max: 24\n", "", 1)
+	if _, err := Load(noBounds); err == nil || !strings.Contains(err.Error(), "neither min nor max") {
+		t.Errorf("missing bounds: err = %v", err)
+	}
+}
+
+// TestScenarioTelemetryDeterministic pins the export-side contract:
+// the sampled stream is byte-identical across runs, and the report is
+// byte-identical whatever the sampling interval — timeline snapshots
+// and checkpoints use forced passes at event instants, so the cadence
+// shapes only the exported stream.
+func TestScenarioTelemetryDeterministic(t *testing.T) {
+	stream := func(interval sim.Duration) (string, string) {
+		res, err := RunSampled(mustLoad(t, checkpointScenario), interval)
+		if err != nil {
+			t.Fatalf("RunSampled: %v", err)
+		}
+		var b bytes.Buffer
+		if err := res.Telemetry.WriteJSONL(&b, "cp"); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return b.String(), res.Report
+	}
+
+	s1, r1 := stream(30 * sim.Second)
+	s2, r2 := stream(30 * sim.Second)
+	if s1 != s2 {
+		t.Fatal("telemetry streams differ between identical runs")
+	}
+	if r1 != r2 {
+		t.Fatal("reports differ between identical runs")
+	}
+	for _, series := range telemetrySeries() {
+		if !strings.Contains(s1, `"series":"`+series+`"`) {
+			t.Errorf("stream lacks series %s", series)
+		}
+	}
+
+	s3, r3 := stream(2 * sim.Minute)
+	if r3 != r1 {
+		t.Fatalf("report depends on the sampling interval:\n--- 30s\n%s\n--- 2m\n%s", r1, r3)
+	}
+	if s3 == s1 {
+		t.Fatal("sampling interval had no effect on the exported stream")
+	}
+}

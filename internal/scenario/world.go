@@ -14,6 +14,7 @@ import (
 
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
+	"hetgrid/internal/metrics"
 	"hetgrid/internal/netsim"
 	"hetgrid/internal/proto"
 	"hetgrid/internal/resource"
@@ -42,6 +43,12 @@ type World struct {
 	rack     map[can.NodeID]int
 	nextRack int
 
+	// Telemetry: always attached (see telemetry.go), so the report's
+	// timeline and the checkpoint assertions exist whether or not the
+	// driver exports the stream.
+	plane    *metrics.Plane
+	timeline []string
+
 	// Ledger: every job and node transition the scenario caused.
 	placed      int
 	placeFailed int
@@ -58,7 +65,9 @@ type World struct {
 // NewWorld builds the grid, fleet and workload for a spec. The engine
 // is positioned at time zero with the initial fleet joined and the job
 // stream scheduled; Run executes the timeline.
-func NewWorld(spec *Spec) (*World, error) {
+func NewWorld(spec *Spec) (*World, error) { return newWorld(spec, 0) }
+
+func newWorld(spec *Spec, sampleEvery sim.Duration) (*World, error) {
 	eng := sim.New()
 	space := resource.NewSpace(spec.Grid.GPUSlots)
 
@@ -97,6 +106,7 @@ func NewWorld(spec *Spec) (*World, error) {
 	w.cluster.OnFinish = func(j *exec.Job) {
 		w.waits.Add(j.WaitTime().Seconds())
 	}
+	w.attachTelemetry(sampleEvery)
 
 	for i := 0; i < spec.Grid.Nodes; i++ {
 		if _, err := w.admit(w.ngen.One()); err != nil {
@@ -128,6 +138,11 @@ func NewWorld(spec *Spec) (*World, error) {
 
 	for i := range spec.Events {
 		w.scheduleEvent(&spec.Events[i], i)
+	}
+	// Checkpoints schedule after events so a checkpoint sharing an
+	// instant with an event fires second and observes its consequences.
+	for i := range spec.Checkpoints {
+		w.scheduleCheckpoint(&spec.Checkpoints[i], i)
 	}
 	return w, nil
 }
@@ -266,8 +281,14 @@ func protoScheme(name string) proto.Scheme {
 // Run executes the timeline to the horizon, evaluates the assertions
 // and renders the deterministic report. It returns the result even when
 // assertions fail; Violations is non-empty in that case.
-func Run(spec *Spec) (*Result, error) {
-	w, err := NewWorld(spec)
+func Run(spec *Spec) (*Result, error) { return RunSampled(spec, 0) }
+
+// RunSampled is Run with an explicit telemetry sampling interval
+// (0 = the 60 s default). The interval shapes only the exported
+// stream (Result.Telemetry); the report — timeline rows, checkpoint
+// values, metrics — is byte-identical for every interval.
+func RunSampled(spec *Spec, sampleEvery sim.Duration) (*Result, error) {
+	w, err := newWorld(spec, sampleEvery)
 	if err != nil {
 		return nil, err
 	}

@@ -151,6 +151,23 @@ func (se *ShardedEngine) Pending() int {
 	return n
 }
 
+// AtCall schedules c.Call(at) on the serial control plane: the event
+// fires with every shard quiesced and advanced to at, so the callee may
+// read any shard's state. It must be called before the engine runs or
+// from a control-phase handler (never from parallel-window code — shard
+// events reach the control plane through PostGlobal). This is what lets
+// a control-plane actor with an ordinary engine dependency — the
+// telemetry sampler — run unchanged on the sharded core.
+func (se *ShardedEngine) AtCall(at Time, c Caller) EventID {
+	return se.global.AtCall(at, c)
+}
+
+// AfterCall schedules c.Call on the control plane d after the
+// control-plane clock. Same calling rules as AtCall.
+func (se *ShardedEngine) AfterCall(d Duration, c Caller) EventID {
+	return se.global.AfterCall(d, c)
+}
+
 // Stats returns the deterministic merge of every engine's Stats, in
 // shard order then the global engine.
 func (se *ShardedEngine) Stats() Stats {
