@@ -1,8 +1,8 @@
 # hetgrid build/verify harness.
 #
 #   make verify   — everything the CI gate runs: build, vet, race tests,
-#                   a short benchmark pass that regenerates BENCH_8.json
-#                   against the BENCH_7.json baseline and fails on >15%
+#                   a short benchmark pass that regenerates BENCH_9.json
+#                   against the BENCH_8.json baseline and fails on >15%
 #                   ns/op or allocs/op regressions, the 10k-node ScaleXL,
 #                   100k-node ScaleXXL and 1M-node ScaleXXXL smoke runs,
 #                   and telemetry smoke runs that exercise the
@@ -29,7 +29,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_8.json: the figure drivers run at 3 iterations
+# bench regenerates BENCH_9.json: the figure drivers run at 3 iterations
 # (each iteration is a full reduced-scale experiment); the hot-path
 # micro-benchmarks run at 1000 so the overlay caches' one-time build
 # cost amortizes out and ns/op reflects the steady state (the pre-cache
@@ -58,7 +58,11 @@ race:
 # the same parallelism (see cmd/benchjson). The sharded telemetry
 # overhead pair (metrics=off / metrics=on over the identical heartbeat
 # workload) also runs as two processes; its gated entries keep the
-# plane's barrier-merge cost from creeping.
+# plane's barrier-merge cost from creeping. The batched-admission churn
+# pair (ChurnStormSharded W=1 / W=max) runs the same way: it prices
+# churn prep, barrier flushes and parallel completions, and gating it
+# keeps the serial ChurnStorm entry honest — batching must not creep
+# back into the serial path.
 bench:
 	$(GO) test -run '^$$' -bench 'Placement|PlaceSteadyState|AggRefresh$$' \
 		-benchmem -benchtime 1000x -count 10 . | tee $(BENCHTMP)_hot.txt
@@ -74,6 +78,10 @@ bench:
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_tele1.txt
 	$(GO) test -run '^$$' -bench 'ShardedHeartbeatMetricsOverhead' \
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_tele2.txt
+	$(GO) test -run '^$$' -bench 'ChurnStormSharded$$' \
+		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_batch1.txt
+	$(GO) test -run '^$$' -bench 'ChurnStormSharded$$' \
+		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_batch2.txt
 	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|ChurnRound|WorkloadGen' \
 		-benchmem -benchtime 3x -count 3 . | tee $(BENCHTMP)_figs1.txt
 	$(GO) test -run '^$$' -bench 'Fig5InterArrival|Fig8Messages|HeartbeatRound|ChurnRound|WorkloadGen' \
@@ -81,8 +89,9 @@ bench:
 	cat $(BENCHTMP)_figs1.txt $(BENCHTMP)_figs2.txt \
 		$(BENCHTMP)_agg1.txt $(BENCHTMP)_agg2.txt \
 		$(BENCHTMP)_shard1.txt $(BENCHTMP)_shard2.txt \
-		$(BENCHTMP)_tele1.txt $(BENCHTMP)_tele2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
-	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 8 -prev BENCH_7.json -gate 15 -out BENCH_8.json
+		$(BENCHTMP)_tele1.txt $(BENCHTMP)_tele2.txt \
+		$(BENCHTMP)_batch1.txt $(BENCHTMP)_batch2.txt $(BENCHTMP)_hot.txt > $(BENCHTMP)_all.txt
+	$(GO) run ./cmd/benchjson -parse $(BENCHTMP)_all.txt -pr 9 -prev BENCH_8.json -gate 15 -out BENCH_9.json
 
 # bench-xl is the extra-large smoke: one full 10,000-node load-balance
 # run (reduced job count), proving the incremental aggregation plane
@@ -96,16 +105,19 @@ bench-xl:
 # bench-xxl is the churn-regime smoke two orders past the paper's
 # evaluation: one full 100,000-node load-balance run, the
 # 100k-population churn-storm comparison (journal splice vs full
-# rebuild), and the sharded-core speedup pair (the identical 100k-node
-# heartbeat workload at one worker and at GOMAXPROCS — the W=1/W=max
-# ns/op ratio in the log is the engine's parallel speedup on this
-# runner). Ungated like bench-xl — single iterations are too noisy to
-# gate, and the 10k ChurnStorm entry in the BENCH_*.json gate already
-# pins the splice path's cost — but the run fails outright if the
-# splice path stops engaging (the benchmark asserts every refresh
-# spliced). The generous timeout is headroom for slow shared runners.
+# rebuild), and two sharded-core speedup pairs over identical 100k-node
+# workloads at one worker and at GOMAXPROCS — pure heartbeats
+# (ShardedHeartbeat100k) and heartbeats under sustained batched-
+# admission churn (ChurnStormSharded100k); each pair's W=1/W=max ns/op
+# ratio in the log is the engine's parallel speedup on this runner.
+# Ungated like bench-xl — single iterations are too noisy to gate, and
+# the 10k ChurnStorm entry in the BENCH_*.json gate already pins the
+# splice path's cost — but the run fails outright if the splice path
+# stops engaging (the benchmark asserts every refresh spliced) or if
+# the churn storm never injects a failure. The generous timeout is
+# headroom for slow shared runners.
 bench-xxl:
-	$(GO) test -run '^$$' -bench 'ScaleXXLLoadBalance|ChurnStormXXL|ShardedHeartbeat100k' \
+	$(GO) test -run '^$$' -bench 'ScaleXXLLoadBalance|ChurnStormXXL|ShardedHeartbeat100k|ChurnStormSharded100k' \
 		-benchtime 1x -count 1 -timeout 60m . | tee $(BENCHTMP)_xxl.txt
 
 # bench-xxxl is the million-node smoke — the regime the sharded core
@@ -142,13 +154,17 @@ metrics-smoke: build
 	@echo "metrics-smoke: ok ($$(wc -l < $(ARTIFACTS)/lb_metrics.jsonl) metric points, $$(wc -l < $(ARTIFACTS)/lb_trace.jsonl) trace events, $$(wc -l < $(ARTIFACTS)/sharded_metrics.jsonl) sharded points)"
 
 # scenario-smoke lints and executes the whole fault-injection corpus
-# (examples/scenarios/) through the CLI, failing on any assertion
-# violation, then re-runs one scenario with telemetry export and
-# byte-compares both the reports and the exported streams — the
-# determinism contract the engine promises. It also tightens a metric
-# checkpoint past what the run achieves and requires the CLI to exit
-# non-zero, proving checkpoints actually gate. Reports land in
-# $(ARTIFACTS)/ (uploaded by CI).
+# (examples/scenarios/) through the CLI — churn_storm_sharded runs on
+# the sharded parallel core by its own `engine: sharded` key — failing
+# on any assertion violation, then re-runs one scenario with telemetry
+# export and byte-compares both the reports and the exported streams —
+# the determinism contract the engine promises. The sharded engine gets
+# the same treatment cross-engine: the churn-storm scenario runs under
+# -engine serial, -shards 1 and -shards 4 and all three reports must be
+# byte-identical (the engine key buys wall-clock only, never accuracy).
+# It also tightens a metric checkpoint past what the run achieves and
+# requires the CLI to exit non-zero, proving checkpoints actually gate.
+# Reports land in $(ARTIFACTS)/ (uploaded by CI).
 scenario-smoke: build
 	mkdir -p $(ARTIFACTS)
 	$(GO) run ./cmd/hetgridsim validate examples/scenarios/*.yaml
@@ -164,6 +180,16 @@ scenario-smoke: build
 		|| { echo "scenario-smoke: telemetry not byte-identical across runs"; exit 1; }
 	@test -s $(ARTIFACTS)/rack_failure_a.jsonl \
 		|| { echo "scenario-smoke: empty scenario telemetry"; exit 1; }
+	$(GO) run ./cmd/hetgridsim run -engine serial examples/scenarios/churn_storm_sharded.yaml \
+		> $(ARTIFACTS)/churn_storm_serial.txt
+	$(GO) run ./cmd/hetgridsim run -engine sharded -shards 1 examples/scenarios/churn_storm_sharded.yaml \
+		> $(ARTIFACTS)/churn_storm_s1.txt
+	$(GO) run ./cmd/hetgridsim run -engine sharded -shards 4 examples/scenarios/churn_storm_sharded.yaml \
+		> $(ARTIFACTS)/churn_storm_s4.txt
+	@cmp $(ARTIFACTS)/churn_storm_serial.txt $(ARTIFACTS)/churn_storm_s4.txt \
+		|| { echo "scenario-smoke: sharded report not byte-identical to serial"; exit 1; }
+	@cmp $(ARTIFACTS)/churn_storm_s1.txt $(ARTIFACTS)/churn_storm_s4.txt \
+		|| { echo "scenario-smoke: S=1 and S=4 reports differ"; exit 1; }
 	@sed 's/^    min: 36$$/    min: 40/' examples/scenarios/checkpointed_recovery.yaml \
 		> $(ARTIFACTS)/checkpoint_violated.yaml
 	@if $(GO) run ./cmd/hetgridsim run $(ARTIFACTS)/checkpoint_violated.yaml \
@@ -171,6 +197,6 @@ scenario-smoke: build
 		echo "scenario-smoke: violated checkpoint did not fail the run"; exit 1; fi
 	@grep -q 'below min 40' $(ARTIFACTS)/checkpoint_violated.txt \
 		|| { echo "scenario-smoke: checkpoint violation missing from report"; exit 1; }
-	@echo "scenario-smoke: ok ($$(ls examples/scenarios/*.yaml | wc -l) scenarios, checkpoint gate enforced)"
+	@echo "scenario-smoke: ok ($$(ls examples/scenarios/*.yaml | wc -l) scenarios, engine parity + checkpoint gate enforced)"
 
 verify: build vet race bench bench-xl bench-xxl bench-xxxl metrics-smoke scenario-smoke

@@ -43,7 +43,16 @@ func runScenarios(args []string) int {
 	fs := flag.NewFlagSet("hetgridsim run", flag.ExitOnError)
 	metricsPath := fs.String("metrics", "", "write every scenario's sampled telemetry (JSONL, run = scenario name) to this file")
 	metricsEvery := fs.Float64("metrics-interval", 60, "telemetry sampling interval in virtual seconds")
+	engine := fs.String("engine", "", "override the spec's engine: serial or sharded")
+	shards := fs.Int("shards", 0, "override the spec's shard count (implies -engine sharded)")
+	workers := fs.Int("workers", 0, "override the spec's worker count, 0 = GOMAXPROCS (implies -engine sharded)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *engine {
+	case "", "serial", "sharded":
+	default:
+		fmt.Fprintf(os.Stderr, "hetgridsim run: unknown -engine %q (serial or sharded)\n", *engine)
 		return 2
 	}
 	paths := fs.Args()
@@ -71,6 +80,22 @@ func runScenarios(args []string) int {
 			fmt.Fprintln(os.Stderr, "hetgridsim run:", err)
 			status = 1
 			continue
+		}
+		// Flag overrides: -shards/-workers select the sharded core even
+		// when the spec does not; an explicit -engine always wins. The
+		// engines produce byte-identical reports, so an override changes
+		// wall-clock behavior only.
+		if *shards > 0 || *workers > 0 {
+			spec.Engine = "sharded"
+		}
+		if *engine != "" {
+			spec.Engine = *engine
+		}
+		if *shards > 0 {
+			spec.Shards = *shards
+		}
+		if *workers > 0 {
+			spec.Workers = *workers
 		}
 		res, err := scenario.RunSampled(spec, sim.FromSeconds(*metricsEvery))
 		if err != nil {

@@ -100,6 +100,18 @@ func (o *Overlay) buildView(id NodeID, v *nodeView) {
 	v.valid = true
 }
 
+// WarmViews rebuilds every live node's cached view that a mutation
+// invalidated. After it returns — and until the next Join or Leave —
+// view reads (NeighborView, OutwardView, BoundedNeighborIDs) touch no
+// cache state, so several goroutines may read disjoint or even
+// overlapping node sets concurrently. Parallel oracle sweeps run this
+// warm pass serially first for exactly that guarantee.
+func (o *Overlay) WarmViews() {
+	for id := range o.nodes {
+		o.viewOf(id)
+	}
+}
+
 // NeighborView returns node id's neighbors sorted by ID as a shared
 // cached slice: the same contents as Neighbors, without the per-call
 // allocation and sort. The slice must not be modified and is valid

@@ -128,10 +128,19 @@ func RegisterClusterCounters(p *metrics.Plane, cl *exec.Cluster) {
 	p.RegisterCounter("jobs.finished", func() int64 { return int64(cl.Finished()) })
 }
 
+// NetReader is the transport-counter surface RegisterNetCounters
+// reads. Both *netsim.Net and *netsim.ShardedNet (whose totals are the
+// stable shard-order sum over facets) satisfy it, so serial and sharded
+// drivers register identical series.
+type NetReader interface {
+	Total() netsim.Counters
+	KindTotal(netsim.Kind) netsim.Counters
+}
+
 // RegisterNetCounters registers transport volume counters split by
 // message kind, plus the aggregate. prefix namespaces the series (e.g.
 // "net" → "net.full.msgs_sent").
-func RegisterNetCounters(p *metrics.Plane, net *netsim.Net, prefix string) {
+func RegisterNetCounters(p *metrics.Plane, net NetReader, prefix string) {
 	p.RegisterCounter(prefix+".msgs_sent", func() int64 { return net.Total().MsgsSent })
 	p.RegisterCounter(prefix+".bytes_sent", func() int64 { return net.Total().BytesSent })
 	p.RegisterCounter(prefix+".msgs_recv", func() int64 { return net.Total().MsgsRecv })
@@ -147,8 +156,16 @@ func RegisterNetCounters(p *metrics.Plane, net *netsim.Net, prefix string) {
 	}
 }
 
+// ProtoHealth is the protocol-health surface RegisterProtoGauges
+// reads: *proto.Sim and *proto.ShardedSim (shard-order sums) both
+// satisfy it.
+type ProtoHealth interface {
+	AliveHosts() int
+	MeanViewSize() float64
+}
+
 // RegisterProtoGauges registers maintenance-protocol health gauges.
-func RegisterProtoGauges(p *metrics.Plane, s *proto.Sim) {
+func RegisterProtoGauges(p *metrics.Plane, s ProtoHealth) {
 	p.RegisterGauge("proto.alive_hosts", func(k *metrics.Sink) {
 		k.Emit(-1, float64(s.AliveHosts()))
 	})

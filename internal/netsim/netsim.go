@@ -187,6 +187,21 @@ func (n *Net) countRecv(dst can.NodeID, size int, kind Kind) {
 // there (the control phase is single-threaded) and the merged totals
 // are sums, so attribution is unaffected.
 func (n *Net) Send(src, dst can.NodeID, size int, kind Kind, deliver func(now sim.Time)) {
+	n.SendAt(n.eng.Now(), src, dst, size, kind, deliver)
+}
+
+// SendAt is Send with an explicit transmission time instead of the
+// facet engine's clock. Barrier-context code (batched-admission
+// completions, batch-phase continuations) runs while shard clocks sit
+// at or before the window start, so the logical send time — the batch
+// event's own time — must be passed in rather than read from a clock
+// that is a partition-dependent distance behind. With sent ==
+// n.eng.Now() it is exactly Send. On a batched sharded facet the
+// delivery routes to the batch plane rather than the global plane: the
+// closure still runs serially at a barrier, but without forcing a
+// one-event quiesce, which is what lets windows keep their full
+// lookahead width under churn.
+func (n *Net) SendAt(sent sim.Time, src, dst can.NodeID, size int, kind Kind, deliver func(now sim.Time)) {
 	n.countSend(src, size, kind)
 
 	arrive := func(now sim.Time) {
@@ -201,10 +216,14 @@ func (n *Net) Send(src, dst can.NodeID, size int, kind Kind, deliver func(now si
 		deliver(now)
 	}
 	if n.parent != nil {
-		n.parent.se.PostGlobal(n.shard, n.eng.Now().Add(n.latency), uint64(src), arrive)
+		if n.parent.batched {
+			n.parent.se.PostBatch(n.shard, sent.Add(n.latency), uint64(src), arrive)
+		} else {
+			n.parent.se.PostGlobal(n.shard, sent.Add(n.latency), uint64(src), arrive)
+		}
 		return
 	}
-	n.eng.After(n.latency, arrive)
+	n.eng.At(sent.Add(n.latency), arrive)
 }
 
 // Deliverable is a message that knows how to apply itself at arrival.
@@ -260,6 +279,14 @@ func (e *envelope) Call(now sim.Time) {
 // can never land inside the window that sent it, so mailbox flush and
 // direct scheduling reach the same window either way.
 func (n *Net) SendMsg(src, dst can.NodeID, size int, kind Kind, msg Deliverable) {
+	n.SendMsgAt(n.eng.Now(), src, dst, size, kind, msg)
+}
+
+// SendMsgAt is SendMsg with an explicit transmission time — the
+// Deliverable counterpart of SendAt, for barrier-context senders whose
+// facet clock lags the logical send time. With sent == n.eng.Now() it
+// is exactly SendMsg.
+func (n *Net) SendMsgAt(sent sim.Time, src, dst can.NodeID, size int, kind Kind, msg Deliverable) {
 	n.countSend(src, size, kind)
 
 	var env *envelope
@@ -274,10 +301,10 @@ func (n *Net) SendMsg(src, dst can.NodeID, size int, kind Kind, msg Deliverable)
 	if n.parent != nil {
 		ds := n.parent.shardOf(dst)
 		env.net = n.parent.facets[ds]
-		n.parent.se.Post(n.shard, ds, n.eng.Now().Add(n.latency), uint64(src), env)
+		n.parent.se.Post(n.shard, ds, sent.Add(n.latency), uint64(src), env)
 		return
 	}
-	n.eng.AfterCall(n.latency, env)
+	n.eng.AtCall(sent.Add(n.latency), env)
 }
 
 // Total returns cumulative counters since construction.

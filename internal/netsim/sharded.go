@@ -19,6 +19,11 @@ type ShardedNet struct {
 	latency sim.Duration
 	shardOf func(can.NodeID) int
 	facets  []*Net
+
+	// batched routes closure deliveries (Send/SendAt) to the batch
+	// plane instead of the global plane — set once, before traffic, by
+	// models running batched admission (see proto.Config.BatchedAdmission).
+	batched bool
 }
 
 // NewSharded creates a facet transport over the sharded engine. The
@@ -62,6 +67,32 @@ func (sn *ShardedNet) SetDeliverable(f func(dst can.NodeID) bool) {
 		fc.SetDeliverable(f)
 	}
 }
+
+// SetLinkFault installs one link-level fault oracle on every facet,
+// with the same delivery-time drop semantics as Net.SetLinkFault. The
+// oracle runs on whichever goroutine delivers (a shard worker for
+// envelopes, the control plane for closures), so it must only read
+// state that parallel-phase code never writes — partition schedules
+// mutated in control phases qualify.
+func (sn *ShardedNet) SetLinkFault(f func(src, dst can.NodeID) bool) {
+	for _, fc := range sn.facets {
+		fc.SetLinkFault(f)
+	}
+}
+
+// LinkDrops reports messages lost to link faults, summed across facets.
+func (sn *ShardedNet) LinkDrops() int64 {
+	var n int64
+	for _, f := range sn.facets {
+		n += f.linkDrops
+	}
+	return n
+}
+
+// SetBatchedDelivery routes closure deliveries through the batch plane
+// (see proto's batched-admission mode). It must be set before any
+// traffic flows.
+func (sn *ShardedNet) SetBatchedDelivery(on bool) { sn.batched = on }
 
 // Total returns cumulative counters summed across facets.
 func (sn *ShardedNet) Total() Counters {

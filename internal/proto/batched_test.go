@@ -1,0 +1,271 @@
+package proto
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/can"
+	"hetgrid/internal/geom"
+	"hetgrid/internal/sim"
+)
+
+func runBatchedBattery(t *testing.T, scheme Scheme, seed int64, shards, workers int, horizon sim.Time) string {
+	t.Helper()
+	cfg, churnCfg := shardedBatteryConfig(scheme, seed)
+	cfg.BatchedAdmission = true
+	ss := NewShardedSim(shards, workers, 3, cfg)
+	defer ss.Close()
+	d := NewShardedChurnDriver(ss, churnCfg)
+	var samples []SamplePoint
+	SampleBrokenLinks(ss, 5*sim.Time(sim.Second), 5*sim.Duration(sim.Second), &samples)
+	d.Start()
+	ss.RunUntil(horizon)
+	return shardedBatteryReport(ss, ss.Net.Total(), ss.Net.Window(), ss.Net.KindTotal, d, samples)
+}
+
+// TestBatchedAdmissionDeterminism is the tentpole's contract: with
+// churn running on the batch plane — joins, leaves and fails prepared
+// serially but completed by the worker pool at window barriers — the
+// full observable report must be byte-identical across every (S, W).
+// The battery's JoinGap (50 ms) sits below the latency (100 ms), so
+// windows routinely carry several admissions, including joins splitting
+// a zone admitted earlier in the same window.
+func TestBatchedAdmissionDeterminism(t *testing.T) {
+	const horizon = 40 * sim.Time(sim.Second)
+	combos := [][2]int{{2, 1}, {2, 2}, {4, 1}, {4, 3}, {8, 2}}
+	for _, scheme := range []Scheme{Vanilla, Compact, Adaptive} {
+		for _, seed := range []int64{1, 7} {
+			want := runBatchedBattery(t, scheme, seed, 1, 1, horizon)
+			if !strings.Contains(want, "joins=") || strings.Contains(want, "alive=0 ") {
+				t.Fatalf("%v/seed=%d: degenerate battery:\n%s", scheme, seed, want)
+			}
+			for _, c := range combos {
+				got := runBatchedBattery(t, scheme, seed, c[0], c[1], horizon)
+				if got != want {
+					t.Fatalf("%v/seed=%d: batched S=%d W=%d diverged from S=1:\n--- S=1\n%s\n--- S=%d W=%d\n%s",
+						scheme, seed, c[0], c[1], want, c[0], c[1], got)
+				}
+			}
+		}
+	}
+}
+
+// membershipDigest renders the membership-plane observables batched
+// admission must share exactly with the serial Sim: population, churn
+// counters, the live id set and every live node's ground-truth zone.
+// (Protocol-side state — views, traffic — is allowed to differ: batched
+// completions are quantized to window barriers.)
+type membershipSim interface {
+	ChurnSim
+	Overlay() *can.Overlay
+}
+
+func membershipDigest(s membershipSim, d *ChurnDriver) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alive=%d joins=%d leaves=%d fails=%d start=%d\n",
+		s.AliveHosts(), d.Joins, d.Leaves, d.Fails, d.ChurnStart)
+	for _, id := range s.HostIDs() {
+		n := s.Overlay().Node(id)
+		fmt.Fprintf(&b, "id=%d zone=%v\n", id, n.Zone)
+	}
+	return b.String()
+}
+
+// TestBatchedSeedStreamContract is the satellite fix's differential
+// test: batched admission must consume the same RNG draws in the same
+// order as the serial Sim — the heartbeat-phase stream advances once
+// per admission in strict join order (drawn at prep, before the
+// completion is deferred), and the churn driver's point/event streams
+// see identical membership at every decision. Equal membership
+// histories AND equal post-run stream positions witness both.
+func TestBatchedSeedStreamContract(t *testing.T) {
+	const horizon = 30 * sim.Time(sim.Second)
+	for _, seed := range []int64{1, 7, 13} {
+		cfg, churnCfg := shardedBatteryConfig(Compact, seed)
+		s := NewSimOn(sim.New(), 3, cfg)
+		sd := NewChurnDriver(s, churnCfg)
+		sd.Start()
+		s.Eng.RunUntil(horizon)
+
+		cfg.BatchedAdmission = true
+		ss := NewShardedSim(4, 2, 3, cfg)
+		bd := NewShardedChurnDriver(ss, churnCfg)
+		bd.Start()
+		ss.RunUntil(horizon)
+
+		serial, batched := membershipDigest(s, sd), membershipDigest(ss, bd)
+		if serial != batched {
+			t.Fatalf("seed=%d: batched membership history diverged from serial:\n--- serial\n%s\n--- batched\n%s",
+				seed, serial, batched)
+		}
+		// Post-run stream position: the next draw agrees only if both
+		// flavors drew exactly as often in the same order.
+		if sp, bp := s.phase.Float64(), ss.shards[0].phase.Float64(); sp != bp {
+			t.Fatalf("seed=%d: phase stream position diverged: serial next=%v batched next=%v", seed, sp, bp)
+		}
+		ss.Close()
+	}
+}
+
+// batchedBoundaryReport runs a hand-scripted admission schedule under
+// batched admission and reports the full battery observables.
+func batchedBoundaryReport(t *testing.T, shards, workers int, script func(ss *ShardedSim)) string {
+	t.Helper()
+	cfg := DefaultConfig(Compact)
+	cfg.HeartbeatPeriod = 2 * sim.Second
+	cfg.BatchedAdmission = true
+	ss := NewShardedSim(shards, workers, 2, cfg)
+	defer ss.Close()
+	script(ss)
+	ss.RunUntil(10 * sim.Time(sim.Second))
+	d := &ChurnDriver{} // no driver: zero churn counters in the report
+	return shardedBatteryReport(ss, ss.Net.Total(), ss.Net.Window(), ss.Net.KindTotal, d, nil)
+}
+
+// TestBatchedBatchBoundaryCases pins the three corpus cases from the
+// issue: (a) two joins splitting the same zone inside one window —
+// the second join's owner is itself a pending completion; (b) a fail
+// whose takeover crosses a shard boundary — the handoff falls back to
+// the serial path at the barrier; (c) a join landing exactly at a
+// window barrier (an admission time that is also a delivery instant).
+// Each script must produce byte-identical reports across (S, W).
+func TestBatchedBatchBoundaryCases(t *testing.T) {
+	L := sim.Time(100 * sim.Millisecond)
+	cases := []struct {
+		name   string
+		script func(ss *ShardedSim)
+	}{
+		{"two_joins_same_zone_one_window", func(ss *ShardedSim) {
+			ctl := ss.ctl()
+			ctl.At(0, func(sim.Time) { mustJoin(t, ss, geom.Point{0.1, 0.1}) })
+			// Same batch drain, same quadrant: the second split's owner
+			// is the first join's still-pending newcomer.
+			ctl.At(L, func(sim.Time) { mustJoin(t, ss, geom.Point{0.6, 0.6}) })
+			ctl.At(L+sim.Time(20*sim.Millisecond), func(sim.Time) { mustJoin(t, ss, geom.Point{0.65, 0.62}) })
+			ctl.At(L+sim.Time(40*sim.Millisecond), func(sim.Time) { mustJoin(t, ss, geom.Point{0.61, 0.68}) })
+		}},
+		{"cross_shard_takeover", func(ss *ShardedSim) {
+			ctl := ss.ctl()
+			ctl.At(0, func(sim.Time) { mustJoin(t, ss, geom.Point{0.05, 0.5}) })
+			// First split cuts dimension 0: ids 0 and 1 are split-tree
+			// siblings living at opposite ends of the keyspace — under
+			// S=4 they land on different shards, so failing id 1 makes
+			// id 0 the cross-shard taker.
+			ctl.At(L, func(sim.Time) { mustJoin(t, ss, geom.Point{0.9, 0.5}) })
+			ctl.At(2*L, func(sim.Time) { mustJoin(t, ss, geom.Point{0.3, 0.8}) })
+			ctl.At(sim.Time(2*sim.Second), func(sim.Time) {
+				if err := ss.Fail(1); err != nil {
+					t.Errorf("fail: %v", err)
+				}
+			})
+		}},
+		{"mid_window_join_wave_mixed", func(ss *ShardedSim) {
+			ctl := ss.ctl()
+			ctl.At(0, func(sim.Time) { mustJoin(t, ss, geom.Point{0.5, 0.5}) })
+			// A five-join wave at sub-latency spacing — all inside one
+			// window, splitting zones admitted moments earlier — then a
+			// fail and a leave interleaved with one more join, so queued
+			// completions hit both the conflict and the reference rule.
+			for k := int64(0); k < 5; k++ {
+				at := L + sim.Time(k)*sim.Time(10*sim.Millisecond)
+				p := geom.Point{0.1 + 0.18*float64(k), 0.3 + 0.1*float64(k%2)}
+				ctl.At(at, func(sim.Time) { mustJoin(t, ss, p) })
+			}
+			ctl.At(2*L+sim.Time(30*sim.Millisecond), func(sim.Time) {
+				if err := ss.Fail(2); err != nil {
+					t.Errorf("fail: %v", err)
+				}
+			})
+			ctl.At(3*L, func(sim.Time) { mustJoin(t, ss, geom.Point{0.85, 0.15}) })
+			ctl.At(4*L+sim.Time(10*sim.Millisecond), func(sim.Time) {
+				if err := ss.LeaveVoluntary(4); err != nil {
+					t.Errorf("leave: %v", err)
+				}
+			})
+		}},
+		{"join_at_window_barrier", func(ss *ShardedSim) {
+			ctl := ss.ctl()
+			ctl.At(0, func(sim.Time) { mustJoin(t, ss, geom.Point{0.2, 0.2}) })
+			// Heartbeat deliveries pin window edges at multiples of the
+			// latency once traffic flows; admissions at exactly k·L land
+			// on those barriers.
+			for k := int64(1); k <= 4; k++ {
+				at := sim.Time(k) * L
+				p := geom.Point{0.2 + 0.15*float64(k), 0.7}
+				ctl.At(at, func(sim.Time) { mustJoin(t, ss, p) })
+			}
+			ctl.At(6*L, func(sim.Time) {
+				if err := ss.LeaveVoluntary(2); err != nil {
+					t.Errorf("leave: %v", err)
+				}
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := batchedBoundaryReport(t, 1, 1, tc.script)
+			for _, c := range [][2]int{{4, 1}, {4, 2}, {8, 3}} {
+				got := batchedBoundaryReport(t, c[0], c[1], tc.script)
+				if got != want {
+					t.Fatalf("S=%d W=%d diverged from S=1:\n--- S=1\n%s\n--- S=%d W=%d\n%s",
+						c[0], c[1], want, c[0], c[1], got)
+				}
+			}
+		})
+	}
+}
+
+func mustJoin(t *testing.T, ss *ShardedSim, p geom.Point) {
+	t.Helper()
+	if _, err := ss.Join(p); err != nil {
+		t.Errorf("join %v: %v", p, err)
+	}
+}
+
+// TestBatchedDeferralActuallyDefers guards the tentpole against silent
+// degeneration: a same-shard admission must be queued for the barrier
+// flush, not executed inline. A later batch event in the same drain
+// observes the pending completion.
+func TestBatchedDeferralActuallyDefers(t *testing.T) {
+	cfg := DefaultConfig(Compact)
+	cfg.HeartbeatPeriod = 2 * sim.Second
+	cfg.BatchedAdmission = true
+	ss := NewShardedSim(4, 2, 2, cfg)
+	defer ss.Close()
+	ctl := ss.ctl()
+	L := sim.Time(100 * sim.Millisecond)
+	ctl.At(L, func(sim.Time) { mustJoin(t, ss, geom.Point{0.9, 0.9}) })
+	ctl.At(L+1, func(sim.Time) { mustJoin(t, ss, geom.Point{0.8, 0.8}) })
+	queued := -1
+	ctl.At(L+2, func(sim.Time) { queued = ss.pendCount })
+	ss.RunUntil(sim.Time(sim.Second))
+	if queued <= 0 {
+		t.Fatalf("pendCount = %d mid-drain — no completion was deferred, the parallel path never ran", queued)
+	}
+}
+
+// TestBatchedCrossShardTakeoverActuallyCrosses guards the corpus case
+// above against silently degenerating: at S=4 the fail's taker must
+// really live on a different shard than the victim.
+func TestBatchedCrossShardTakeoverActuallyCrosses(t *testing.T) {
+	cfg := DefaultConfig(Compact)
+	cfg.HeartbeatPeriod = 2 * sim.Second
+	cfg.BatchedAdmission = true
+	ss := NewShardedSim(4, 2, 2, cfg)
+	defer ss.Close()
+	if _, err := ss.Join(geom.Point{0.05, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Join(geom.Point{0.9, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	plan, ok := ss.Ov.Takeover(1)
+	if !ok {
+		t.Fatal("no takeover plan for node 1")
+	}
+	if ss.shardID(plan.Taker.ID) == ss.shardID(1) {
+		t.Fatalf("taker %d and victim 1 share shard %d — case does not cross a boundary",
+			plan.Taker.ID, ss.shardID(1))
+	}
+}

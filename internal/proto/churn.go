@@ -49,13 +49,14 @@ func DefaultChurnConfig(n int, gap sim.Duration) ChurnConfig {
 	}
 }
 
-// churnSim is the surface the churn driver needs from a protocol
+// ChurnSim is the surface the churn driver needs from a protocol
 // simulation: membership operations plus two hooks — ctl() for the
-// engine churn belongs on (the serial engine, or the sharded control
-// plane, where membership mutations must run with every shard
-// quiesced) and dims() for drawing join points. Both *Sim and
-// *ShardedSim implement it.
-type churnSim interface {
+// engine churn belongs on (the serial engine, the sharded control
+// plane, or the batch plane under batched admission) and dims() for
+// drawing join points. Both *Sim and *ShardedSim implement it; external
+// drivers (scenario engines) program against it so one driver covers
+// every engine.
+type ChurnSim interface {
 	JoinNode(p geom.Point, caps *resource.NodeCaps) (*can.Node, error)
 	LeaveVoluntary(id can.NodeID) error
 	Fail(id can.NodeID) error
@@ -68,7 +69,7 @@ type churnSim interface {
 // ChurnDriver injects joins, voluntary leaves and failures into a
 // protocol simulation.
 type ChurnDriver struct {
-	s       churnSim
+	s       ChurnSim
 	cfg     ChurnConfig
 	points  *rng.Stream
 	events  *rng.Stream
@@ -98,19 +99,21 @@ type ChurnDriver struct {
 	JoinPoint func() (geom.Point, *resource.NodeCaps)
 }
 
-// NewChurnDriver prepares a driver; Start schedules its events.
-func NewChurnDriver(s *Sim, cfg ChurnConfig) *ChurnDriver {
+// NewChurnDriver prepares a driver over any protocol simulation; Start
+// schedules its events.
+func NewChurnDriver(s ChurnSim, cfg ChurnConfig) *ChurnDriver {
 	return newChurnDriver(s, cfg)
 }
 
 // NewShardedChurnDriver prepares a driver over a sharded simulation.
-// Churn runs on the control plane, so the event sequence for a given
-// (cfg, S) is one deterministic stream regardless of worker count.
+// Churn runs on the control plane (or, under batched admission, the
+// batch plane), so the event sequence for a given (cfg, S) is one
+// deterministic stream regardless of worker count.
 func NewShardedChurnDriver(ss *ShardedSim, cfg ChurnConfig) *ChurnDriver {
 	return newChurnDriver(ss, cfg)
 }
 
-func newChurnDriver(s churnSim, cfg ChurnConfig) *ChurnDriver {
+func newChurnDriver(s ChurnSim, cfg ChurnConfig) *ChurnDriver {
 	return &ChurnDriver{
 		s:      s,
 		cfg:    cfg,

@@ -86,6 +86,10 @@ func NewSimOn(eng *sim.Engine, dims int, cfg Config) *Sim {
 // Host returns the protocol host for a live node, or nil.
 func (s *Sim) Host(id can.NodeID) *Host { return s.hosts[id] }
 
+// Overlay returns the ground-truth overlay (the engine-agnostic
+// accessor scenario drivers use; ShardedSim has the same method).
+func (s *Sim) Overlay() *can.Overlay { return s.Ov }
+
 // hostOf resolves a live host across shard boundaries: the serial Sim's
 // own map, or the owning shard's map under a ShardedSim. Safe for
 // concurrent reads during parallel windows (the maps are written only
@@ -109,12 +113,13 @@ func (s *Sim) simOf(id can.NodeID) *Sim {
 }
 
 // ctl returns the engine churn continuations belong on: the serial
-// engine itself, or the sharded control plane — takeover procedures
-// mutate hosts across shards and read the overlay, so they must run
-// with every shard quiesced.
+// engine itself, or the sharded control/batch plane — takeover
+// procedures mutate hosts across shards and read the overlay, so they
+// must run with every shard quiesced (at a one-event quiesce on the
+// control plane, or a window barrier on the batch plane).
 func (s *Sim) ctl() *sim.Engine {
 	if s.parent != nil {
-		return s.parent.SE.Global()
+		return s.parent.ctl()
 	}
 	return s.Eng
 }
@@ -334,6 +339,20 @@ func (s *Sim) Fail(id can.NodeID) error {
 // union are exactly the broken links the heartbeat schemes then do or
 // do not repair.
 func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZone geom.Zone, goneTable []Record, mergedID can.NodeID) {
+	// Under batched admission this runs at a window barrier, where
+	// earlier batch events in the same drain may have queued per-shard
+	// join completions. The takeover mutates the taker's (and possibly
+	// the merge partner's) view and reads overlay state those
+	// completions are about to touch, so the queue executes first —
+	// preserving the one logical batch order the determinism contract
+	// is stated in. A no-op in strict and serial modes.
+	//
+	// All message sends below pin their transmission instant to the
+	// handler's `now` rather than the facet clock: identical in serial
+	// and strict modes (the clocks agree at handler time), and required
+	// at a barrier, where shard clocks lag by a partition-dependent
+	// amount.
+	s.flushBatched()
 	delete(taker.lastTables, gone)
 	taker.view.bury(gone, now.Add(s.Cfg.tombstoneTTL()))
 
@@ -342,22 +361,25 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 	if mergedID >= 0 {
 		if mh := s.hostOf(mergedID); mh != nil && mh.alive {
 			recs := s.replyTable(now, taker.view) // pooled: consumed at delivery
-			s.Net.Send(taker.id, mergedID, FullMessageBytes(s.Ov.Dims(), len(recs)), netsim.KindFull, func(now2 sim.Time) {
-				m := s.hostOf(mergedID)
-				gm := s.Ov.Node(mergedID)
-				if m == nil || !m.alive || gm == nil {
-					return
-				}
-				targets := s.unionTargets(m.view, recs)
-				m.adoptZone(gm.Zone)
-				m.absorb(now2, recs)
-				self := m.selfRecord()
-				for _, t := range targets {
-					if t != m.id {
-						s.sendAnnounce(m.id, t, -1, self)
-					}
-				}
-			})
+			size := FullMessageBytes(s.Ov.Dims(), len(recs))
+			if s.parent != nil && s.parent.batched {
+				// Batched mode: the delivery must run at a batch barrier —
+				// it flushes queued completions before touching the merge
+				// partner — so it stays a closure on the batch plane.
+				s.Net.SendAt(now, taker.id, mergedID, size, netsim.KindFull, func(now2 sim.Time) {
+					s.flushBatched()
+					deliverMergeHandoff(s.simOf(mergedID), now2, mergedID, recs)
+				})
+			} else {
+				// Serial and strict modes: an envelope, so the delivery
+				// interleaves with same-instant announce arrivals at the
+				// merge partner in emission order — the serial engine's
+				// tie-break — rather than jumping the queue on the global
+				// plane. The delivery only touches the partner's own state,
+				// so it is safe inside the partner's shard window.
+				s.Net.SendMsgAt(now, taker.id, mergedID, size, netsim.KindFull,
+					&mergeMsg{s: s.simOf(mergedID), dst: mergedID, recs: recs})
+			}
 		}
 	}
 
@@ -374,7 +396,16 @@ func (s *Sim) executeTakeover(now sim.Time, taker *Host, gone can.NodeID, goneZo
 		if t == taker.id || t == gone {
 			continue
 		}
-		s.sendAnnounce(taker.id, t, gone, self)
+		s.sendAnnounceAt(now, taker.id, t, gone, self)
+	}
+}
+
+// flushBatched executes any queued batched-admission completions before
+// a churn continuation touches protocol state; no-op outside batched
+// mode.
+func (s *Sim) flushBatched() {
+	if s.parent != nil && s.parent.batched {
+		s.parent.flushPending()
 	}
 }
 
@@ -565,6 +596,41 @@ func (m *requestMsg) Deliver(now sim.Time) {
 	}
 }
 
+// deliverMergeHandoff applies a merge handoff at the taker's pair
+// partner: adopt the merged ground-truth zone, absorb the taker's
+// table, and announce the new ownership to everyone either side
+// believed affected. s must be the partner's own sim, so scratch and
+// pools stay shard-local whichever worker delivers.
+func deliverMergeHandoff(s *Sim, now sim.Time, dst can.NodeID, recs []Record) {
+	m := s.hostOf(dst)
+	gm := s.Ov.Node(dst)
+	if m == nil || !m.alive || gm == nil {
+		return
+	}
+	targets := s.unionTargets(m.view, recs)
+	m.adoptZone(gm.Zone)
+	m.absorb(now, recs)
+	self := m.selfRecord()
+	for _, t := range targets {
+		if t != m.id {
+			s.sendAnnounceAt(now, m.id, t, -1, self)
+		}
+	}
+}
+
+// mergeMsg is a merge handoff in flight (serial and strict modes; the
+// batched path rides the batch plane as a closure — see
+// executeTakeover). Merges are rare churn events, so it is not pooled.
+type mergeMsg struct {
+	s    *Sim // the partner's sim
+	dst  can.NodeID
+	recs []Record
+}
+
+func (m *mergeMsg) Deliver(now sim.Time) {
+	deliverMergeHandoff(m.s, now, m.dst, m.recs)
+}
+
 // announceMsg is a pooled take-over/merge announcement (the churn-path
 // analogue of the heartbeat message pools: the struct recycles itself
 // on delivery, so announcement storms under churn allocate nothing
@@ -585,6 +651,13 @@ func (m *announceMsg) Deliver(now sim.Time) {
 }
 
 func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
+	s.sendAnnounceAt(s.Eng.Now(), src, dst, gone, owner)
+}
+
+// sendAnnounceAt is sendAnnounce with an explicit transmission time, for
+// barrier-context churn code whose facet clock lags the logical instant
+// (see netsim.SendMsgAt). With now == s.Eng.Now() it is sendAnnounce.
+func (s *Sim) sendAnnounceAt(now sim.Time, src, dst can.NodeID, gone can.NodeID, owner Record) {
 	var m *announceMsg
 	if k := len(s.announcePool); k > 0 {
 		m = s.announcePool[k-1]
@@ -595,7 +668,7 @@ func (s *Sim) sendAnnounce(src, dst can.NodeID, gone can.NodeID, owner Record) {
 	}
 	m.s = s.simOf(dst)
 	m.dst, m.gone, m.owner = dst, gone, owner
-	s.Net.SendMsg(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
+	s.Net.SendMsgAt(now, src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
 }
 
 // introMsg is a pooled join introduction: one wire message carrying the
@@ -617,6 +690,12 @@ func (m *introMsg) Deliver(now sim.Time) {
 }
 
 func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
+	s.sendJoinIntroAt(s.Eng.Now(), src, dst, splitter, newbie)
+}
+
+// sendJoinIntroAt is sendJoinIntro with an explicit transmission time,
+// for batched join completions running at a window barrier.
+func (s *Sim) sendJoinIntroAt(now sim.Time, src, dst can.NodeID, splitter, newbie Record) {
 	var m *introMsg
 	if k := len(s.introPool); k > 0 {
 		m = s.introPool[k-1]
@@ -627,7 +706,7 @@ func (s *Sim) sendJoinIntro(src, dst can.NodeID, splitter, newbie Record) {
 	}
 	m.s = s.simOf(dst)
 	m.dst, m.splitter, m.newbie = dst, splitter, newbie
-	s.Net.SendMsg(src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
+	s.Net.SendMsgAt(now, src, dst, AnnounceBytes(s.Ov.Dims()), netsim.KindAnnounce, m)
 }
 
 func (s *Sim) sendRequest(src, dst can.NodeID, self Record) {

@@ -19,9 +19,9 @@ func (w *World) assertEndState() {
 		}
 	}
 	if a.ZoneCover {
-		if err := w.psim.Ov.Validate(); err != nil {
+		if err := w.psim.Overlay().Validate(); err != nil {
 			w.violate("zone_cover: overlay invariants: %v", err)
-		} else if err := w.psim.Ov.CheckZoneCover(); err != nil {
+		} else if err := w.psim.Overlay().CheckZoneCover(); err != nil {
 			w.violate("zone_cover: %v", err)
 		}
 	}

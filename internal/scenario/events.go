@@ -93,7 +93,7 @@ func (w *World) scheduleEvent(ev *Event, idx int) {
 			return w.space.NodePoint(caps), caps
 		}
 		d.OnJoin = func(id can.NodeID) {
-			w.track(id, w.psim.Ov.Node(id).Caps)
+			w.track(id, w.psim.Overlay().Node(id).Caps)
 		}
 		d.OnLeave = func(id can.NodeID, failed bool) {
 			if failed {

@@ -82,7 +82,7 @@ func (w *World) metrics() map[string]float64 {
 		"leaves":         float64(w.leaves),
 		"joins":          float64(w.joins),
 		"nodes":          float64(w.psim.AliveHosts()),
-		"link_drops":     float64(w.psim.Net.LinkDrops()),
+		"link_drops":     float64(w.pnet.LinkDrops()),
 		"broken_missing": float64(missing),
 		"broken_stale":   float64(stale),
 		"mean_wait_s":    w.waits.Mean(),

@@ -21,11 +21,25 @@ type Spec struct {
 	Name        string
 	Seed        int64
 	Duration    sim.Duration // run horizon (virtual time)
+	Engine      string       // serial (default) | sharded
+	Shards      int          // sharded engine: shard count (0 = default 4)
+	Workers     int          // sharded engine: worker goroutines (0 = GOMAXPROCS)
 	Grid        GridSpec
 	Workload    WorkloadSpec
 	Events      []Event
 	Checkpoints []Checkpoint
 	Assert      AssertSpec
+}
+
+// Sharded reports whether the spec selects the sharded parallel core.
+func (s *Spec) Sharded() bool { return s.Engine == "sharded" }
+
+// ShardCount resolves the effective shard count S.
+func (s *Spec) ShardCount() int {
+	if s.Shards > 0 {
+		return s.Shards
+	}
+	return 4
 }
 
 // GridSpec describes the fleet and the maintenance protocol.
@@ -129,6 +143,9 @@ func Load(src string) (*Spec, error) {
 		Name:     d.str(top, "name", ""),
 		Seed:     d.int64(top, "seed", 1),
 		Duration: d.dur(top, "duration", 0),
+		Engine:   d.str(top, "engine", "serial"),
+		Shards:   d.count(top, "shards", 0),
+		Workers:  d.count(top, "workers", 0),
 	}
 
 	g := d.mapping(top["grid"], "grid")
@@ -198,7 +215,7 @@ func Load(src string) (*Spec, error) {
 			"no_orphans", "max_lost", "min_finished", "max_broken_links", "bounds")
 	}
 
-	d.rejectUnknown(top, "scenario", "name", "seed", "duration", "grid", "workload", "events", "checkpoints", "assert")
+	d.rejectUnknown(top, "scenario", "name", "seed", "duration", "engine", "shards", "workers", "grid", "workload", "events", "checkpoints", "assert")
 	d.rejectUnknown(g, "grid", "nodes", "racks", "gpu_slots", "protocol", "heartbeat", "scheduler", "refresh")
 
 	if d.err != nil {
@@ -217,6 +234,20 @@ func (s *Spec) validate() error {
 		return fmt.Errorf("scenario %s: grid.nodes must be at least 1", s.Name)
 	case s.Grid.Racks < 1:
 		return fmt.Errorf("scenario %s: grid.racks must be at least 1", s.Name)
+	}
+	switch s.Engine {
+	case "", "serial", "sharded":
+	default:
+		return fmt.Errorf("scenario %s: unknown engine %q (serial or sharded)", s.Name, s.Engine)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario %s: shards must be non-negative", s.Name)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("scenario %s: workers must be non-negative", s.Name)
+	}
+	if (s.Shards > 0 || s.Workers > 0) && !s.Sharded() {
+		return fmt.Errorf("scenario %s: shards/workers require `engine: sharded`", s.Name)
 	}
 	switch s.Grid.Protocol {
 	case "vanilla", "compact", "adaptive":

@@ -81,6 +81,10 @@ func TestLoadErrors(t *testing.T) {
 		{"bound no limits", valid + "assert:\n  bounds:\n    - metric: lost\n", "neither min nor max"},
 		{"bad bool", valid + "assert:\n  zone_cover: maybe\n", "not a boolean"},
 		{"bad int", "name: x\nduration: 1m\ngrid:\n  nodes: many\n", "not an integer"},
+		{"unknown engine", "name: x\nduration: 1m\nengine: quantum\ngrid:\n  nodes: 4\n", "unknown engine"},
+		{"shards without sharded", "name: x\nduration: 1m\nshards: 4\ngrid:\n  nodes: 4\n", "require `engine: sharded`"},
+		{"workers without sharded", "name: x\nduration: 1m\nengine: serial\nworkers: 2\ngrid:\n  nodes: 4\n", "require `engine: sharded`"},
+		{"negative shards", "name: x\nduration: 1m\nengine: sharded\nshards: -1\ngrid:\n  nodes: 4\n", "shards must be non-negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -89,6 +93,25 @@ func TestLoadErrors(t *testing.T) {
 				t.Fatalf("err = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestLoadEngineKeys(t *testing.T) {
+	spec := mustLoad(t, "name: x\nduration: 1m\nengine: sharded\nshards: 8\nworkers: 3\ngrid:\n  nodes: 4\n")
+	if !spec.Sharded() || spec.Shards != 8 || spec.Workers != 3 {
+		t.Errorf("engine keys = %q/%d/%d, want sharded/8/3", spec.Engine, spec.Shards, spec.Workers)
+	}
+	if spec.ShardCount() != 8 {
+		t.Errorf("ShardCount() = %d, want 8", spec.ShardCount())
+	}
+	// Defaults: serial engine, S defaults to 4 once sharded is selected.
+	spec = mustLoad(t, "name: x\nduration: 1m\ngrid:\n  nodes: 4\n")
+	if spec.Sharded() || spec.Engine != "serial" {
+		t.Errorf("default engine = %q, want serial", spec.Engine)
+	}
+	spec = mustLoad(t, "name: x\nduration: 1m\nengine: sharded\ngrid:\n  nodes: 4\n")
+	if spec.ShardCount() != 4 || spec.Workers != 0 {
+		t.Errorf("sharded defaults = S=%d W=%d, want S=4 W=0 (GOMAXPROCS)", spec.ShardCount(), spec.Workers)
 	}
 }
 

@@ -64,10 +64,19 @@ func (w *World) attachTelemetry(interval sim.Duration) {
 		interval = defaultSampleInterval
 	}
 	w.plane = metrics.New(interval, 0)
-	w.plane.Attach(w.eng)
+	if w.ssim != nil {
+		// Attach the sharded engine, not its global plane: sampling still
+		// runs on the control plane, but dormancy decisions must see every
+		// queue — heartbeats live on shard engines, and a plane attached
+		// to the global engine alone would doze off once the last global
+		// event (job, checkpoint) fires, truncating the exported stream.
+		w.plane.Attach(w.ssim.SE)
+	} else {
+		w.plane.Attach(w.eng)
+	}
 	metricsreg.RegisterProtoGauges(w.plane, w.psim)
 	metricsreg.RegisterClusterCounters(w.plane, w.cluster)
-	metricsreg.RegisterNetCounters(w.plane, w.psim.Net, "net")
+	metricsreg.RegisterNetCounters(w.plane, w.pnet, "net")
 	w.plane.Poke()
 }
 

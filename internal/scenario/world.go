@@ -15,6 +15,7 @@ import (
 	"hetgrid/internal/can"
 	"hetgrid/internal/exec"
 	"hetgrid/internal/metrics"
+	"hetgrid/internal/metricsreg"
 	"hetgrid/internal/netsim"
 	"hetgrid/internal/proto"
 	"hetgrid/internal/resource"
@@ -25,12 +26,34 @@ import (
 	"hetgrid/internal/workload"
 )
 
+// protoPlane is the protocol-simulation surface a world drives. Both
+// engines satisfy it: *proto.Sim (serial) and *proto.ShardedSim
+// (`engine: sharded` — churn on the control plane, heartbeats in
+// parallel conservative windows).
+type protoPlane interface {
+	proto.ChurnSim
+	Overlay() *can.Overlay
+	MeanViewSize() float64
+	BrokenLinks() (missing, stale int)
+}
+
+// protoNet is the transport surface a world needs: fault injection for
+// the partition plane and drop accounting for the report. *netsim.Net
+// and *netsim.ShardedNet both satisfy it.
+type protoNet interface {
+	metricsreg.NetReader
+	SetLinkFault(f func(src, dst can.NodeID) bool)
+	LinkDrops() int64
+}
+
 // World is the live state of one scenario run.
 type World struct {
 	spec    *Spec
-	eng     *sim.Engine
+	eng     *sim.Engine // event/checkpoint/workload plane (global plane when sharded)
 	space   *resource.Space
-	psim    *proto.Sim
+	psim    protoPlane
+	pnet    protoNet
+	ssim    *proto.ShardedSim // non-nil iff spec.Engine == "sharded"
 	cluster *exec.Cluster
 	sched   sched.Scheduler
 	part    *netsim.Partition
@@ -68,18 +91,44 @@ type World struct {
 func NewWorld(spec *Spec) (*World, error) { return newWorld(spec, 0) }
 
 func newWorld(spec *Spec, sampleEvery sim.Duration) (*World, error) {
-	eng := sim.New()
 	space := resource.NewSpace(spec.Grid.GPUSlots)
 
 	pcfg := proto.DefaultConfig(protoScheme(spec.Grid.Protocol))
 	pcfg.HeartbeatPeriod = spec.Grid.Heartbeat
 	pcfg.Seed = spec.Seed
 
+	// Engine selection. The sharded core runs heartbeat traffic in
+	// parallel conservative windows; churn, events, checkpoints, the
+	// workload stream and telemetry all stay on its global control
+	// plane, which quiesces the shards before every firing — the same
+	// total order a serial engine gives them. Strict (non-batched)
+	// admission keeps reports byte-identical to the serial engine.
+	var (
+		eng   *sim.Engine
+		psim  protoPlane
+		pnet  protoNet
+		ssim  *proto.ShardedSim
+	)
+	if spec.Sharded() {
+		if pcfg.HeartbeatPeriod <= pcfg.Latency {
+			return nil, fmt.Errorf("scenario %s: engine sharded requires grid.heartbeat > %s", spec.Name, fmtDur(pcfg.Latency))
+		}
+		ssim = proto.NewShardedSim(spec.ShardCount(), spec.Workers, space.Dims(), pcfg)
+		eng = ssim.SE.Global()
+		psim, pnet = ssim, ssim.Net
+	} else {
+		eng = sim.New()
+		s := proto.NewSimOn(eng, space.Dims(), pcfg)
+		psim, pnet = s, s.Net
+	}
+
 	w := &World{
 		spec:    spec,
 		eng:     eng,
 		space:   space,
-		psim:    proto.NewSimOn(eng, space.Dims(), pcfg),
+		psim:    psim,
+		pnet:    pnet,
+		ssim:    ssim,
 		cluster: exec.NewCluster(eng, exec.DefaultConfig()),
 		part:    netsim.NewPartition(),
 		ngen:    workload.NewNodeGen(space, rng.Split(spec.Seed, "scenario.nodes")),
@@ -88,9 +137,9 @@ func newWorld(spec *Spec, sampleEvery sim.Duration) (*World, error) {
 		rack:    make(map[can.NodeID]int),
 		waits:   &stats.Sample{},
 	}
-	w.psim.Net.SetLinkFault(w.part.Blocked)
+	w.pnet.SetLinkFault(w.part.Blocked)
 
-	ctx := sched.NewContext(eng, w.psim.Ov, w.cluster, space, spec.Seed)
+	ctx := sched.NewContext(eng, w.psim.Overlay(), w.cluster, space, spec.Seed)
 	ctx.RefreshPeriod = spec.Grid.Refresh
 	switch spec.Grid.Scheduler {
 	case "can-het":
@@ -292,7 +341,15 @@ func RunSampled(spec *Spec, sampleEvery sim.Duration) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.eng.RunUntil(sim.Time(spec.Duration))
+	if w.ssim != nil {
+		// The sharded run loop drains all planes — global events fire
+		// with every shard quiesced — and the pool shuts down before the
+		// end-state sweep reads protocol state.
+		w.ssim.RunUntil(sim.Time(spec.Duration))
+		w.ssim.Close()
+	} else {
+		w.eng.RunUntil(sim.Time(spec.Duration))
+	}
 	w.assertEndState()
 	return w.result(), nil
 }

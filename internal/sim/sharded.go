@@ -47,32 +47,97 @@ import (
 // ≥ window start + L ≥ end, so it lands in a strictly later window —
 // which also means the barrier's happens-before edge covers everything
 // the sender wrote before sending. Post enforces the invariant.
+//
+// # The batch plane
+//
+// Some control work does not need the one-event-per-barrier quiesce of
+// the global engine: churn admissions, for example, only need to run
+// serially in deterministic order — they do not need every shard
+// advanced to their exact instant. The batch engine holds such events.
+// At each barrier, every batch event strictly below the window bound
+// fires in (time, seq) order on the caller goroutine, BEFORE the
+// window's shard events execute. A batch event at time tb therefore
+// runs "hoisted" to its window's start: shard events in [start, tb)
+// observe its effects. That hoisting is deterministic — the drain set
+// and order are functions of partition-independent queue minima — so
+// output remains byte-identical for any (S, W); it is, however, a
+// coarser interleaving than the global plane's, which is why the batch
+// plane is opt-in per model (see proto's batched-admission mode).
+// Unlike mailbox posts, a batch handler's effects may target any time
+// ≥ tb (first heartbeat ticks, say) rather than ≥ tb+L: the effects
+// are installed before the window body runs, so events landing inside
+// the window still fire in it, exactly as if they had been scheduled
+// there all along. Ties with a global event at the same instant
+// resolve batch-first (admissions precede samplers).
 type ShardedEngine struct {
 	shards []*Engine
 	global *Engine
+	batch  *Engine
 	look   Duration
 
-	// mail[src*(S+1)+dst] buffers cross-shard sends; column S is the
-	// global engine. Row block src is written only by the goroutine
-	// executing shard src (or the serial control phase). flushBuf is
-	// barrier-local scratch for the per-destination merge sort.
+	// mail[src*(S+2)+dst] buffers cross-shard sends; column S is the
+	// global engine and column S+1 the batch engine. Row block src is
+	// written only by the goroutine executing shard src (or the serial
+	// control phase). flushBuf is barrier-local scratch for the
+	// per-destination merge sort.
 	mail     [][]mailEntry
 	flushBuf []mailEntry
 
 	windowEnd Time // exclusive bound of the current/last window
 
+	// rowOrdered is true while posts must be ordered by (key, own mailbox
+	// row) rather than by a global emission counter: window bodies,
+	// ParallelShards fan-outs, batch drains and RowOrdered scopes. It is
+	// written only by the caller goroutine at barriers; workers observe
+	// it through the channel-send happens-before edge. serialSub counts
+	// serially-ordered posts (it is touched only when rowOrdered is
+	// false, i.e. on the caller goroutine) and tie-breaks equal-(at, key)
+	// mail across source rows; see windowSub.
+	rowOrdered bool
+	serialSub  uint64
+
+	// afterBatch, when set, runs on the caller goroutine after every
+	// batch drain that fired at least one event — the hook where a model
+	// flushes work the drained events queued (per-shard completion
+	// groups, dispatched via ParallelShards).
+	afterBatch func()
+
 	workers int
 	started bool
-	work    []chan Time
+	work    []chan workItem
 	wg      sync.WaitGroup
+}
+
+// workItem is one barrier dispatch to a worker: a window sweep (fn nil,
+// run shard events before end) or a per-shard task fan-out (fn non-nil,
+// called once per owned shard). A small struct keeps the hot window
+// path allocation-free.
+type workItem struct {
+	end Time
+	fn  func(shard int)
 }
 
 type mailEntry struct {
 	at  Time
 	key uint64 // sender identity; orders same-instant deliveries
+	sub uint64 // serial emission counter, or windowSub for window sends
 	c   Caller
 	h   Handler
 }
+
+// windowSub is the sub-key stamped on row-ordered posts (window bodies,
+// ParallelShards fan-outs, batch drains, RowOrdered scopes). Global-
+// phase and pre-run posts get an increasing counter instead, so at
+// equal (at, key) a global-phase emission always precedes a row-ordered
+// one — the order those phases themselves run in — and two global-phase
+// emissions order by the serial schedule even when they were buffered
+// into different source rows (a control event may send on behalf of
+// node X through any shard's facet, so equal keys do NOT imply one
+// row). Row-ordered posts deliberately carry no counter: a model may
+// defer such an emission and replay it at a later barrier (batched
+// completions do), and its sort key must not depend on when the replay
+// happens.
+const windowSub = ^uint64(0)
 
 // NewSharded creates a sharded engine with the given shard count and
 // lookahead (the minimum virtual-time distance every cross-shard send
@@ -88,8 +153,9 @@ func NewSharded(shards int, lookahead Duration) *ShardedEngine {
 	se := &ShardedEngine{
 		shards:  make([]*Engine, shards),
 		global:  New(),
+		batch:   New(),
 		look:    lookahead,
-		mail:    make([][]mailEntry, shards*(shards+1)),
+		mail:    make([][]mailEntry, shards*(shards+2)),
 		workers: 1,
 	}
 	for i := range se.shards {
@@ -111,6 +177,20 @@ func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
 // shard quiesced and advanced to the event's time, so they may touch
 // any shard's state.
 func (se *ShardedEngine) Global() *Engine { return se.global }
+
+// Batch returns the batch control engine: serial events drained in
+// (time, seq) order at window barriers rather than one per quiesce (see
+// the batch-plane section of the type comment). Schedule on it before
+// the engine runs or from control/batch-phase handlers; batch handlers
+// run with the batch engine's own clock at the event's time, while
+// shard clocks sit at or before the window start.
+func (se *ShardedEngine) Batch() *Engine { return se.batch }
+
+// SetAfterBatchDrain installs the hook that runs after every batch
+// drain that fired at least one event, on the caller goroutine, before
+// the window body executes. Models use it to flush per-shard work the
+// drained events queued — typically via ParallelShards.
+func (se *ShardedEngine) SetAfterBatchDrain(f func()) { se.afterBatch = f }
 
 // Lookahead returns the conservative lookahead L.
 func (se *ShardedEngine) Lookahead() Duration { return se.look }
@@ -141,7 +221,7 @@ func (se *ShardedEngine) Now() Time { return se.global.Now() }
 // Pending returns the total number of scheduled events across all
 // queues (including unflushed mail).
 func (se *ShardedEngine) Pending() int {
-	n := se.global.Pending()
+	n := se.global.Pending() + se.batch.Pending()
 	for _, sh := range se.shards {
 		n += sh.Pending()
 	}
@@ -176,6 +256,7 @@ func (se *ShardedEngine) Stats() Stats {
 		s.add(sh.Stats())
 	}
 	s.add(se.global.Stats())
+	s.add(se.batch.Stats())
 	return s
 }
 
@@ -200,8 +281,35 @@ func (se *ShardedEngine) Post(src, dst int, at Time, key uint64, c Caller) {
 	if at < se.windowEnd {
 		panic(fmt.Sprintf("sim: cross-shard post at %d below window bound %d (message carried less than one lookahead)", at, se.windowEnd))
 	}
-	i := src*(len(se.shards)+1) + dst
-	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, c: c})
+	i := src*(len(se.shards)+2) + dst
+	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, sub: se.emitSub(), c: c})
+}
+
+// emitSub stamps a post's tie-break sub-key. Row-ordered posts come
+// from the sender's own row and keep their row order (windowSub + the
+// stable flush sort); global-phase posts take a global counter so that
+// equal-(at, key) entries emitted through different shard facets — as
+// control-phase code sending on behalf of arbitrary nodes does — still
+// order by the serial schedule, independent of the partition.
+func (se *ShardedEngine) emitSub() uint64 {
+	if se.rowOrdered {
+		return windowSub
+	}
+	se.serialSub++
+	return se.serialSub
+}
+
+// RowOrdered runs fn with posts classed as row-ordered (windowSub), the
+// same class ParallelShards and batch drains use. A model calls it when
+// executing, inline and serially, work that on another shard layout
+// would run as a deferred per-shard fan-out — batched admission's
+// cross-shard completions — so the emission class, and with it the
+// flush sort, cannot depend on the partition. Caller goroutine only.
+func (se *ShardedEngine) RowOrdered(fn func()) {
+	prev := se.rowOrdered
+	se.rowOrdered = true
+	fn()
+	se.rowOrdered = prev
 }
 
 // PostGlobal buffers a handler for the serial control plane: h fires at
@@ -212,17 +320,37 @@ func (se *ShardedEngine) PostGlobal(src int, at Time, key uint64, h Handler) {
 		panic(fmt.Sprintf("sim: global post at %d below window bound %d (message carried less than one lookahead)", at, se.windowEnd))
 	}
 	S := len(se.shards)
-	i := src*(S+1) + S
-	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, h: h})
+	i := src*(S+2) + S
+	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, sub: se.emitSub(), h: h})
+}
+
+// PostBatch buffers a handler for the batch control plane: h fires at
+// time at on the batch engine, drained serially at the barrier of the
+// window containing at. Same calling rules, key semantics and
+// window-bound invariant as Post. This is how worker-local code hands
+// serial continuations (cross-shard takeovers, handoff deliveries) to
+// the batch plane without racing on its queue.
+func (se *ShardedEngine) PostBatch(src int, at Time, key uint64, h Handler) {
+	if at < se.windowEnd {
+		panic(fmt.Sprintf("sim: batch post at %d below window bound %d (message carried less than one lookahead)", at, se.windowEnd))
+	}
+	S := len(se.shards)
+	i := src*(S+2) + S + 1
+	se.mail[i] = append(se.mail[i], mailEntry{at: at, key: key, sub: se.emitSub(), h: h})
 }
 
 // flushMail drains every mailbox into its destination queue. Each
 // destination's entries are gathered across source rows (ascending) and
-// stable-sorted by (arrival time, sender key): equal keys come from one
-// sender's single row, so the stable sort preserves its emission order.
-// Destination seq assignment — the same-time tie-break — is therefore a
-// pure function of the model: independent of worker scheduling, and of
-// the shard partition itself whenever keys identify logical senders.
+// stable-sorted by (arrival time, sender key, sub): window-context
+// entries with equal keys come from one sender's single row (a worker
+// only sends as nodes it owns), so the stable sort preserves their
+// emission order; serial-context entries may share a key across rows —
+// control code sends on behalf of arbitrary nodes through whichever
+// shard facet is handy — and their sub counter restores the serial
+// emission order the single-shard engine would have used. Destination
+// seq assignment — the same-time tie-break — is therefore a pure
+// function of the model: independent of worker scheduling, and of the
+// shard partition itself whenever keys identify logical senders.
 //
 // Window boundaries are themselves partition-independent (the window
 // bound is a min over every pending shard event, however the shards are
@@ -231,10 +359,10 @@ func (se *ShardedEngine) PostGlobal(src int, at Time, key uint64, h Handler) {
 // precedes everything flushed at barrier k.
 func (se *ShardedEngine) flushMail() {
 	S := len(se.shards)
-	for dst := 0; dst <= S; dst++ {
+	for dst := 0; dst <= S+1; dst++ {
 		buf := se.flushBuf[:0]
 		for src := 0; src < S; src++ {
-			i := src*(S+1) + dst
+			i := src*(S+2) + dst
 			row := se.mail[i]
 			if len(row) == 0 {
 				continue
@@ -247,14 +375,32 @@ func (se *ShardedEngine) flushMail() {
 			continue
 		}
 		sort.SliceStable(buf, func(i, j int) bool {
-			if buf[i].at != buf[j].at {
-				return buf[i].at < buf[j].at
+			a, b := &buf[i], &buf[j]
+			if a.at != b.at {
+				return a.at < b.at
 			}
-			return buf[i].key < buf[j].key
+			aw, bw := a.sub == windowSub, b.sub == windowSub
+			if aw != bw {
+				// Mixed: the serial phases at instant t run before the
+				// window containing t, so their emissions precede.
+				return bw
+			}
+			if !aw {
+				// Both serial-context: pure emission order — exactly the
+				// serial engine's same-instant seq tie-break, whatever rows
+				// the emissions were buffered into.
+				return a.sub < b.sub
+			}
+			// Both window-context: sender key, then row order (stable) —
+			// equal keys come from one worker's row.
+			return a.key < b.key
 		})
 		eng := se.global
-		if dst < S {
+		switch {
+		case dst < S:
 			eng = se.shards[dst]
+		case dst == S+1:
+			eng = se.batch
 		}
 		for _, m := range buf {
 			if m.c != nil {
@@ -293,29 +439,41 @@ func (se *ShardedEngine) run(deadline Time, bounded bool) {
 		se.flushMail()
 		m, okm := se.minShardNext()
 		g, okg := se.global.NextAt()
-		if !okm && !okg {
+		b, okb := se.batch.NextAt()
+		if !okm && !okg && !okb {
 			break
 		}
-		if okg && (!okm || g <= m) {
+		// The window start is the earliest pending shard or batch event:
+		// batch events drain at their window's barrier, so they bound
+		// window placement exactly like shard work does.
+		start, oks := m, okm
+		if okb && (!oks || b < start) {
+			start, oks = b, true
+		}
+		if okg && (!oks || g <= start) {
 			// Control phase: the earliest work is a global event. Ties
-			// with shard events resolve global-first (g == m). Quiesce
-			// and align every shard clock so the handler sees one
-			// consistent instant, then fire exactly one event — it may
-			// schedule shard events, post mail, or enqueue more global
-			// events, so everything is recomputed next iteration.
+			// with shard or batch events resolve global-last here only
+			// when g > start; at g == start the global event still wins
+			// over shard events but batch events at exactly g fire
+			// first (batch-before-global). Quiesce and align every
+			// shard clock so the handler sees one consistent instant,
+			// then fire exactly one event — it may schedule shard
+			// events, post mail, or enqueue more global events, so
+			// everything is recomputed next iteration.
 			if bounded && g > deadline {
 				break
 			}
 			for _, sh := range se.shards {
 				sh.AdvanceTo(g)
 			}
+			se.drainBatch(g + 1)
 			se.global.Step()
 			continue
 		}
-		if bounded && m > deadline {
+		if bounded && start > deadline {
 			break
 		}
-		end := m.Add(se.look)
+		end := start.Add(se.look)
 		if okg && g < end {
 			end = g
 		}
@@ -323,13 +481,38 @@ func (se *ShardedEngine) run(deadline Time, bounded bool) {
 			end = deadline + 1
 		}
 		se.windowEnd = end
+		// Drain batch events below the bound BEFORE the window body:
+		// their effects may target times inside [start, end), and
+		// installing them first means those events fire in this window
+		// exactly as if they had been scheduled there all along.
+		se.drainBatch(end)
 		se.runWindow(end)
 	}
 	if bounded {
 		for _, sh := range se.shards {
 			sh.AdvanceTo(deadline)
 		}
+		se.batch.AdvanceTo(deadline)
 		se.global.AdvanceTo(deadline)
+	}
+}
+
+// drainBatch fires every batch event strictly before bound in
+// (time, seq) order on the caller goroutine, then runs the afterBatch
+// flush hook if anything fired. Handlers may schedule more batch events
+// below the bound; the drain cascades over those too.
+func (se *ShardedEngine) drainBatch(bound Time) {
+	// Batch handlers' posts are row-ordered: a batched model's emissions
+	// must sort identically whether they happen at the handler (inline
+	// completions), at the drain's fan-out hook, or at a later read-rule
+	// flush — classing any of them serially would key the sort to flush
+	// timing, which the partition influences.
+	prev := se.rowOrdered
+	se.rowOrdered = true
+	fired := se.batch.RunBefore(bound) > 0
+	se.rowOrdered = prev
+	if fired && se.afterBatch != nil {
+		se.afterBatch()
 	}
 }
 
@@ -340,6 +523,8 @@ func (se *ShardedEngine) run(deadline Time, bounded bool) {
 // each mailbox row are self-contained, the partition cannot influence
 // results.
 func (se *ShardedEngine) runWindow(end Time) {
+	se.rowOrdered = true
+	defer func() { se.rowOrdered = false }()
 	active, last := 0, -1
 	for i, sh := range se.shards {
 		if t, ok := sh.NextAt(); ok && t < end {
@@ -361,7 +546,7 @@ func (se *ShardedEngine) runWindow(end Time) {
 	}
 	se.wg.Add(se.workers - 1)
 	for k := 1; k < se.workers; k++ {
-		se.work[k] <- end
+		se.work[k] <- workItem{end: end}
 	}
 	se.runWorker(0, end)
 	se.wg.Wait()
@@ -371,6 +556,38 @@ func (se *ShardedEngine) runWorker(k int, end Time) {
 	for i := k; i < len(se.shards); i += se.workers {
 		se.shards[i].RunBefore(end)
 	}
+}
+
+// ParallelShards calls fn once per shard, dealing shards to the worker
+// pool exactly as runWindow does: worker k owns shards k, k+W, ... and
+// the caller acts as worker 0, so fn may touch shard i's engine, state
+// and mailbox row when called with i. It must only be called at a
+// barrier (from control- or batch-phase code, or the afterBatch hook),
+// never from inside a window. Which worker runs which shard can never
+// affect results for the same reason the window deal cannot: per-shard
+// work is self-contained and mail merges deterministically.
+func (se *ShardedEngine) ParallelShards(fn func(shard int)) {
+	// Posts from fn are row-ordered (each call sends only as shard i's
+	// nodes, from shard i's row) — flagged here even on the inline paths
+	// so the sub-key is identical for every W. Save/restore rather than
+	// reset: a batch drain (already row-ordered) may fan out mid-drain.
+	prev := se.rowOrdered
+	se.rowOrdered = true
+	defer func() { se.rowOrdered = prev }()
+	if se.workers == 1 || !se.started {
+		for i := range se.shards {
+			fn(i)
+		}
+		return
+	}
+	se.wg.Add(se.workers - 1)
+	for k := 1; k < se.workers; k++ {
+		se.work[k] <- workItem{fn: fn}
+	}
+	for i := 0; i < len(se.shards); i += se.workers {
+		fn(i)
+	}
+	se.wg.Wait()
 }
 
 // ensureWorkers lazily starts the W−1 persistent worker goroutines (the
@@ -385,13 +602,19 @@ func (se *ShardedEngine) ensureWorkers() {
 	if se.workers <= 1 {
 		return
 	}
-	se.work = make([]chan Time, se.workers)
+	se.work = make([]chan workItem, se.workers)
 	for k := 1; k < se.workers; k++ {
-		ch := make(chan Time)
+		ch := make(chan workItem)
 		se.work[k] = ch
-		go func(k int, ch chan Time) {
-			for end := range ch {
-				se.runWorker(k, end)
+		go func(k int, ch chan workItem) {
+			for it := range ch {
+				if it.fn != nil {
+					for i := k; i < len(se.shards); i += se.workers {
+						it.fn(i)
+					}
+				} else {
+					se.runWorker(k, it.end)
+				}
 				se.wg.Done()
 			}
 		}(k, ch)

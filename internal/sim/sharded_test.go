@@ -256,14 +256,19 @@ func TestEngineScopedStats(t *testing.T) {
 	}
 }
 
-// fuzzActor is the FuzzShardedDeterminism workload: a fixed population
-// of actors dealt round-robin onto however many shards the run uses.
-// Every op is a pure function of (seed, actor, event index) and every
-// actor→actor message carries exactly one lookahead, so the aggregate
-// report below is invariant across BOTH the worker count and the shard
-// count. Per-actor effects are accumulated commutatively (sums over
-// (time, payload) hashes) because different shard counts legitimately
-// interleave same-instant events of different actors differently.
+// fuzzActor is the FuzzShardedDeterminism workload: a population of
+// actors dealt round-robin onto however many shards the run uses — an
+// active set scheduled at t≈0 plus a dormant reserve activated mid-run
+// by join-wave events. Every op is a pure function of (seed, actor,
+// event index) and every actor→actor message carries exactly one
+// lookahead, so the aggregate report below is invariant across BOTH
+// the worker count and the shard count. Cross-actor effects use two
+// accumulators: `inbox` is commutative (different shard counts
+// legitimately interleave same-instant events of DIFFERENT actors
+// differently), while `chain` is order-sensitive — one actor's
+// mailbox deliveries fire in (at, key, sub) order by contract, so
+// hash-chaining them pins the delivery order itself, which is what
+// the serial-emission sub key exists to keep partition-independent.
 type fuzzActor struct {
 	se      *ShardedEngine
 	shards  int
@@ -274,6 +279,7 @@ type fuzzActor struct {
 
 	events uint64 // own firings
 	inbox  uint64 // commutative hash-sum of received (time, payload)
+	chain  uint64 // order-sensitive hash-chain of mailbox deliveries
 	last   Time
 }
 
@@ -284,6 +290,7 @@ type fuzzMsg struct {
 
 func (m *fuzzMsg) Call(now Time) {
 	m.dst.inbox += splitmix64(uint64(now) ^ m.payload)
+	m.dst.chain = splitmix64(m.dst.chain ^ m.payload ^ uint64(now))
 	if now > m.dst.last {
 		m.dst.last = now
 	}
@@ -314,6 +321,40 @@ func (a *fuzzActor) Call(now Time) {
 			fuzzGlobal += splitmix64(uint64(gnow) ^ r)
 		})
 	}
+	// Occasional batch event: runs at a window barrier and hoists an
+	// effect back to its own instant on a target's shard — the shape of
+	// batched admission (a completion installing state the window about
+	// to run must observe). Both the barrier-side counter and the
+	// hoisted in-window delivery must stay (S, W)-invariant.
+	if r%11 == 0 {
+		dst := int(r>>24) % a.actors
+		a.se.PostBatch(myShard, now.Add(a.se.Lookahead()), uint64(a.id), func(bnow Time) {
+			fuzzGlobal += splitmix64(uint64(bnow) ^ r ^ 0xb47c)
+			a.se.Shard(dst%a.shards).AtCall(bnow, &fuzzMsg{payload: splitmix64(r), dst: fuzzPeers[dst]})
+		})
+	}
+	// Mid-window join wave: wake a reserve actor by posting its first
+	// firing through the mailbox. Activation needs no coordination —
+	// the actor is its own Caller, and a double activation just splits
+	// it into two deterministic self-event chains — and the arrival at
+	// now + L typically lands mid-window on the destination shard.
+	if r%5 == 1 {
+		w := int(r>>12) % a.actors
+		a.se.Post(myShard, w%a.shards, now.Add(a.se.Lookahead()), uint64(a.id), fuzzPeers[w])
+	}
+	// Serial fan-out with a shared key: a control-phase handler sending
+	// on behalf of this actor through two different shard facets, the
+	// shape of join introductions. Equal (at, key) entries land in
+	// different mailbox rows, so only the emission-order sub key keeps
+	// their flush order — and the receivers' chains — off the partition.
+	if r%13 == 5 {
+		d1, d2 := int(r>>20)%a.actors, int(r>>28)%a.actors
+		a.se.PostGlobal(myShard, now.Add(a.se.Lookahead()), uint64(a.id), func(gnow Time) {
+			at := gnow.Add(a.se.Lookahead())
+			a.se.Post(d1%a.shards, d1%a.shards, at, uint64(a.id), &fuzzMsg{payload: splitmix64(r ^ 0x5e41), dst: fuzzPeers[d1]})
+			a.se.Post(d2%a.shards, d2%a.shards, at, uint64(a.id), &fuzzMsg{payload: splitmix64(r ^ 0x5e42), dst: fuzzPeers[d2]})
+		})
+	}
 }
 
 // fuzzPeers / fuzzGlobal are per-run scratch for the fuzz workload
@@ -328,21 +369,25 @@ func runFuzzWorkload(shards, workers, actors int, seed uint64, horizon Time) str
 	se.SetWorkers(workers)
 	defer se.Close()
 
-	fuzzPeers = make([]*fuzzActor, actors)
+	// Population = active set + a dormant reserve. Reserve actors are
+	// never scheduled here: they fire only if a join-wave event wakes
+	// them (possibly more than once), or sit dark absorbing messages.
+	total := actors + 1 + actors/2
+	fuzzPeers = make([]*fuzzActor, total)
 	fuzzGlobal = 0
 	for i := range fuzzPeers {
 		fuzzPeers[i] = &fuzzActor{
-			se: se, shards: shards, id: i, actors: actors, horizon: horizon,
+			se: se, shards: shards, id: i, actors: total, horizon: horizon,
 		}
 	}
-	for i, a := range fuzzPeers {
-		se.Shard(i%shards).AtCall(Time(1+int64(splitmix64(seed^uint64(i))%13)), a)
+	for i := 0; i < actors; i++ {
+		se.Shard(i%shards).AtCall(Time(1+int64(splitmix64(seed^uint64(i))%13)), fuzzPeers[i])
 	}
 	se.Run()
 
 	var b strings.Builder
 	for i, a := range fuzzPeers {
-		fmt.Fprintf(&b, "actor=%d events=%d inbox=%x last=%d\n", i, a.events, a.inbox, a.last)
+		fmt.Fprintf(&b, "actor=%d events=%d inbox=%x chain=%x last=%d\n", i, a.events, a.inbox, a.chain, a.last)
 	}
 	fmt.Fprintf(&b, "global=%x now=%d pending=%d\n", fuzzGlobal, se.Now(), se.Pending())
 	return b.String()
@@ -355,6 +400,19 @@ func FuzzShardedDeterminism(f *testing.F) {
 	f.Add(uint64(1), uint8(6))
 	f.Add(uint64(0xdeadbeef), uint8(12))
 	f.Add(uint64(31337), uint8(3))
+	// Batch-plane corpus: seeds chosen to produce dense r%11 batch
+	// events — several in one window, batch events colliding with
+	// window barriers, and barrier-hoisted deliveries racing shard
+	// events at the same instant.
+	f.Add(uint64(0xba7c4), uint8(15))
+	f.Add(uint64(0x9e3779b9), uint8(11))
+	// Churn corpus: seeds dense in join waves (r%5) and serial fan-outs
+	// (r%13) — reserve wake-ups mid-window, double activations, and
+	// equal-(at, key) cross-row emissions whose chain ordering only the
+	// serial sub key keeps partition-independent.
+	f.Add(uint64(0x7e57ab1e), uint8(9))
+	f.Add(uint64(0xc0ffee11), uint8(14))
+	f.Add(uint64(0x1234fedc), uint8(7))
 	f.Fuzz(func(t *testing.T, seed uint64, nactors uint8) {
 		actors := 1 + int(nactors%16)
 		horizon := Time(60 + splitmix64(seed)%140)
