@@ -174,6 +174,15 @@ type Plane struct {
 	gauges   []gaugeReg
 	counters []counterReg
 
+	// Auxiliary registrations: sampled on every pass like the canonical
+	// ones, but excluded from Series/WriteJSONL/WriteCSV. They hold
+	// diagnostics whose values legitimately depend on execution knobs —
+	// window policy, shard count — and so must never enter the canonical
+	// stream, whose contract is byte-identity across those knobs.
+	auxSeries   []*Series
+	auxGauges   []gaugeReg
+	auxCounters []counterReg
+
 	sink    Sink
 	armed   bool // a sampler event is currently scheduled
 	stopped bool // Stop called: ignore pending events, refuse re-arming
@@ -213,6 +222,29 @@ func (p *Plane) RegisterCounter(name string, fn CounterFunc) {
 	p.counters = append(p.counters, counterReg{series: p.newSeries(name), fn: fn})
 }
 
+func (p *Plane) newAuxSeries(name string) *Series {
+	s := &Series{Name: name, pts: make([]Point, 0, p.maxPts)}
+	p.auxSeries = append(p.auxSeries, s)
+	return s
+}
+
+// RegisterAuxGauge adds a gauge to the auxiliary stream: sampled on the
+// same passes as canonical series but kept out of Series, WriteJSONL
+// and WriteCSV — export it via AuxSeries/WriteAuxJSONL. Use it for
+// diagnostics that depend on execution knobs (window policy, worker
+// count) and therefore must not perturb the byte-compared canonical
+// stream.
+func (p *Plane) RegisterAuxGauge(name string, fn GaugeFunc) {
+	p.auxGauges = append(p.auxGauges, gaugeReg{series: p.newAuxSeries(name), fn: fn})
+}
+
+// RegisterAuxCounter adds a cumulative counter source to the auxiliary
+// stream; per-interval deltas, node -1, same exclusion rules as
+// RegisterAuxGauge.
+func (p *Plane) RegisterAuxCounter(name string, fn CounterFunc) {
+	p.auxCounters = append(p.auxCounters, counterReg{series: p.newAuxSeries(name), fn: fn})
+}
+
 // Attach binds the plane to an engine and initializes counter baselines
 // so the first sample reports only post-Attach activity. It does not
 // schedule a sampler event: call Poke to arm it (this keeps an attached
@@ -221,6 +253,9 @@ func (p *Plane) Attach(eng Engine) {
 	p.eng = eng
 	for i := range p.counters {
 		p.counters[i].last = p.counters[i].fn()
+	}
+	for i := range p.auxCounters {
+		p.auxCounters[i].last = p.auxCounters[i].fn()
 	}
 }
 
@@ -285,6 +320,17 @@ func (p *Plane) sampleAt(now sim.Time) {
 		c.series.record(Point{T: t, Node: -1, V: float64(cur - c.last)})
 		c.last = cur
 	}
+	for i := range p.auxGauges {
+		g := &p.auxGauges[i]
+		p.sink.s, p.sink.t = g.series, t
+		g.fn(&p.sink)
+	}
+	for i := range p.auxCounters {
+		c := &p.auxCounters[i]
+		cur := c.fn()
+		c.series.record(Point{T: t, Node: -1, V: float64(cur - c.last)})
+		c.last = cur
+	}
 }
 
 // Samples returns the number of sampling passes taken.
@@ -312,6 +358,20 @@ func (p *Plane) SeriesByName(name string) *Series {
 	return nil
 }
 
+// AuxSeries returns the auxiliary series in registration order. They
+// never appear in Series or the canonical exports.
+func (p *Plane) AuxSeries() []*Series { return p.auxSeries }
+
+// AuxSeriesByName returns the named auxiliary series, or nil.
+func (p *Plane) AuxSeriesByName(name string) *Series {
+	for _, s := range p.auxSeries {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
 // exportPoint is the JSONL line schema.
 type exportPoint struct {
 	Run    string  `json:"run,omitempty"`
@@ -326,6 +386,14 @@ type exportPoint struct {
 // on every line so collected multi-run streams stay attributable.
 func (p *Plane) WriteJSONL(w io.Writer, run string) error {
 	return writeSeriesJSONL(w, run, p.series)
+}
+
+// WriteAuxJSONL exports the auxiliary series in the same line schema as
+// WriteJSONL, to a separate stream — auxiliary values depend on
+// execution knobs, so they must never interleave into the canonical
+// byte-compared export.
+func (p *Plane) WriteAuxJSONL(w io.Writer, run string) error {
+	return writeSeriesJSONL(w, run, p.auxSeries)
 }
 
 func writeSeriesJSONL(w io.Writer, run string, series []*Series) error {

@@ -24,6 +24,7 @@ import (
 	"hetgrid/internal/proto"
 	"hetgrid/internal/resource"
 	"hetgrid/internal/sched"
+	"hetgrid/internal/sim"
 )
 
 // RegisterGridGauges registers the per-node gauges of a scheduling
@@ -208,4 +209,32 @@ func RegisterShardedNetCounters(sp *metrics.ShardedPlane, sn *netsim.ShardedNet,
 			return sn.Facet(sh).KindTotal(kind).BytesSent
 		})
 	}
+}
+
+// RegisterWindowAux registers the sharded engine's window-policy
+// diagnostics as auxiliary series — sampled alongside the canonical
+// stream but exported separately (Plane.WriteAuxJSONL), because their
+// values depend on the window policy and shard count, execution knobs
+// the canonical byte-compared stream must never reflect:
+//
+//	sim.windows      barrier groups entered per interval (the cost the
+//	                 adaptive policy collapses)
+//	sim.hops         lookahead-grained windows executed per interval
+//	                 (policy-invariant in steady state: the hop grid
+//	                 replicates the fixed window grid)
+//	sim.quiesces     control-phase single-event quiesces per interval
+//	sim.window_span  mean virtual-time span per barrier group over the
+//	                 run so far, in seconds — the widening factor
+func RegisterWindowAux(p *metrics.Plane, se *sim.ShardedEngine) {
+	p.RegisterAuxCounter("sim.windows", func() int64 { return se.WindowStats().Windows })
+	p.RegisterAuxCounter("sim.hops", func() int64 { return se.WindowStats().Hops })
+	p.RegisterAuxCounter("sim.quiesces", func() int64 { return se.WindowStats().Quiesces })
+	p.RegisterAuxGauge("sim.window_span", func(k *metrics.Sink) {
+		ws := se.WindowStats()
+		if ws.Windows == 0 {
+			k.Emit(-1, 0)
+			return
+		}
+		k.Emit(-1, ws.SpanSum.Seconds()/float64(ws.Windows))
+	})
 }

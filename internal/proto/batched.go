@@ -84,7 +84,7 @@ func (ss *ShardedSim) joinNodeBatched(p geom.Point, caps *resource.NodeCaps) (*c
 	sh := ss.shardOfPoint(p)
 	ss.nodeShard[node.ID] = sh
 	s := ss.shards[sh]
-	now := ss.SE.Batch().Now()
+	now := ss.churnNow()
 
 	// Host at prep: membership readers (AliveHosts, HostIDs, the
 	// transport's liveness check) see the newcomer immediately, exactly
@@ -120,11 +120,17 @@ func (ss *ShardedSim) joinNodeBatched(p geom.Point, caps *resource.NodeCaps) (*c
 	}
 	completion := func() { s.completeJoinBatched(now, h, ownerID, ownerZone, nbrs) }
 
-	if !single {
-		// Cross-shard admission: serialize in this event's batch slot.
+	if !single || !ss.SE.InBatchDrain() {
+		// Cross-shard admission, or a control-plane caller (a scenario
+		// event, a direct API join): serialize in this slot. Deferral is
+		// only sound from a batch drain, whose own flush hook runs the
+		// queue at the right barrier — a control-plane caller has no
+		// later drain promised before the windows move past the admission
+		// instant, so its completion's sends would land in the past.
 		// RowOrdered keeps the emission class identical to the queued
 		// path's — whether a join runs inline or deferred is a property
-		// of the partition, and must not leak into the flush sort.
+		// of the partition and the calling plane, and must not leak into
+		// the flush sort.
 		ss.flushPending()
 		ss.SE.RowOrdered(completion)
 		return node, nil
@@ -209,7 +215,7 @@ func (ss *ShardedSim) leaveBatched(id can.NodeID) error {
 	if h == nil {
 		return fmt.Errorf("proto: leave of unknown node %d", id)
 	}
-	now := ss.SE.Batch().Now()
+	now := ss.churnNow()
 	plan, hasPlan := ss.Ov.Takeover(id)
 
 	h.alive = false
@@ -235,7 +241,7 @@ func (ss *ShardedSim) leaveBatched(id can.NodeID) error {
 	// payload is identical either way. The delivery closure routes back
 	// through the batch plane (netsim.SendAt) and runs executeTakeover
 	// at the barrier containing now + latency.
-	ss.pendGroups[sh] = append(ss.pendGroups[sh], func() {
+	send := func() {
 		table := s.replyTable(now, h.view)
 		s.Net.SendAt(now, id, takerID, FullMessageBytes(s.Ov.Dims(), len(table)), netsim.KindFull, func(now2 sim.Time) {
 			taker := s.hostOf(takerID)
@@ -244,7 +250,16 @@ func (ss *ShardedSim) leaveBatched(id can.NodeID) error {
 			}
 			s.executeTakeover(now2, taker, id, goneZone, table, mergedID)
 		})
-	})
+	}
+	if !ss.SE.InBatchDrain() {
+		// Control-plane caller: no later drain is promised before the
+		// windows pass now, so the handoff must transmit in this slot
+		// (same reasoning as the join path's inline case).
+		ss.flushPending()
+		ss.SE.RowOrdered(send)
+		return nil
+	}
+	ss.pendGroups[sh] = append(ss.pendGroups[sh], send)
 	ss.pendCount++
 	return nil
 }
@@ -258,6 +273,20 @@ func (ss *ShardedSim) failBatched(id can.NodeID) error {
 		ss.flushPending()
 	}
 	return ss.simOf(id).Fail(id)
+}
+
+// churnNow returns the admission instant of a batched churn call: the
+// batch clock when churn rides the batch plane (the churn driver), the
+// global clock when a control-plane handler calls churn directly (the
+// scenario engine does). RunBefore leaves an empty engine's clock
+// behind, so the batch clock alone can lag a global-phase caller by
+// arbitrary virtual time — whichever clock is ahead is the caller's.
+func (ss *ShardedSim) churnNow() sim.Time {
+	now := ss.SE.Batch().Now()
+	if g := ss.SE.Global().Now(); g > now {
+		now = g
+	}
+	return now
 }
 
 // flushPending executes every queued completion, shards in parallel,

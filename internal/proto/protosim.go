@@ -317,8 +317,16 @@ func (s *Sim) Fail(id can.NodeID) error {
 		mergedID = plan.Merged.ID
 	}
 	// The timeout continuation mutates the taker (possibly in another
-	// shard) and reads the overlay, so it runs on the control plane.
-	s.ctl().After(s.Cfg.timeout(), func(now sim.Time) {
+	// shard) and reads the overlay, so it runs on the control plane. The
+	// instant anchors to the caller's clock, not the control engine's: an
+	// idle control engine's clock lags a global-phase caller arbitrarily
+	// (RunBefore never advances an empty queue), and After on it would
+	// schedule the takeover deep in the past.
+	now := s.Eng.Now()
+	if c := s.ctl().Now(); c > now {
+		now = c
+	}
+	s.ctl().At(now.Add(s.Cfg.timeout()), func(now sim.Time) {
 		taker := s.hostOf(takerID)
 		if taker == nil || !taker.alive {
 			return

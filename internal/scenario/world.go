@@ -113,7 +113,11 @@ func newWorld(spec *Spec, sampleEvery sim.Duration) (*World, error) {
 		if pcfg.HeartbeatPeriod <= pcfg.Latency {
 			return nil, fmt.Errorf("scenario %s: engine sharded requires grid.heartbeat > %s", spec.Name, fmtDur(pcfg.Latency))
 		}
+		pcfg.BatchedAdmission = spec.BatchedAdmission()
 		ssim = proto.NewShardedSim(spec.ShardCount(), spec.Workers, space.Dims(), pcfg)
+		if spec.AdaptiveWindows() {
+			ssim.SE.SetWindowPolicy(sim.WindowAdaptive)
+		}
 		eng = ssim.SE.Global()
 		psim, pnet = ssim, ssim.Net
 	} else {

@@ -126,6 +126,18 @@ func (id EventID) Valid() bool {
 	return id.ev != nil && id.ev.gen == id.gen && id.ev.index >= 0
 }
 
+// At returns the scheduled time of the event the id refers to, with
+// ok false when the event has already fired, been cancelled, or was
+// never scheduled. Like Cancel, it must only be called by code allowed
+// to touch the owning engine (the event horizon of a shard is shard
+// state).
+func (id EventID) At() (Time, bool) {
+	if !id.Valid() {
+		return 0, false
+	}
+	return id.ev.at, true
+}
+
 type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }

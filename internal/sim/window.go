@@ -1,0 +1,276 @@
+package sim
+
+// Adaptive conservative windows. The fixed policy bounds every window
+// by one lookahead past its start, which on a heartbeat steady state
+// costs a full barrier — flush, dispatch, wait — per delivery hop. The
+// adaptive policy notices when the serial planes are quiescent and
+// opens one *wide* window spanning many hops: the barrier bookkeeping
+// (outer-loop recomputation, batch drains, dormancy checks, stats) is
+// paid once per wide window, while execution inside it proceeds as
+// lookahead-grained hops whose grid replicates the fixed policy's
+// window grid exactly.
+//
+// # Why hops, not one giant window
+//
+// Widening the *execution* bound directly to the next heartbeat
+// deadline would be unsound: at scale, some shard event inside the
+// span emits mail that arrives less than a full span later (a tick at
+// t sends mail due t+L, with t+L far below the deadline), so a single
+// window body would have to deliver mid-window — exactly what the
+// conservative invariant forbids (Post panics). Instead the wide
+// window keeps the lookahead-grained hop structure internally and
+// widens only what the hop grid is allowed to span before control
+// returns to the serial planes. Each hop flushes the previous hop's
+// mail and runs shard events strictly before the hop bound, so every
+// delivery happens at the same instant, in the same per-destination
+// flush batch, and with the same sort position as under the fixed
+// policy — which is what makes fixed and adaptive runs byte-identical
+// (DESIGN.md §15 gives the argument; TestCorpusWindowPolicyParity and
+// the fuzz battery enforce it).
+//
+// # Eligibility
+//
+// A wide window opens only when widening provably cannot change what
+// the serial planes observe:
+//
+//   - no pending batch events (a batch event bounds its own window:
+//     its effects hoist to that window's start), and no model-held
+//     deferred work — the window advisor, wired by proto to batched
+//     admission's pending-completion count, vetoes widening;
+//   - a finite horizon exists: the next global event (clipped by the
+//     run deadline) — hops never cross it;
+//   - the horizon is more than one lookahead away (otherwise the fixed
+//     bound already reaches it and there is nothing to widen).
+//
+// Mid-flight, the first hop that buffers mail for the global or batch
+// plane ends the wide window: the arrival must be scheduled before the
+// next window bound is chosen, exactly as a barrier flush would have
+// done under the fixed policy.
+
+// WindowPolicy selects how the sharded engine bounds its conservative
+// time windows. It is an execution parameter like the worker count W:
+// a run's output is byte-identical under either policy.
+type WindowPolicy uint8
+
+const (
+	// WindowFixed bounds every window by one lookahead past its start —
+	// the PR-7 behavior, one barrier per delivery hop.
+	WindowFixed WindowPolicy = iota
+	// WindowAdaptive widens eligible windows toward the next
+	// serial-plane horizon, executed as lookahead-grained hops.
+	WindowAdaptive
+)
+
+// String returns the spec/CLI spelling of the policy.
+func (p WindowPolicy) String() string {
+	if p == WindowAdaptive {
+		return "adaptive"
+	}
+	return "fixed"
+}
+
+// ParseWindowPolicy maps the spec/CLI spelling to a policy; the empty
+// string is the fixed default. ok is false for any other spelling.
+func ParseWindowPolicy(s string) (WindowPolicy, bool) {
+	switch s {
+	case "", "fixed":
+		return WindowFixed, true
+	case "adaptive":
+		return WindowAdaptive, true
+	}
+	return WindowFixed, false
+}
+
+// WindowStats counts the engine's synchronization structure. Windows is
+// the barrier count — the serial sections paid at the outer loop — and
+// Hops the conservative windows executed inside them; under the fixed
+// policy the two are equal, and their ratio is the adaptive policy's
+// win. The counters are observational: they depend on the policy (that
+// is the point) and must never feed back into model state.
+type WindowStats struct {
+	Windows   int64    // barrier groups: fixed windows + wide windows
+	Hops      int64    // lookahead-grained windows executed (fixed: == Windows)
+	Widened   int64    // wide windows opened by the adaptive policy
+	Fallbacks int64    // adaptive windows denied eligibility (ran fixed)
+	Quiesces  int64    // control-phase single-event quiesces
+	SpanSum   Duration // total virtual-time span of all windows
+}
+
+// WindowPolicy returns the active policy.
+func (se *ShardedEngine) WindowPolicy() WindowPolicy { return se.policy }
+
+// SetWindowPolicy selects the window policy. Like SetWorkers it is an
+// execution knob — output never depends on it — but unlike SetWorkers
+// it may be changed between runs (never during one).
+func (se *ShardedEngine) SetWindowPolicy(p WindowPolicy) { se.policy = p }
+
+// SetWindowAdvisor installs the model's quiescence oracle: adaptive
+// widening is vetoed while it returns false. Models holding deferred
+// barrier work that the engine cannot see — batched admission's
+// pending completion queues — must wire this, or widening could skip
+// the barriers that flush them. Called on the caller goroutine at
+// window placement; it must be cheap and must not mutate state.
+func (se *ShardedEngine) SetWindowAdvisor(f func() bool) { se.advisor = f }
+
+// SetWindowObserver installs a hook called on the caller goroutine for
+// every executed window hop, with the hop's start and exclusive end.
+// Test instrumentation; nil disables.
+func (se *ShardedEngine) SetWindowObserver(f func(start, end Time)) { se.onWindow = f }
+
+// WindowStats returns the synchronization counters accumulated so far.
+func (se *ShardedEngine) WindowStats() WindowStats { return se.wstats }
+
+// MailNext reports the earliest buffered (posted but not yet flushed)
+// arrival time from shard src's row to shard dst, with ok false when
+// the row is empty. Barrier/caller-goroutine use only — mailbox rows
+// are worker-owned during windows.
+func (se *ShardedEngine) MailNext(src, dst int) (Time, bool) {
+	i := src*(len(se.shards)+2) + dst
+	if len(se.mail[i]) == 0 {
+		return 0, false
+	}
+	return se.rowMin[i], true
+}
+
+// serialMailPending reports whether any row holds mail for the global
+// or batch plane. Caller goroutine, between hops.
+func (se *ShardedEngine) serialMailPending() bool {
+	S := len(se.shards)
+	for src := 0; src < S; src++ {
+		base := src * (S + 2)
+		if len(se.mail[base+S]) > 0 || len(se.mail[base+S+1]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextHopStart returns the earliest pending shard instant: the minimum
+// over shard queues and buffered shard-to-shard mail. This is exactly
+// the window start the fixed policy's outer loop would compute after
+// flushing — mail not yet flushed here is mail the fixed loop would
+// have flushed before taking queue minima.
+func (se *ShardedEngine) nextHopStart() (Time, bool) {
+	m, ok := se.minShardNext()
+	S := len(se.shards)
+	for src := 0; src < S; src++ {
+		base := src * (S + 2)
+		for dst := 0; dst < S; dst++ {
+			if len(se.mail[base+dst]) == 0 {
+				continue
+			}
+			if t := se.rowMin[base+dst]; !ok || t < m {
+				m, ok = t, true
+			}
+		}
+	}
+	return m, ok
+}
+
+// tryWideWindow opens one wide window from start when the engine is in
+// a widenable steady state, returning false (and counting a fallback)
+// otherwise. g/okg is the next global event, b-pending is okb; the
+// caller has already ruled out the control phase (start < g or no g).
+func (se *ShardedEngine) tryWideWindow(start, g Time, okg, okb bool, deadline Time, bounded bool) bool {
+	// A pending batch event must bound its own window — its hoisted
+	// effects land at that window's start — and a model holding deferred
+	// barrier work (batched admission completions) vetoes via the
+	// advisor: both fall back to the fixed bound.
+	if okb || (se.advisor != nil && !se.advisor()) {
+		se.wstats.Fallbacks++
+		return false
+	}
+	// The horizon is the next serial-plane instant hops may not cross:
+	// the next global event, clipped by the run deadline. An unbounded
+	// run with no global event has no finite horizon to widen toward.
+	horizon, ok := g, okg
+	if bounded && (!ok || deadline+1 < horizon) {
+		horizon, ok = deadline+1, true
+	}
+	if !ok || horizon <= start.Add(se.look) {
+		// Nothing to widen: the fixed bound already reaches the horizon.
+		se.wstats.Fallbacks++
+		return false
+	}
+
+	if se.hopBuf == nil {
+		se.hopBuf = make([][]mailEntry, len(se.shards))
+		se.mailAlt = make([][]mailEntry, len(se.mail))
+		se.rowMinAlt = make([]Time, len(se.rowMin))
+	}
+	prev := se.rowOrdered
+	se.rowOrdered = true
+	hopStart, last := start, start
+	flush := false // the outer loop flushed all mail before this window
+	for {
+		end := hopStart.Add(se.look)
+		if end > horizon {
+			end = horizon
+		}
+		se.windowEnd = end
+		se.wstats.Hops++
+		if se.onWindow != nil {
+			se.onWindow(hopStart, end)
+		}
+		se.runHop(end, flush)
+		flush = true
+		last = end
+		// Mail for a serial plane ends the wide window: its arrival must
+		// be scheduled before the next window bound is chosen, exactly
+		// as the fixed policy's barrier flush would have done.
+		if se.serialMailPending() {
+			break
+		}
+		m, okm := se.nextHopStart()
+		if !okm || m >= horizon {
+			break
+		}
+		hopStart = m
+	}
+	se.rowOrdered = prev
+	se.wstats.Windows++
+	se.wstats.Widened++
+	se.wstats.SpanSum += last.Sub(start)
+	return true
+}
+
+// runHop executes one lookahead-grained hop of a wide window: flush the
+// previous hop's shard-destination mail (when flush is set), then run
+// every shard's events strictly before end — one worker dispatch for
+// both. Race freedom comes from generation double-buffering: the caller
+// swaps the mailbox generations first, so workers flush frozen rows of
+// the previous generation while the shards they run post into the
+// current one. Each destination's flush and execution stay on the one
+// worker that owns the shard, so flushed events landing inside the hop
+// fire in it; the flush batch is the complete previous hop's mail for
+// that destination, gathered and sorted exactly as a barrier flush
+// would — which keeps destination seq assignment identical to the
+// fixed policy's.
+func (se *ShardedEngine) runHop(end Time, flush bool) {
+	if flush {
+		se.mail, se.mailAlt = se.mailAlt, se.mail
+		se.rowMin, se.rowMinAlt = se.rowMinAlt, se.rowMin
+	}
+	if se.workers == 1 {
+		se.hopWorker(0, end, flush)
+		return
+	}
+	se.wg.Add(se.workers - 1)
+	for k := 1; k < se.workers; k++ {
+		se.work[k] <- workItem{end: end, flush: flush}
+	}
+	se.hopWorker(0, end, flush)
+	se.wg.Wait()
+}
+
+// hopWorker is worker k's share of a hop: for every owned shard, flush
+// its mail column from the frozen previous generation, then run its
+// events before end.
+func (se *ShardedEngine) hopWorker(k int, end Time, flush bool) {
+	for i := k; i < len(se.shards); i += se.workers {
+		if flush {
+			se.hopBuf[i] = se.flushDstFrom(se.mailAlt, i, se.hopBuf[i])
+		}
+		se.shards[i].RunBefore(end)
+	}
+}

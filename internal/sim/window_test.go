@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// hopRecorder captures every executed window hop via SetWindowObserver.
+type hopRecorder struct {
+	starts, ends []Time
+}
+
+func (r *hopRecorder) record(start, end Time) {
+	r.starts = append(r.starts, start)
+	r.ends = append(r.ends, end)
+}
+
+// periodicActor is the heartbeat steady-state workload: every actor
+// ticks on a shared period, posts one cross-shard message carrying
+// exactly one lookahead, and goes back to sleep. No global or batch
+// events — the regime the adaptive policy collapses to one wide window
+// per run segment. Ticks log into the actor's own shard log and
+// deliveries into the destination shard's, so every log has a single
+// writer at any worker count.
+type periodicActor struct {
+	se     *ShardedEngine
+	shard  int
+	id     int
+	period Duration
+	until  Time
+	logs   *[][]string
+}
+
+func (a *periodicActor) Call(now Time) {
+	(*a.logs)[a.shard] = append((*a.logs)[a.shard], fmt.Sprintf("t=%d tick %d.%d", now, a.shard, a.id))
+	if now >= a.until {
+		return
+	}
+	a.se.Shard(a.shard).AfterCall(a.period, a)
+	dst := (a.shard + 1) % a.se.Shards()
+	src, id, logs := a.shard, a.id, a.logs
+	a.se.Post(a.shard, dst, now.Add(a.se.Lookahead()), uint64(a.id), callerFunc(func(at Time) {
+		(*logs)[dst] = append((*logs)[dst], fmt.Sprintf("t=%d mail %d.%d->%d", at, src, id, dst))
+	}))
+}
+
+// runPeriodic runs the steady-state workload under the given policy and
+// returns the per-shard logs merged in shard order plus the window
+// counters.
+func runPeriodic(t *testing.T, policy WindowPolicy, workers int, rec *hopRecorder) ([]string, WindowStats) {
+	t.Helper()
+	const shards = 4
+	se := NewSharded(shards, 10)
+	se.SetWorkers(workers)
+	se.SetWindowPolicy(policy)
+	if rec != nil {
+		se.SetWindowObserver(rec.record)
+	}
+	defer se.Close()
+
+	logs := make([][]string, shards)
+	for sh := 0; sh < shards; sh++ {
+		a := &periodicActor{se: se, shard: sh, id: sh, period: 500, until: 5000, logs: &logs}
+		se.Shard(sh).AtCall(7, a)
+	}
+	se.RunUntil(6000)
+
+	var merged []string
+	for _, l := range logs {
+		merged = append(merged, l...)
+	}
+	return merged, se.WindowStats()
+}
+
+// TestAdaptiveHopInvariants pins the window math: hop ends are monotone
+// non-decreasing across the whole run, every hop spans at most one
+// lookahead past its start (the adaptive policy never exceeds the
+// earliest shard horizon plus L), and every hop is non-empty in time.
+func TestAdaptiveHopInvariants(t *testing.T) {
+	for _, pol := range []WindowPolicy{WindowFixed, WindowAdaptive} {
+		rec := &hopRecorder{}
+		_, _ = runPeriodic(t, pol, 2, rec)
+		if len(rec.ends) == 0 {
+			t.Fatalf("%v: no hops recorded", pol)
+		}
+		for i := range rec.ends {
+			if rec.ends[i] <= rec.starts[i] {
+				t.Fatalf("%v: hop %d empty: [%d, %d)", pol, i, rec.starts[i], rec.ends[i])
+			}
+			if rec.ends[i] > rec.starts[i].Add(10) {
+				t.Fatalf("%v: hop %d spans more than one lookahead: [%d, %d)", pol, i, rec.starts[i], rec.ends[i])
+			}
+			if i > 0 && rec.ends[i] < rec.ends[i-1] {
+				t.Fatalf("%v: hop ends not monotone: end[%d]=%d < end[%d]=%d", pol, i, rec.ends[i], i-1, rec.ends[i-1])
+			}
+		}
+	}
+}
+
+// TestAdaptiveSteadyStateWidens is the policy's raison d'être: on a
+// pure heartbeat steady state the barrier count collapses — by the
+// period/lookahead ratio — while the event log stays byte-identical,
+// at one worker and at the full worker count.
+func TestAdaptiveSteadyStateWidens(t *testing.T) {
+	wantLog, fixed := runPeriodic(t, WindowFixed, 1, nil)
+	if len(wantLog) == 0 {
+		t.Fatal("steady-state workload produced no events")
+	}
+	for _, workers := range []int{1, 4} {
+		gotLog, adaptive := runPeriodic(t, WindowAdaptive, workers, nil)
+		if fmt.Sprint(gotLog) != fmt.Sprint(wantLog) {
+			t.Fatalf("W=%d: adaptive log diverged from fixed:\n--- fixed\n%v\n--- adaptive\n%v", workers, wantLog, gotLog)
+		}
+		if adaptive.Hops != fixed.Windows {
+			t.Errorf("W=%d: adaptive executed %d hops, fixed %d windows — the hop grid must replicate the fixed grid", workers, adaptive.Hops, fixed.Windows)
+		}
+		if adaptive.Widened == 0 {
+			t.Fatalf("W=%d: steady state opened no wide windows: %+v", workers, adaptive)
+		}
+		if fixed.Windows < 10*adaptive.Windows {
+			t.Errorf("W=%d: barrier count reduced only %d -> %d (want >= 10x)", workers, fixed.Windows, adaptive.Windows)
+		}
+	}
+}
+
+// TestAdaptiveBarrierCountNeverMore is the ordering property: for
+// identical runs, the adaptive policy's barrier count is never more
+// than the fixed policy's — fallbacks cost exactly a fixed window —
+// across the fuzz workload's regimes.
+func TestAdaptiveBarrierCountNeverMore(t *testing.T) {
+	for _, per := range []Duration{0, 20, 50, 70} {
+		for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+			want, fixed := runFuzzWorkload(4, 2, 9, seed, 150, per, WindowFixed)
+			got, adaptive := runFuzzWorkload(4, 2, 9, seed, 150, per, WindowAdaptive)
+			if got != want {
+				t.Fatalf("seed=%#x period=%d: adaptive diverged:\n--- fixed\n%s\n--- adaptive\n%s", seed, per, want, got)
+			}
+			if adaptive.Windows > fixed.Windows {
+				t.Errorf("seed=%#x period=%d: adaptive barrier count %d > fixed %d", seed, per, adaptive.Windows, fixed.Windows)
+			}
+			if fixed.Hops != fixed.Windows {
+				t.Errorf("seed=%#x period=%d: fixed policy hops %d != windows %d", seed, per, fixed.Hops, fixed.Windows)
+			}
+		}
+	}
+}
+
+// TestAdaptiveFallsBackOnBatchWork: while batch events are pending, the
+// policy must use fixed windows (a batch event bounds its own window),
+// and a model advisor reporting held work vetoes widening outright.
+func TestAdaptiveFallsBackOnBatchWork(t *testing.T) {
+	run := func(advisor func() bool, batchEvery Duration) WindowStats {
+		se := NewSharded(2, 10)
+		se.SetWindowPolicy(WindowAdaptive)
+		if advisor != nil {
+			se.SetWindowAdvisor(advisor)
+		}
+		defer se.Close()
+		logs := make([][]string, 2)
+		for sh := 0; sh < 2; sh++ {
+			a := &periodicActor{se: se, shard: sh, id: sh, period: 300, until: 2000, logs: &logs}
+			se.Shard(sh).AtCall(5, a)
+		}
+		if batchEvery > 0 {
+			// Reschedules past the run deadline so the batch plane is
+			// non-empty at every window placement.
+			var tick func(Time)
+			tick = func(now Time) {
+				if now < 2600 {
+					se.Batch().After(batchEvery, tick)
+				}
+			}
+			se.Batch().After(batchEvery, tick)
+		}
+		se.RunUntil(2500)
+		return se.WindowStats()
+	}
+
+	// Saturating batch plane: a batch event pending at every placement.
+	st := run(nil, 40)
+	if st.Widened != 0 {
+		t.Errorf("batch-saturated run widened %d windows (want 0): %+v", st.Widened, st)
+	}
+	if st.Fallbacks == 0 {
+		t.Errorf("batch-saturated run recorded no fallbacks: %+v", st)
+	}
+
+	// Advisor veto: the model says it holds deferred barrier work.
+	st = run(func() bool { return false }, 0)
+	if st.Widened != 0 {
+		t.Errorf("advisor-vetoed run widened %d windows (want 0): %+v", st.Widened, st)
+	}
+	if st.Fallbacks == 0 {
+		t.Errorf("advisor-vetoed run recorded no fallbacks: %+v", st)
+	}
+
+	// Consenting advisor on the same workload: widening resumes.
+	st = run(func() bool { return true }, 0)
+	if st.Widened == 0 {
+		t.Errorf("consenting advisor opened no wide windows: %+v", st)
+	}
+}
+
+// TestAdaptiveBoundaryCases pins the widen/fall-back boundary with
+// deterministic constructions: a global event arriving exactly at a
+// widened hop end, a global event exactly one lookahead from the window
+// start (horizon == fixed bound: nothing to widen), and a run deadline
+// coinciding with the window bound. Each case must match the fixed
+// policy byte for byte.
+func TestAdaptiveBoundaryCases(t *testing.T) {
+	type runFn func(se *ShardedEngine, log *[]string)
+	cases := []struct {
+		name string
+		fn   runFn
+	}{
+		{"global_at_hop_end", func(se *ShardedEngine, log *[]string) {
+			// Periodic shard events up to t=200; a global event at exactly
+			// t=50 — a widened hop end (hops land on multiples of 10 from
+			// start 0). The wide window must stop at 50, quiesce, and
+			// resume. Single worker, so one shared log is single-writer.
+			logs := make([][]string, 2)
+			for sh := 0; sh < 2; sh++ {
+				a := &periodicActor{se: se, shard: sh, id: sh, period: 40, until: 200, logs: &logs}
+				se.Shard(sh).AtCall(0, a)
+			}
+			se.Global().At(50, func(now Time) {
+				*log = append(*log, fmt.Sprintf("t=%d global", now))
+			})
+			se.RunUntil(300)
+			for _, l := range logs {
+				*log = append(*log, l...)
+			}
+		}},
+		{"horizon_equals_fixed_bound", func(se *ShardedEngine, log *[]string) {
+			// The next global event is exactly start+L away: eligibility
+			// must fall back (nothing to widen) and the global event must
+			// still chop the window exactly as under the fixed policy.
+			se.Shard(0).At(100, func(now Time) {
+				*log = append(*log, fmt.Sprintf("t=%d shard", now))
+			})
+			se.Global().At(110, func(now Time) {
+				*log = append(*log, fmt.Sprintf("t=%d global", now))
+			})
+			se.RunUntil(200)
+		}},
+		{"deadline_equals_window_bound", func(se *ShardedEngine, log *[]string) {
+			// Heartbeat deadline == window bound: the run deadline lands
+			// exactly one lookahead past the only pending event. Events at
+			// the deadline fire; events beyond stay queued.
+			se.Shard(1).At(90, func(now Time) {
+				*log = append(*log, fmt.Sprintf("t=%d at90", now))
+			})
+			se.Shard(0).At(100, func(now Time) {
+				*log = append(*log, fmt.Sprintf("t=%d at100", now))
+			})
+			se.Shard(0).At(101, func(now Time) {
+				*log = append(*log, fmt.Sprintf("t=%d at101", now))
+			})
+			se.RunUntil(100)
+			se.RunUntil(150)
+		}},
+	}
+	for _, tc := range cases {
+		var want []string
+		for i, pol := range []WindowPolicy{WindowFixed, WindowAdaptive} {
+			se := NewSharded(2, 10)
+			se.SetWindowPolicy(pol)
+			var log []string
+			tc.fn(se, &log)
+			se.Close()
+			if i == 0 {
+				want = log
+				continue
+			}
+			if fmt.Sprint(log) != fmt.Sprint(want) {
+				t.Errorf("%s: adaptive diverged from fixed:\n--- fixed\n%v\n--- adaptive\n%v", tc.name, want, log)
+			}
+		}
+	}
+}
+
+// TestMailNext pins the earliest-undelivered accessor netsim exposes
+// per shard pair.
+func TestMailNext(t *testing.T) {
+	se := NewSharded(2, 10)
+	defer se.Close()
+	if _, ok := se.MailNext(0, 1); ok {
+		t.Fatal("MailNext reported mail on an empty row")
+	}
+	se.Post(0, 1, 30, 1, callerFunc(func(Time) {}))
+	se.Post(0, 1, 20, 2, callerFunc(func(Time) {}))
+	if at, ok := se.MailNext(0, 1); !ok || at != 20 {
+		t.Fatalf("MailNext = %d, %v; want 20, true", at, ok)
+	}
+	if _, ok := se.MailNext(1, 0); ok {
+		t.Fatal("MailNext reported mail on the reverse row")
+	}
+	se.Run()
+	if _, ok := se.MailNext(0, 1); ok {
+		t.Fatal("MailNext reported mail after the run drained it")
+	}
+}
